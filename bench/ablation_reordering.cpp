@@ -1,0 +1,52 @@
+// Vertex-ordering ablation (extension): how graph layout affects the
+// shuffle kernel's gather coalescing. The C[u] lookups gather by neighbour
+// id; a BFS layout clusters each vertex's neighbours into few 32-element
+// segments, while a random/hub-scattered layout touches one transaction
+// per lane. Reported per graph and ordering: mean memory transactions per
+// warp gather (1 = perfectly coalesced, 32 = fully scattered) and the
+// pipeline's modeled time (which charges per access, so it is
+// order-insensitive by design — the transaction metric is the diagnostic a
+// real GPU port would optimise).
+#include "bench_util.hpp"
+#include "gala/core/bsp_louvain.hpp"
+#include "gala/graph/reorder.hpp"
+
+int main() {
+  using namespace gala;
+  const double scale = bench::scale_from_env();
+  bench::print_header("Vertex-ordering ablation (gather coalescing)",
+                      "extension — DESIGN.md layout discussion", scale);
+
+  TextTable table({"Graph", "ordering", "txn/gather", "modularity"});
+  for (const auto& [abbr, g] : bench::load_suite(scale, {"LJ", "TW", "UK"})) {
+    struct Order {
+      const char* name;
+      graph::Graph graph;
+    };
+    std::vector<Order> orders;
+    orders.push_back({"original", g});
+    orders.push_back({"bfs", graph::apply_permutation(g, graph::bfs_order(g, 0))});
+    orders.push_back(
+        {"degree-desc", graph::apply_permutation(g, graph::degree_descending_order(g))});
+
+    for (const auto& order : orders) {
+      core::BspConfig cfg;
+      cfg.kernel = core::KernelMode::ShuffleOnly;  // the gather-sensitive path
+      cfg.max_iterations = 6;                      // early iterations dominate gathers
+      const auto r = core::bsp_phase1(order.graph, cfg);
+      table.row()
+          .cell(abbr)
+          .cell(order.name)
+          .cell(r.total_traffic.transactions_per_gather(), 2)
+          .cell(r.modularity, 4);
+    }
+  }
+  table.print();
+  std::printf("\nexpected: the stand-ins' generator lays communities out contiguously, so the\n"
+              "original order is already near-optimal; BFS stays close; degree-descending\n"
+              "scatters each hub's neighbours across segments and coalesces worst. On\n"
+              "arbitrary real-world id orders, BFS relabeling is the standard fix this\n"
+              "diagnostic motivates. Community quality is layout-invariant (isomorphic\n"
+              "graphs, id-tie-breaks aside).\n");
+  return 0;
+}

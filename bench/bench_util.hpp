@@ -1,0 +1,50 @@
+// Shared helpers for the per-table/figure benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation on the synthetic stand-in suite. GALA_BENCH_SCALE (default 0.5)
+// multiplies all stand-in sizes; raise it for slower, closer-to-paper runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gala/common/table.hpp"
+#include "gala/common/timer.hpp"
+#include "gala/graph/standin.hpp"
+
+namespace gala::bench {
+
+inline double scale_from_env(double fallback = 0.5) {
+  if (const char* env = std::getenv("GALA_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return fallback;
+}
+
+struct NamedGraph {
+  std::string abbr;
+  graph::Graph graph;
+};
+
+/// Loads the stand-in suite (all seven graphs, or the listed subset).
+inline std::vector<NamedGraph> load_suite(double scale,
+                                          const std::vector<std::string>& subset = {}) {
+  const auto& abbrs = subset.empty() ? graph::standin_abbrs() : subset;
+  std::vector<NamedGraph> out;
+  out.reserve(abbrs.size());
+  for (const auto& a : abbrs) {
+    out.push_back({a, graph::make_standin(a, scale)});
+  }
+  return out;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref, double scale) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s | stand-in scale %.2f (GALA_BENCH_SCALE)\n\n", paper_ref.c_str(),
+              scale);
+}
+
+}  // namespace gala::bench

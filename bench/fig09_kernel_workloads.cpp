@@ -1,0 +1,144 @@
+// Figure 9: memory-management optimisations on the two workload classes.
+//
+//  (a) small-degree vertices (degree < 32, one warp each): shuffle-based
+//      kernel vs hash-based kernel in shared memory vs hash in global
+//      memory. Paper: shuffle wins 1.9x over hash-global, 1.2x over
+//      hash-shared (registers are the fastest memory).
+//  (b) large-degree vertices (states overflow shared memory): hierarchical
+//      vs unified vs global-only hashtable. Paper: hierarchical wins 1.5x
+//      over global-only and 1.2x over unified; unified degrades most where
+//      maximum degree is large.
+//
+// Methodology: phase 1 runs a few iterations to reach a realistic community
+// structure; one DecideAndMove pass is then measured over exactly the
+// vertices of each class under each kernel configuration.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "gala/core/bsp_louvain.hpp"
+
+namespace {
+
+using namespace gala;
+
+/// Captures a realistic mid-phase state: communities + totals + sizes.
+struct Snapshot {
+  std::vector<cid_t> comm;
+  std::vector<wt_t> comm_total;
+};
+
+Snapshot mid_phase_state(const graph::Graph& g) {
+  core::BspConfig cfg;
+  cfg.max_iterations = 4;  // partially converged: realistic community mix
+  const auto r = core::bsp_phase1(g, cfg);
+  Snapshot s;
+  s.comm = r.community;
+  s.comm_total.assign(g.num_vertices(), 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) s.comm_total[s.comm[v]] += g.degree(v);
+  return s;
+}
+
+enum class Variant { Shuffle, HashShared, HashGlobal, HashUnified, HashHierarchical };
+
+double measure(const graph::Graph& g, const Snapshot& snap, const std::vector<vid_t>& vertices,
+               Variant variant, std::size_t shared_bytes) {
+  const core::DecideInput input{&g, snap.comm, snap.comm_total, g.two_m()};
+  gpusim::SharedMemoryArena arena(shared_bytes);
+  std::vector<core::HashBucket> scratch;
+  gpusim::MemoryStats stats;
+  for (const vid_t v : vertices) {
+    arena.reset();
+    switch (variant) {
+      case Variant::Shuffle:
+        core::shuffle_decide(input, v, arena, stats);
+        break;
+      case Variant::HashShared:
+      case Variant::HashHierarchical:
+        core::hash_decide(input, v, core::HashTablePolicy::Hierarchical, arena, scratch, 1, stats);
+        break;
+      case Variant::HashGlobal:
+        core::hash_decide(input, v, core::HashTablePolicy::GlobalOnly, arena, scratch, 1, stats);
+        break;
+      case Variant::HashUnified:
+        core::hash_decide(input, v, core::HashTablePolicy::Unified, arena, scratch, 1, stats);
+        break;
+    }
+  }
+  gpusim::DeviceConfig dev;
+  return dev.modeled_ms(stats);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::scale_from_env();
+  bench::print_header("Memory management on small/large-degree workloads", "Figure 9", scale);
+
+  const auto suite = bench::load_suite(scale);
+  // The paper uses degree > 2000 on billion-edge graphs; the stand-ins are
+  // ~1000x smaller, so the "large" class scales to > 128.
+  const vid_t small_limit = 32;
+  const vid_t large_limit = 128;
+  const std::size_t full_shared = 48 * 1024;
+  // Large-degree states must overflow shared memory: a tight budget stands
+  // in for the paper's >2000-neighbour tables exceeding 48 KiB.
+  const std::size_t tight_shared = 64 * sizeof(gala::core::HashBucket);
+
+  std::printf("(a) small-degree vertices (degree < %u), one warp per vertex\n", small_limit);
+  gala::TextTable ta({"Graph", "#vertices", "shuffle ms", "hash-shared ms", "hash-global ms",
+                      "shuffle vs global", "shuffle vs shared"});
+  for (const auto& [abbr, g] : suite) {
+    const auto snap = mid_phase_state(g);
+    std::vector<gala::vid_t> small;
+    for (gala::vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (g.out_degree(v) > 0 && g.out_degree(v) < small_limit) small.push_back(v);
+    }
+    const double shuffle = measure(g, snap, small, Variant::Shuffle, full_shared);
+    const double hshared = measure(g, snap, small, Variant::HashShared, full_shared);
+    const double hglobal = measure(g, snap, small, Variant::HashGlobal, full_shared);
+    ta.row()
+        .cell(abbr)
+        .cell(small.size())
+        .cell(shuffle, 3)
+        .cell(hshared, 3)
+        .cell(hglobal, 3)
+        .cell(hglobal / shuffle, 2)
+        .cell(hshared / shuffle, 2);
+  }
+  ta.print();
+  std::printf("paper: shuffle 1.9x vs hash-global, 1.2x vs hash-shared on average\n\n");
+
+  std::printf("(b) large-degree vertices (degree > %u), shared budget %zu buckets\n", large_limit,
+              tight_shared / sizeof(gala::core::HashBucket));
+  gala::TextTable tb({"Graph", "#vertices", "max deg", "hier ms", "unified ms", "global ms",
+                      "hier vs global", "hier vs unified"});
+  for (const auto& [abbr, g] : suite) {
+    const auto snap = mid_phase_state(g);
+    std::vector<gala::vid_t> large;
+    gala::vid_t max_deg = 0;
+    for (gala::vid_t v = 0; v < g.num_vertices(); ++v) {
+      max_deg = std::max(max_deg, g.out_degree(v));
+      if (g.out_degree(v) > large_limit) large.push_back(v);
+    }
+    if (large.empty()) {
+      tb.row().cell(abbr).cell(0).cell(max_deg).cell("-").cell("-").cell("-").cell("-").cell("-");
+      continue;
+    }
+    const double hier = measure(g, snap, large, Variant::HashHierarchical, tight_shared);
+    const double unified = measure(g, snap, large, Variant::HashUnified, tight_shared);
+    const double global = measure(g, snap, large, Variant::HashGlobal, tight_shared);
+    tb.row()
+        .cell(abbr)
+        .cell(large.size())
+        .cell(max_deg)
+        .cell(hier, 3)
+        .cell(unified, 3)
+        .cell(global, 3)
+        .cell(global / hier, 2)
+        .cell(unified / hier, 2);
+  }
+  tb.print();
+  std::printf("paper: hierarchical 1.5x vs global-only, 1.2x vs unified on average; unified "
+              "degrades most on hub-heavy graphs (TW, UK, EW)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 10: multi-GPU scaling.
+//
+//  (a) speedup of phase 1 (round 1) from 1 to 8 simulated GPUs, per graph —
+//      paper: avg 2.5x at 8 GPUs, sub-linear due to communication.
+//  (b) computation vs communication breakdown on OR — paper: compute drops
+//      4.4x from 1 to 8 GPUs while communication stays nearly constant and
+//      reaches ~43% of runtime at 8 GPUs.
+//
+// The simulated device is scaled to the stand-in graphs (model lanes 2048
+// instead of a full A100's 221k) so the compute/communication balance
+// matches the paper's regime; see DESIGN.md §1/§4.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "gala/multigpu/dist_louvain.hpp"
+
+int main() {
+  using namespace gala;
+  const double scale = bench::scale_from_env();
+  bench::print_header("Multi-GPU scalability", "Figure 10", scale);
+
+  const auto suite = bench::load_suite(scale);
+  const std::vector<std::size_t> gpu_counts = {1, 2, 4, 8};
+
+  auto make_config = [](std::size_t gpus) {
+    multigpu::DistributedConfig cfg;
+    cfg.num_gpus = gpus;
+    cfg.device.model_parallel_lanes = 2048;  // device scaled to the stand-ins
+    return cfg;
+  };
+
+  std::printf("(a) speedup over 1 GPU (modeled time)\n");
+  TextTable ta({"Graph", "1 GPU ms", "2 GPUs", "4 GPUs", "8 GPUs", "speedup@8", "modularity"});
+  double logsum8 = 0;
+  for (const auto& [abbr, g] : suite) {
+    std::vector<double> totals;
+    wt_t q = 0;
+    for (const std::size_t p : gpu_counts) {
+      const auto r = multigpu::distributed_phase1(g, make_config(p));
+      totals.push_back(r.modeled_ms());
+      q = r.modularity;
+    }
+    const double speedup8 = totals[0] / totals[3];
+    logsum8 += std::log(speedup8);
+    ta.row()
+        .cell(abbr)
+        .cell(totals[0], 3)
+        .cell(totals[0] / totals[1], 2)
+        .cell(totals[0] / totals[2], 2)
+        .cell(speedup8, 2)
+        .cell(speedup8, 2)
+        .cell(q, 5);
+  }
+  ta.print();
+  std::printf("geo-mean speedup at 8 GPUs: %.2fx (paper: 2.5x average)\n\n",
+              std::exp(logsum8 / static_cast<double>(suite.size())));
+
+  std::printf("(b) computation vs communication breakdown on OR\n");
+  const auto or_graph = graph::make_standin("OR", scale);
+  TextTable tb({"GPUs", "compute ms", "comm ms", "total ms", "comm share %", "sparse iters",
+                "dense iters"});
+  double compute1 = 0;
+  for (const std::size_t p : gpu_counts) {
+    const auto r = multigpu::distributed_phase1(or_graph, make_config(p));
+    const double compute = r.max_compute_modeled_ms();
+    const double comm = r.max_comm_modeled_ms();
+    if (p == 1) compute1 = compute;
+    int sparse = 0, dense = 0;
+    for (const auto& it : r.iteration_log) (it.sparse_sync ? sparse : dense)++;
+    tb.row()
+        .cell(p)
+        .cell(compute, 3)
+        .cell(comm, 3)
+        .cell(compute + comm, 3)
+        .cell(100.0 * comm / (compute + comm), 1)
+        .cell(sparse)
+        .cell(dense);
+  }
+  tb.print();
+  const auto r8 = multigpu::distributed_phase1(or_graph, make_config(8));
+  std::printf("compute reduction 1->8 GPUs: %.1fx (paper: 4.4x); comm share at 8 GPUs: %.0f%% "
+              "(paper: 43%%)\n",
+              compute1 / r8.max_compute_modeled_ms(),
+              100.0 * r8.max_comm_modeled_ms() / r8.modeled_ms());
+
+  // Dense/sparse/adaptive ablation (the §4.3 design choice).
+  std::printf("\n(c) synchronization strategy ablation on OR, 8 GPUs\n");
+  TextTable tc({"sync", "comm ms", "sync bytes total", "total ms"});
+  for (const auto mode :
+       {multigpu::SyncMode::Dense, multigpu::SyncMode::Sparse, multigpu::SyncMode::Adaptive}) {
+    auto cfg = make_config(8);
+    cfg.sync = mode;
+    const auto r = multigpu::distributed_phase1(or_graph, cfg);
+    std::uint64_t bytes = 0;
+    for (const auto& it : r.iteration_log) bytes += it.sync_bytes;
+    tc.row()
+        .cell(to_string(mode))
+        .cell(r.max_comm_modeled_ms(), 3)
+        .cell(bytes)
+        .cell(r.modeled_ms(), 3);
+  }
+  tc.print();
+  std::printf("adaptive should match or beat both fixed strategies (the paper's switch rule).\n");
+  return 0;
+}

@@ -1,0 +1,283 @@
+// Experimental CUDA implementation of GALA's DecideAndMove kernels.
+//
+// These mirror the tested simulator twins in src/gala/core/kernels.cpp
+// one-to-one; consult that file (and the paper's Algorithms 2-3) for the
+// algorithmic commentary. Requires sm_70+ (__match_any_sync and the
+// __reduce_*_sync cooperative-groups reductions).
+#include <cuda_runtime.h>
+
+#include "decide_kernels.cuh"
+
+namespace gala::cuda {
+namespace {
+
+constexpr int kWarpSize = 32;
+constexpr unsigned kFullMask = 0xffffffffu;
+
+__device__ __forceinline__ std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+__device__ __forceinline__ wt_t move_score(wt_t e_vc, wt_t total, wt_t degree_v, wt_t two_m,
+                                           bool in_community, wt_t resolution) {
+  const wt_t t = in_community ? total - degree_v : total;
+  return e_vc - resolution * t * degree_v / two_m;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: warp-per-vertex shuffle kernel, degree <= 32.
+// ---------------------------------------------------------------------------
+__global__ void shuffle_decide_kernel(DeviceDecideInput in, const vid_t* vertex_list,
+                                      vid_t list_size, DeviceDecision* decisions) {
+  const int lane = threadIdx.x % kWarpSize;
+  const int warp_in_grid = (blockIdx.x * blockDim.x + threadIdx.x) / kWarpSize;
+  const int warps_total = (gridDim.x * blockDim.x) / kWarpSize;
+
+  for (vid_t idx = warp_in_grid; idx < list_size; idx += warps_total) {
+    const vid_t v = vertex_list[idx];
+    const eid_t begin = in.offsets[v];
+    const int deg = static_cast<int>(in.offsets[v + 1] - begin);
+    const cid_t curr = in.comm[v];
+    const wt_t dv = in.degree[v];
+
+    // Lane i owns the i-th neighbour (Alg. 2 lines 2-4).
+    cid_t my_c = kInvalidCid;
+    wt_t my_w = 0;
+    bool active = lane < deg;
+    if (active) {
+      const vid_t u = in.adjacency[begin + lane];
+      if (u == v) {
+        active = false;  // self-loops cancel out of every comparison
+      } else {
+        my_c = in.comm[u];
+        my_w = in.weights[begin + lane];
+      }
+    }
+    const unsigned active_mask = __ballot_sync(kFullMask, active);
+
+    wt_t e_curr = 0;
+    wt_t my_dq = -1e300;
+    if (active) {
+      // Lines 5-6: group lanes by community, sum weights per group.
+      const unsigned group = __match_any_sync(active_mask, my_c);
+      wt_t sum = my_w;
+      // Segmented reduction within the group mask (leader accumulates via
+      // shfl; every lane converges to the group sum).
+      for (int offset = kWarpSize / 2; offset > 0; offset /= 2) {
+        const wt_t other = __shfl_xor_sync(kFullMask, sum, offset);
+        const int other_lane = lane ^ offset;
+        if ((group >> other_lane) & 1u) sum += other;
+      }
+      // Line 7: score; one lane per group (its leader) participates in the
+      // max so ties stay deterministic.
+      const int leader = __ffs(group) - 1;
+      if (lane == leader) {
+        my_dq = move_score(sum, in.comm_total[my_c], dv, in.two_m, my_c == curr, in.resolution);
+        if (my_c == curr) e_curr = sum;
+      }
+    }
+
+    // Lines 8-10: warp-wide max, then the smallest community id among the
+    // lanes achieving it (the simulator's BestTracker tie-break).
+    wt_t max_dq = my_dq;
+    for (int offset = kWarpSize / 2; offset > 0; offset /= 2) {
+      max_dq = max(max_dq, __shfl_xor_sync(kFullMask, max_dq, offset));
+    }
+    cid_t best = (my_dq == max_dq && active) ? my_c : kInvalidCid;
+    for (int offset = kWarpSize / 2; offset > 0; offset /= 2) {
+      best = min(best, __shfl_xor_sync(kFullMask, best, offset));
+    }
+    // Broadcast e_curr (held by the current community's leader, if any).
+    for (int offset = kWarpSize / 2; offset > 0; offset /= 2) {
+      e_curr += __shfl_xor_sync(kFullMask, e_curr, offset);
+    }
+
+    if (lane == 0) {
+      DeviceDecision d;
+      d.weight_to_curr = e_curr;
+      d.curr_score = move_score(e_curr, in.comm_total[curr], dv, in.two_m, true, in.resolution);
+      if (best == kInvalidCid) {
+        d.best = curr;
+        d.best_score = d.curr_score;
+      } else {
+        d.best = best;
+        d.best_score = max_dq;
+      }
+      decisions[v] = d;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3: block-per-vertex hash kernel.
+// ---------------------------------------------------------------------------
+struct Bucket {
+  cid_t key;
+  wt_t weight;
+  wt_t total;
+};
+
+constexpr int kSharedBuckets = 1024;  // 1024 * 16B = 16 KiB of shared memory
+constexpr int kBlockThreads = 128;
+
+__device__ __forceinline__ std::uint32_t hash0(cid_t c, std::uint64_t salt) {
+  return static_cast<std::uint32_t>(splitmix64(static_cast<std::uint64_t>(c) ^ salt) >> 32);
+}
+__device__ __forceinline__ std::uint32_t hash1(cid_t c, std::uint64_t salt) {
+  return static_cast<std::uint32_t>(
+      splitmix64(static_cast<std::uint64_t>(c) * 0x9e3779b97f4a7c15ULL ^ ~salt) >> 32);
+}
+
+/// Claims the bucket for key c (atomicCAS on the key) and returns it, or
+/// nullptr when the slot holds a different key.
+__device__ __forceinline__ Bucket* try_claim(Bucket* b, cid_t c, const DeviceDecideInput& in) {
+  const cid_t prev = atomicCAS(&b->key, kInvalidCid, c);
+  if (prev == kInvalidCid) {
+    b->total = in.comm_total[c];  // Alg. 3 line 9 (benign if raced: same value)
+    return b;
+  }
+  return prev == c ? b : nullptr;
+}
+
+__global__ void hash_decide_kernel(DeviceDecideInput in, const vid_t* vertex_list,
+                                   vid_t list_size, HashPolicy policy, Bucket* global_buckets,
+                                   std::uint32_t buckets_per_vertex, std::uint64_t salt,
+                                   DeviceDecision* decisions) {
+  __shared__ Bucket shared_buckets[kSharedBuckets];
+  __shared__ wt_t block_best_score[kBlockThreads];
+  __shared__ cid_t block_best_c[kBlockThreads];
+  __shared__ wt_t block_e_curr;
+
+  for (vid_t idx = blockIdx.x; idx < list_size; idx += gridDim.x) {
+    const vid_t v = vertex_list[idx];
+    const eid_t begin = in.offsets[v];
+    const eid_t end = in.offsets[v + 1];
+    const cid_t curr = in.comm[v];
+    const wt_t dv = in.degree[v];
+    Bucket* global_part = global_buckets + static_cast<std::size_t>(idx) * buckets_per_vertex;
+
+    // Reset the shared part (the global slab is caller-zeroed once and
+    // cleaned below after use).
+    for (int i = threadIdx.x; i < kSharedBuckets; i += blockDim.x) {
+      shared_buckets[i].key = kInvalidCid;
+      shared_buckets[i].weight = 0;
+    }
+    if (threadIdx.x == 0) block_e_curr = 0;
+    __syncthreads();
+
+    // Alg. 3 lines 4-10: threads stride over the adjacency, accumulating
+    // into the policy's bucket sequence.
+    for (eid_t e = begin + threadIdx.x; e < end; e += blockDim.x) {
+      const vid_t u = in.adjacency[e];
+      if (u == v) continue;
+      const cid_t c = in.comm[u];
+      const wt_t w = in.weights[e];
+
+      Bucket* b = nullptr;
+      if (policy == HashPolicy::Hierarchical) {
+        b = try_claim(&shared_buckets[hash0(c, salt) & (kSharedBuckets - 1)], c, in);
+        if (b == nullptr) {
+          std::uint32_t slot = hash1(c, salt) & (buckets_per_vertex - 1);
+          while ((b = try_claim(&global_part[slot], c, in)) == nullptr) {
+            slot = (slot + 1) & (buckets_per_vertex - 1);
+          }
+        }
+      } else if (policy == HashPolicy::Unified) {
+        const std::uint32_t total_buckets = kSharedBuckets + buckets_per_vertex;
+        std::uint32_t slot = hash0(c, salt) % total_buckets;
+        for (;;) {
+          Bucket* candidate = slot < kSharedBuckets ? &shared_buckets[slot]
+                                                    : &global_part[slot - kSharedBuckets];
+          if ((b = try_claim(candidate, c, in)) != nullptr) break;
+          slot = (slot + 1) % total_buckets;
+        }
+      } else {  // GlobalOnly
+        std::uint32_t slot = hash1(c, salt) & (buckets_per_vertex - 1);
+        while ((b = try_claim(&global_part[slot], c, in)) == nullptr) {
+          slot = (slot + 1) & (buckets_per_vertex - 1);
+        }
+      }
+      atomicAdd(&b->weight, w);  // Alg. 3 line 10
+    }
+    __syncthreads();
+
+    // Lines 11-15: score occupied buckets; block-wide argmax with the
+    // smallest-community tie-break.
+    wt_t my_best_score = -1e300;
+    cid_t my_best_c = kInvalidCid;
+    auto consider = [&](const Bucket& b) {
+      if (b.key == kInvalidCid) return;
+      const wt_t score = move_score(b.weight, b.total, dv, in.two_m, b.key == curr, in.resolution);
+      // Exactly one bucket holds the current community, so exactly one
+      // thread writes block_e_curr — no atomicity needed.
+      if (b.key == curr) block_e_curr = b.weight;
+      if (score > my_best_score || (score == my_best_score && b.key < my_best_c)) {
+        my_best_score = score;
+        my_best_c = b.key;
+      }
+    };
+    for (int i = threadIdx.x; i < kSharedBuckets; i += blockDim.x) consider(shared_buckets[i]);
+    for (std::uint32_t i = threadIdx.x; i < buckets_per_vertex; i += blockDim.x) {
+      consider(global_part[i]);
+      global_part[i].key = kInvalidCid;  // restore the slab for the next launch
+      global_part[i].weight = 0;
+    }
+    block_best_score[threadIdx.x] = my_best_score;
+    block_best_c[threadIdx.x] = my_best_c;
+    __syncthreads();
+    for (int stride = blockDim.x / 2; stride > 0; stride /= 2) {
+      if (threadIdx.x < stride) {
+        const wt_t other = block_best_score[threadIdx.x + stride];
+        const cid_t other_c = block_best_c[threadIdx.x + stride];
+        if (other > block_best_score[threadIdx.x] ||
+            (other == block_best_score[threadIdx.x] && other_c < block_best_c[threadIdx.x])) {
+          block_best_score[threadIdx.x] = other;
+          block_best_c[threadIdx.x] = other_c;
+        }
+      }
+      __syncthreads();
+    }
+
+    if (threadIdx.x == 0) {
+      DeviceDecision d;
+      d.weight_to_curr = block_e_curr;
+      d.curr_score =
+          move_score(block_e_curr, in.comm_total[curr], dv, in.two_m, true, in.resolution);
+      if (block_best_c[0] == kInvalidCid) {
+        d.best = curr;
+        d.best_score = d.curr_score;
+      } else {
+        d.best = block_best_c[0];
+        d.best_score = block_best_score[0];
+      }
+      decisions[v] = d;
+    }
+    __syncthreads();
+  }
+}
+
+}  // namespace
+
+void launch_shuffle_decide(const DeviceDecideInput& input, const vid_t* vertex_list,
+                           vid_t list_size, DeviceDecision* decisions, cudaStream_t stream) {
+  if (list_size == 0) return;
+  const int threads = 256;
+  const int warps_needed = static_cast<int>(list_size);
+  const int blocks = min(1024, (warps_needed * kWarpSize + threads - 1) / threads);
+  shuffle_decide_kernel<<<blocks, threads, 0, stream>>>(input, vertex_list, list_size, decisions);
+}
+
+void launch_hash_decide(const DeviceDecideInput& input, const vid_t* vertex_list, vid_t list_size,
+                        HashPolicy policy, void* global_buckets, std::uint32_t buckets_per_vertex,
+                        std::uint64_t salt, DeviceDecision* decisions, cudaStream_t stream) {
+  if (list_size == 0) return;
+  const int blocks = min(static_cast<vid_t>(2048), list_size);
+  hash_decide_kernel<<<blocks, kBlockThreads, 0, stream>>>(
+      input, vertex_list, list_size, policy, static_cast<Bucket*>(global_buckets),
+      buckets_per_vertex, salt, decisions);
+}
+
+}  // namespace gala::cuda

@@ -1,0 +1,54 @@
+// Device-side data layout and launch wrappers for the experimental CUDA
+// port of GALA's DecideAndMove kernels. See cuda/README.md for status.
+#pragma once
+
+#include <cstdint>
+
+namespace gala::cuda {
+
+using vid_t = std::uint32_t;
+using eid_t = std::uint64_t;
+using cid_t = std::uint32_t;
+using wt_t = double;
+
+inline constexpr cid_t kInvalidCid = 0xffffffffu;
+
+/// Device-resident CSR + iteration state (all pointers are device memory).
+/// Mirrors core::DecideInput.
+struct DeviceDecideInput {
+  const eid_t* offsets;      // V+1
+  const vid_t* adjacency;    // offsets[V]
+  const wt_t* weights;       // offsets[V]
+  const wt_t* degree;        // V, self-loops counted twice
+  const cid_t* comm;         // V
+  const wt_t* comm_total;    // V (D_V by community id)
+  vid_t num_vertices;
+  wt_t two_m;
+  wt_t resolution;
+};
+
+/// Mirrors core::Decision.
+struct DeviceDecision {
+  cid_t best;
+  wt_t best_score;
+  wt_t curr_score;
+  wt_t weight_to_curr;
+};
+
+enum class HashPolicy : int { GlobalOnly = 0, Unified = 1, Hierarchical = 2 };
+
+/// Warp-per-vertex shuffle kernel (Algorithm 2) over `vertex_list`
+/// (vertices with out-degree <= 32). Grid-stride; one warp per vertex.
+void launch_shuffle_decide(const DeviceDecideInput& input, const vid_t* vertex_list,
+                           vid_t list_size, DeviceDecision* decisions, cudaStream_t stream);
+
+/// Block-per-vertex hash kernel (Algorithm 3) over `vertex_list`.
+/// `global_buckets` is a slab of `buckets_per_vertex * list_size` entries of
+/// {cid_t key; wt_t weight; wt_t total} (see decide_kernels.cu) zero-
+/// initialised to kInvalidCid keys; `buckets_per_vertex` must be a power of
+/// two >= 2 * max degree in the list.
+void launch_hash_decide(const DeviceDecideInput& input, const vid_t* vertex_list, vid_t list_size,
+                        HashPolicy policy, void* global_buckets, std::uint32_t buckets_per_vertex,
+                        std::uint64_t salt, DeviceDecision* decisions, cudaStream_t stream);
+
+}  // namespace gala::cuda

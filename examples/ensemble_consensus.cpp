@@ -1,0 +1,47 @@
+// Ensemble consensus clustering: when should you trust a single Louvain
+// run? This example contrasts a sharp network with a blurred one — the
+// ensemble-agreement diagnostic exposes the difference, and consensus
+// clustering stabilises the blurred case.
+#include <cstdio>
+
+#include "gala/common/table.hpp"
+#include "gala/core/consensus.hpp"
+#include "gala/graph/generators.hpp"
+#include "gala/metrics/nmi.hpp"
+
+int main() {
+  using namespace gala;
+
+  TextTable table({"network", "mixing", "agreement", "consensus Q", "single-run Q",
+                   "NMI vs truth"});
+  for (const double mixing : {0.10, 0.45, 0.60}) {
+    graph::PlantedPartitionParams p;
+    p.num_vertices = 5000;
+    p.num_communities = 25;
+    p.avg_degree = 14;
+    p.mixing = mixing;
+    p.seed = 11;
+    std::vector<cid_t> truth;
+    const graph::Graph g = graph::planted_partition(p, &truth);
+
+    const core::GalaResult single = core::run_louvain(g);
+
+    core::ConsensusConfig cfg;
+    cfg.runs = 8;
+    const core::ConsensusResult ensemble = core::consensus_louvain(g, cfg);
+
+    table.row()
+        .cell(mixing < 0.3 ? "sharp" : mixing < 0.5 ? "blurred" : "very blurred")
+        .cell(mixing, 2)
+        .cell(ensemble.ensemble_agreement, 3)
+        .cell(ensemble.modularity, 4)
+        .cell(single.modularity, 4)
+        .cell(metrics::nmi(ensemble.assignment, truth), 3);
+  }
+  table.print();
+
+  std::printf("\nreading the table: agreement near 1 means every ensemble member found the\n"
+              "same structure (single runs are trustworthy); low agreement flags ambiguous\n"
+              "structure, where the consensus partition is the robust summary.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "gala/baselines/label_propagation.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "gala/common/prng.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::baselines {
+namespace {
+
+/// Weighted-majority label among v's neighbours; ties break toward the
+/// smaller label (deterministic). Returns the current label when v has no
+/// neighbours.
+cid_t majority_label(const graph::Graph& g, vid_t v, std::span<const cid_t> labels,
+                     std::unordered_map<cid_t, wt_t>& scratch) {
+  scratch.clear();
+  auto nbrs = g.neighbors(v);
+  auto ws = g.weights(v);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] != v) scratch[labels[nbrs[i]]] += ws[i];
+  }
+  if (scratch.empty()) return labels[v];
+  cid_t best = labels[v];
+  wt_t best_w = -1;
+  for (const auto& [label, w] : scratch) {
+    if (w > best_w || (w == best_w && label < best)) {
+      best = label;
+      best_w = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+LpaResult label_propagation(const graph::Graph& g, const LpaOptions& opts) {
+  const vid_t n = g.num_vertices();
+  LpaResult result;
+  result.labels.resize(n);
+  std::iota(result.labels.begin(), result.labels.end(), 0);
+  if (n == 0) return result;
+
+  Xoshiro256 rng(opts.seed);
+  std::vector<vid_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::unordered_map<cid_t, wt_t> scratch;
+  std::vector<cid_t> next;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    ++result.iterations;
+    vid_t changed = 0;
+    if (opts.synchronous) {
+      next.assign(result.labels.begin(), result.labels.end());
+      for (vid_t v = 0; v < n; ++v) {
+        const cid_t label = majority_label(g, v, result.labels, scratch);
+        if (label != result.labels[v]) {
+          next[v] = label;
+          ++changed;
+        }
+      }
+      result.labels.swap(next);
+    } else {
+      // Classic asynchronous sweep in a fresh random order each iteration.
+      for (vid_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.next_below(i)]);
+      for (const vid_t v : order) {
+        const cid_t label = majority_label(g, v, result.labels, scratch);
+        if (label != result.labels[v]) {
+          result.labels[v] = label;
+          ++changed;
+        }
+      }
+    }
+    if (changed == 0) break;
+  }
+
+  result.num_communities = core::renumber_communities(result.labels);
+  return result;
+}
+
+}  // namespace gala::baselines

@@ -1,0 +1,33 @@
+// Label propagation (Raghavan et al. 2007) — the third community-detection
+// cohort the paper's introduction surveys (majority-voting membership).
+// Included as an extension baseline: it optimises no objective, so it pairs
+// with the metrics module (NMI/ARI/modularity audits) to show where
+// modularity-based methods win.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::baselines {
+
+struct LpaOptions {
+  int max_iterations = 100;
+  std::uint64_t seed = 1;
+  /// Synchronous (BSP) updates instead of the classic asynchronous sweep.
+  /// Synchronous LPA can oscillate on bipartite-ish structures; ties break
+  /// toward the smaller label to damp that.
+  bool synchronous = false;
+};
+
+struct LpaResult {
+  std::vector<cid_t> labels;  ///< dense ids in [0, num_communities)
+  vid_t num_communities = 0;
+  int iterations = 0;
+};
+
+LpaResult label_propagation(const graph::Graph& g, const LpaOptions& opts = {});
+
+}  // namespace gala::baselines

@@ -1,0 +1,182 @@
+// A small declarative command-line parser for the tools/ binaries.
+//
+// Supports --flag, --option value, --option=value, positional arguments,
+// and generated usage text. Typed getters throw gala::Error with a readable
+// message on malformed values.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gala/common/error.hpp"
+
+namespace gala {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  ArgParser& add_flag(const std::string& name, const std::string& help) {
+    specs_.push_back({name, help, "", /*is_flag=*/true, /*required=*/false});
+    return *this;
+  }
+
+  ArgParser& add_option(const std::string& name, const std::string& help,
+                        const std::string& default_value = "") {
+    specs_.push_back({name, help, default_value, false, false});
+    return *this;
+  }
+
+  ArgParser& add_positional(const std::string& name, const std::string& help,
+                            bool required = true) {
+    positional_specs_.push_back({name, help, "", false, required});
+    return *this;
+  }
+
+  /// Parses argv[1..). Returns false (after printing usage) on --help or a
+  /// parse error.
+  bool parse(int argc, const char* const* argv) {
+    std::size_t next_positional = 0;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_usage();
+        return false;
+      }
+      if (arg.rfind("--", 0) == 0) {
+        std::string name = arg.substr(2);
+        std::string inline_value;
+        bool has_inline = false;
+        if (const auto eq = name.find('='); eq != std::string::npos) {
+          inline_value = name.substr(eq + 1);
+          name = name.substr(0, eq);
+          has_inline = true;
+        }
+        const Spec* spec = find_spec(name);
+        if (spec == nullptr) {
+          return fail("unknown option --" + name);
+        }
+        if (spec->is_flag) {
+          if (has_inline) return fail("flag --" + name + " takes no value");
+          set_value(name, "true");
+        } else if (has_inline) {
+          set_value(name, inline_value);
+        } else {
+          if (i + 1 >= argc) return fail("option --" + name + " needs a value");
+          set_value(name, argv[++i]);
+        }
+      } else {
+        if (next_positional >= positional_specs_.size()) {
+          return fail("unexpected argument '" + arg + "'");
+        }
+        set_value(positional_specs_[next_positional++].name, arg);
+      }
+    }
+    for (std::size_t p = next_positional; p < positional_specs_.size(); ++p) {
+      if (positional_specs_[p].required) {
+        return fail("missing required argument <" + positional_specs_[p].name + ">");
+      }
+    }
+    return true;
+  }
+
+  bool has(const std::string& name) const { return find_value(name) != nullptr; }
+
+  std::string get(const std::string& name) const {
+    if (const std::string* v = find_value(name)) return *v;
+    for (const Spec& s : specs_) {
+      if (s.name == name) return s.default_value;
+    }
+    GALA_CHECK(false, "option --" << name << " was never declared");
+  }
+
+  double get_double(const std::string& name) const {
+    const std::string v = get(name);
+    char* end = nullptr;
+    const double x = std::strtod(v.c_str(), &end);
+    GALA_CHECK(end != v.c_str() && *end == '\0', "--" << name << ": '" << v << "' is not a number");
+    return x;
+  }
+
+  long get_int(const std::string& name) const {
+    const std::string v = get(name);
+    char* end = nullptr;
+    const long x = std::strtol(v.c_str(), &end, 10);
+    GALA_CHECK(end != v.c_str() && *end == '\0',
+               "--" << name << ": '" << v << "' is not an integer");
+    return x;
+  }
+
+  void print_usage(std::ostream& out = std::cerr) const {
+    out << "usage: " << program_;
+    for (const Spec& p : positional_specs_) {
+      out << (p.required ? " <" : " [") << p.name << (p.required ? ">" : "]");
+    }
+    out << " [options]\n\n" << description_ << "\n\n";
+    for (const Spec& p : positional_specs_) {
+      out << "  " << p.name << "  " << p.help << '\n';
+    }
+    out << "options:\n";
+    for (const Spec& s : specs_) {
+      out << "  --" << s.name << (s.is_flag ? "" : " <value>") << "  " << s.help;
+      if (!s.default_value.empty()) out << " (default: " << s.default_value << ")";
+      out << '\n';
+    }
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    std::string default_value;
+    bool is_flag;
+    bool required;
+  };
+
+  const Spec* find_spec(const std::string& name) const {
+    for (const Spec& s : specs_) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  const std::string* find_value(const std::string& name) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  void set_value(const std::string& name, std::string value) {
+    for (auto& [k, v] : values_) {
+      if (k == name) {
+        v = std::move(value);
+        return;
+      }
+    }
+    values_.emplace_back(name, std::move(value));
+  }
+
+  bool fail(const std::string& message) {
+    error_ = message;
+    std::cerr << program_ << ": " << message << "\n";
+    print_usage();
+    return false;
+  }
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+  std::vector<Spec> positional_specs_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::string error_;
+};
+
+}  // namespace gala

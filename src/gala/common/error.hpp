@@ -1,0 +1,56 @@
+// Error handling: precondition checks and a library exception type.
+//
+// Following the C++ Core Guidelines (I.5/I.6, E.x): interface preconditions
+// are checked with GALA_CHECK (always on — graph loading and configuration
+// are not hot paths), and internal invariants with GALA_ASSERT (compiled out
+// in NDEBUG builds, usable in kernels).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gala {
+
+/// Exception thrown on violated preconditions or invalid input data.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "GALA_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace gala
+
+/// Always-on precondition check. `msg` is streamed, e.g.
+///   GALA_CHECK(u < n, "vertex " << u << " out of range");
+#define GALA_CHECK(expr, msg)                                                    \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      std::ostringstream gala_check_os_;                                         \
+      gala_check_os_ << msg; /* NOLINT */                                        \
+      ::gala::detail::throw_check_failure(#expr, __FILE__, __LINE__,             \
+                                          gala_check_os_.str());                 \
+    }                                                                            \
+  } while (0)
+
+/// Debug-only internal invariant check.
+#ifdef NDEBUG
+#define GALA_ASSERT(expr) ((void)0)
+#else
+#define GALA_ASSERT(expr)                                                        \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::gala::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");        \
+    }                                                                            \
+  } while (0)
+#endif

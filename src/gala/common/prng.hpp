@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in GALA (graph generators, the PM pruning strategy's coin
+// flips, hash-function salts) flows through these generators so that every
+// experiment is reproducible bit-for-bit from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "gala/common/error.hpp"
+
+namespace gala {
+
+/// splitmix64 — used to expand a single seed into generator state and as a
+/// cheap stateless mixer for hash-function salting.
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 — small, fast, high-quality PRNG (Blackman & Vigna).
+/// Satisfies UniformRandomBitGenerator so it plugs into <random> facilities.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Expand the seed via splitmix64 as recommended by the authors.
+    std::uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = splitmix64(sm);
+      sm = word;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
+  std::uint64_t next_below(std::uint64_t bound) {
+    GALA_ASSERT(bound > 0);
+    const std::uint64_t x = (*this)();
+    const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Splits off an independently-seeded child generator (for per-thread or
+  /// per-partition streams).
+  Xoshiro256 split() { return Xoshiro256{(*this)() ^ 0x2545f4914f6cdd1dULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace gala

@@ -1,0 +1,77 @@
+// Plain-text table formatting for the benchmark harnesses.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; this helper keeps that output aligned and consistent.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gala/common/error.hpp"
+
+namespace gala {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  // Non-copyable: row()/cell() return *this for chaining, and accidentally
+  // binding that to a copy silently drops cells.
+  TextTable(const TextTable&) = delete;
+  TextTable& operator=(const TextTable&) = delete;
+
+  /// Starts a new row. Follow with cell() calls.
+  TextTable& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  TextTable& cell(const std::string& value) {
+    GALA_CHECK(!rows_.empty(), "cell() before row()");
+    rows_.back().push_back(value);
+    return *this;
+  }
+
+  template <typename T>
+  TextTable& cell(const T& value, int precision = -1) {
+    std::ostringstream os;
+    if (precision >= 0) os << std::fixed << std::setprecision(precision);
+    os << value;
+    return cell(os.str());
+  }
+
+  void print(std::ostream& out = std::cout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      out << "| ";
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string{};
+        out << std::left << std::setw(static_cast<int>(width[c])) << v;
+        out << (c + 1 == header_.size() ? " |" : " | ");
+      }
+      out << '\n';
+    };
+    print_row(header_);
+    out << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out << std::string(width[c] + 2, '-') << (c + 1 == header_.size() ? "|" : "+");
+    }
+    out << '\n';
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gala

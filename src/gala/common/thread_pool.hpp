@@ -1,0 +1,67 @@
+// A small blocking thread pool with a chunked parallel_for.
+//
+// This is the host-side parallelism substrate: the gpusim block scheduler and
+// the CPU baselines both run on top of it. The pool is created once and
+// reused; parallel_for partitions the index range into contiguous chunks
+// (grain-size controlled) and blocks until all chunks complete. Exceptions
+// thrown by worker bodies are captured and rethrown on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gala {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Prefer parallel_for for data-parallel loops.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Rethrows the
+  /// first captured worker exception, if any.
+  void wait_idle();
+
+  /// Runs body(i) for i in [begin, end) across the pool, in chunks of at
+  /// least `grain` indices. Blocks until done; rethrows worker exceptions.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 256);
+
+  /// Like parallel_for but hands each worker a whole [chunk_begin, chunk_end)
+  /// range, for bodies that want to amortise per-chunk setup.
+  void parallel_for_chunked(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t, std::size_t)>& body,
+                            std::size_t grain = 256);
+
+  /// Process-wide default pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace gala

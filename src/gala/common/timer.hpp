@@ -1,0 +1,57 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gala {
+
+/// Monotonic stopwatch measuring elapsed wall time in seconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer for repeated phases (start/stop pairs).
+class PhaseTimer {
+ public:
+  void start() { timer_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += timer_.seconds();
+      ++count_;
+      running_ = false;
+    }
+  }
+
+  double total_seconds() const { return total_; }
+  std::uint64_t count() const { return count_; }
+
+  void reset() {
+    total_ = 0;
+    count_ = 0;
+    running_ = false;
+  }
+
+ private:
+  Timer timer_;
+  double total_ = 0;
+  std::uint64_t count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace gala

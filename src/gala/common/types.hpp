@@ -1,0 +1,29 @@
+// Fundamental fixed-width types shared by all GALA modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace gala {
+
+/// Vertex identifier. 32 bits covers every graph in the paper's suite; the
+/// edge-offset type below is 64-bit so edge counts beyond 4B are representable.
+using vid_t = std::uint32_t;
+
+/// Edge offset / edge count type (CSR row offsets).
+using eid_t = std::uint64_t;
+
+/// Community identifier. Communities are renumbered to [0, n) each level, so
+/// the vertex id type suffices.
+using cid_t = std::uint32_t;
+
+/// Edge weight / modularity accumulator type.
+using wt_t = double;
+
+/// Sentinel for "no vertex" / "no community".
+inline constexpr vid_t kInvalidVid = std::numeric_limits<vid_t>::max();
+inline constexpr cid_t kInvalidCid = std::numeric_limits<cid_t>::max();
+inline constexpr eid_t kInvalidEid = std::numeric_limits<eid_t>::max();
+
+}  // namespace gala

@@ -1,0 +1,43 @@
+#include "gala/core/aggregation.hpp"
+
+#include "gala/common/error.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::core {
+
+AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community) {
+  const vid_t n = g.num_vertices();
+  GALA_CHECK(community.size() == n, "assignment size mismatch");
+
+  AggregationResult result;
+  result.fine_to_coarse.assign(community.begin(), community.end());
+  result.num_communities = renumber_communities(result.fine_to_coarse);
+
+  graph::GraphBuilder builder(result.num_communities);
+  for (vid_t v = 0; v < n; ++v) {
+    const cid_t cv = result.fine_to_coarse[v];
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      // Emit each undirected edge once (adjacency holds both directions for
+      // u != v, and self-loops once).
+      if (u < v) continue;
+      builder.add_edge(cv, result.fine_to_coarse[u], ws[i]);
+    }
+  }
+  result.coarse = builder.build();
+  return result;
+}
+
+std::vector<cid_t> compose_assignment(std::span<const cid_t> fine_to_coarse,
+                                      std::span<const cid_t> coarse_assignment) {
+  std::vector<cid_t> out(fine_to_coarse.size());
+  for (std::size_t v = 0; v < fine_to_coarse.size(); ++v) {
+    GALA_CHECK(fine_to_coarse[v] < coarse_assignment.size(), "coarse id out of range");
+    out[v] = coarse_assignment[fine_to_coarse[v]];
+  }
+  return out;
+}
+
+}  // namespace gala::core

@@ -1,0 +1,31 @@
+// Phase 2 of Louvain: contract each community into a super-vertex (§2.2).
+//
+// Intra-community weight becomes a super-vertex self-loop (stored once;
+// degree accounting doubles it, preserving D_C(C)); inter-community weights
+// aggregate into super-edges. Modularity is invariant under contraction,
+// which the tests assert.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::core {
+
+struct AggregationResult {
+  graph::Graph coarse;
+  /// For each fine vertex, the coarse vertex (renumbered community) owning it.
+  std::vector<cid_t> fine_to_coarse;
+  vid_t num_communities = 0;
+};
+
+/// Contracts `g` according to `community` (ids need not be dense).
+AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community);
+
+/// Composes a two-level assignment: result[v] = coarse_assignment[fine_to_coarse[v]].
+std::vector<cid_t> compose_assignment(std::span<const cid_t> fine_to_coarse,
+                                      std::span<const cid_t> coarse_assignment);
+
+}  // namespace gala::core

@@ -1,0 +1,399 @@
+#include "gala/core/bsp_louvain.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "gala/common/error.hpp"
+#include "gala/common/timer.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::core {
+
+std::string to_string(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::Auto:
+      return "auto";
+    case KernelMode::ShuffleOnly:
+      return "shuffle-only";
+    case KernelMode::HashOnly:
+      return "hash-only";
+  }
+  return "?";
+}
+
+std::string to_string(WeightUpdateMode mode) {
+  switch (mode) {
+    case WeightUpdateMode::Recompute:
+      return "recompute";
+    case WeightUpdateMode::Delta:
+      return "delta";
+  }
+  return "?";
+}
+
+BspLouvainEngine::BspLouvainEngine(const graph::Graph& g, const BspConfig& config)
+    : g_(g), config_(config), device_(config.device), rng_(config.seed),
+      salt_(splitmix64(config.seed ^ 0xabcdef0123456789ULL)) {
+  GALA_CHECK(g.total_weight() > 0, "graph has no edge weight");
+  const vid_t n = g.num_vertices();
+  comm_.resize(n);
+  next_comm_.resize(n);
+  comm_total_.resize(n);
+  comm_size_.resize(n);
+  weight_.assign(n, 0);
+  prev_moved_.assign(n, 0);
+  comm_changed_.assign(n, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    comm_[v] = v;
+    comm_total_[v] = g.degree(v);
+    comm_size_[v] = 1;
+    sum_self_loops_ += g.self_loop(v);
+  }
+}
+
+BspLouvainEngine::BspLouvainEngine(const graph::Graph& g, const BspConfig& config,
+                                   std::span<const cid_t> initial)
+    : BspLouvainEngine(g, config) {
+  const vid_t n = g.num_vertices();
+  GALA_CHECK(initial.size() == n, "initial assignment size mismatch");
+  std::fill(comm_total_.begin(), comm_total_.end(), 0);
+  std::fill(comm_size_.begin(), comm_size_.end(), 0);
+  for (vid_t v = 0; v < n; ++v) {
+    GALA_CHECK(initial[v] < n, "initial community id out of range");
+    comm_[v] = initial[v];
+    comm_total_[initial[v]] += g.degree(v);
+    ++comm_size_[initial[v]];
+  }
+  // e_{v,C[v]} of the warm-started partition (one-off full scan).
+  for (vid_t v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    wt_t sum = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] != v && comm_[nbrs[i]] == comm_[v]) sum += ws[i];
+    }
+    weight_[v] = sum;
+  }
+}
+
+wt_t BspLouvainEngine::state_modularity() const {
+  // Q = (sum_v e_{v,C[v]} + 2*sum_v loop_v) / 2|E| - sum_C (D_V(C)/2|E|)^2.
+  const wt_t two_m = g_.two_m();
+  wt_t internal = 2 * sum_self_loops_;
+  wt_t sq = 0;
+  for (vid_t v = 0; v < g_.num_vertices(); ++v) {
+    internal += weight_[v];
+    if (comm_size_[v] > 0) {
+      const wt_t frac = comm_total_[v] / two_m;
+      sq += frac * frac;
+    }
+  }
+  return internal / two_m - config_.resolution * sq;
+}
+
+wt_t BspLouvainEngine::min_nonempty_total() const {
+  wt_t best = std::numeric_limits<wt_t>::max();
+  for (vid_t c = 0; c < g_.num_vertices(); ++c) {
+    if (comm_size_[c] > 0 && comm_total_[c] < best) best = comm_total_[c];
+  }
+  return best;
+}
+
+void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
+                                    std::vector<Decision>& decisions,
+                                    IterationStats& iter_stats) {
+  const vid_t n = g_.num_vertices();
+  // Workload-aware dispatch: split the active set by degree.
+  std::vector<vid_t> shuffle_list;
+  std::vector<vid_t> hash_list;
+  for (vid_t v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    const bool small = g_.out_degree(v) < config_.shuffle_degree_limit;
+    const bool use_shuffle = config_.kernel == KernelMode::ShuffleOnly ||
+                             (config_.kernel == KernelMode::Auto && small);
+    (use_shuffle ? shuffle_list : hash_list).push_back(v);
+  }
+
+  const DecideInput input{&g_, comm_, comm_total_, g_.two_m(), config_.resolution};
+
+  // Shuffle kernel: one warp per vertex; blocks batch several warps.
+  constexpr std::size_t kWarpsPerBlock = 32;
+  const auto run_shuffle = [&](gpusim::BlockContext& ctx) {
+    const std::size_t lo = ctx.block_id * kWarpsPerBlock;
+    const std::size_t hi = std::min(shuffle_list.size(), lo + kWarpsPerBlock);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const vid_t v = shuffle_list[i];
+      ctx.shared->reset();
+      decisions[v] = shuffle_decide(input, v, *ctx.shared, *ctx.stats);
+    }
+  };
+  // Hash kernel: one block per vertex (paper's assignment for large degrees).
+  const auto run_hash = [&](gpusim::BlockContext& ctx) {
+    thread_local std::vector<HashBucket> global_scratch;
+    const vid_t v = hash_list[ctx.block_id];
+    ctx.shared->reset();
+    decisions[v] =
+        hash_decide(input, v, config_.hashtable, *ctx.shared, global_scratch, salt_, *ctx.stats);
+  };
+
+  const auto launch = [&](std::size_t blocks, const auto& body) {
+    return config_.parallel ? device_.launch(blocks, body)
+                            : device_.launch_sequential(blocks, body);
+  };
+
+  gpusim::LaunchStats total;
+  if (!shuffle_list.empty()) {
+    total += launch((shuffle_list.size() + kWarpsPerBlock - 1) / kWarpsPerBlock, run_shuffle);
+  }
+  if (!hash_list.empty()) {
+    total += launch(hash_list.size(), run_hash);
+  }
+  iter_stats.decide_traffic += total.traffic;
+  iter_stats.decide_wall += total.wall_seconds;
+  iter_stats.ht_maintenance_rate = total.traffic.maintenance_rate();
+  iter_stats.ht_access_rate = total.traffic.access_rate();
+}
+
+void BspLouvainEngine::oracle_pass(std::span<const std::uint8_t> active,
+                                   std::vector<Decision>& decisions,
+                                   std::span<std::uint8_t> would_move) {
+  // Evaluates the pruned vertices too, off the books (scratch stats), so the
+  // confusion matrix can be measured without perturbing traffic accounting.
+  const DecideInput input{&g_, comm_, comm_total_, g_.two_m(), config_.resolution};
+  const vid_t n = g_.num_vertices();
+  ThreadPool* pool = config_.parallel ? &ThreadPool::global() : nullptr;
+  const auto body = [&](std::size_t lo, std::size_t hi) {
+    gpusim::SharedMemoryArena arena(config_.device.shared_bytes_per_block);
+    gpusim::MemoryStats scratch;
+    std::vector<HashBucket> global_scratch;
+    for (std::size_t v = lo; v < hi; ++v) {
+      if (active[v]) continue;  // active vertices already have real decisions
+      arena.reset();
+      decisions[v] = hash_decide(input, static_cast<vid_t>(v), config_.hashtable, arena,
+                                 global_scratch, salt_, scratch);
+    }
+  };
+  if (pool) {
+    pool->parallel_for_chunked(0, n, body, 512);
+  } else {
+    body(0, n);
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    would_move[v] =
+        apply_move_guard(decisions[v], comm_[v], comm_size_) != comm_[v] ? 1 : 0;
+  }
+}
+
+void BspLouvainEngine::weight_update_phase(std::span<const std::uint8_t> moved,
+                                           IterationStats& iter_stats) {
+  // Updates weight_[v] = e_{v, next_C[v]} given comm_ (old) and next_comm_
+  // (new). Traffic is charged as the corresponding GPU kernel would.
+  const vid_t n = g_.num_vertices();
+  Timer timer;
+  gpusim::MemoryStats traffic;
+  ThreadPool* pool = config_.parallel ? &ThreadPool::global() : nullptr;
+  const auto for_chunks = [&](const std::function<void(std::size_t, std::size_t,
+                                                       gpusim::MemoryStats&)>& body) {
+    if (pool) {
+      std::mutex merge;
+      pool->parallel_for_chunked(
+          0, n,
+          [&](std::size_t lo, std::size_t hi) {
+            gpusim::MemoryStats local;
+            body(lo, hi, local);
+            std::lock_guard lock(merge);
+            traffic += local;
+          },
+          512);
+    } else {
+      body(0, n, traffic);
+    }
+  };
+
+  if (config_.weight_update == WeightUpdateMode::Recompute) {
+    // Naive: every vertex rescans its neighbourhood (as expensive as
+    // DecideAndMove — the bottleneck Fig. 8's P1 column exhibits).
+    for_chunks([&](std::size_t lo, std::size_t hi, gpusim::MemoryStats& local) {
+      for (std::size_t v = lo; v < hi; ++v) {
+        const cid_t c = next_comm_[v];
+        auto nbrs = g_.neighbors(static_cast<vid_t>(v));
+        auto ws = g_.weights(static_cast<vid_t>(v));
+        wt_t sum = 0;
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          local.global_reads += 2;
+          if (nbrs[i] != v && next_comm_[nbrs[i]] == c) sum += ws[i];
+        }
+        weight_[v] = sum;
+        local.global_writes += 1;
+      }
+    });
+  } else {
+    // Delta (§3.5): moved vertices recompute and notify unmoved neighbours;
+    // unmoved vertices only fold in the deltas they received. Cost is
+    // proportional to the degrees of *moved* vertices.
+    auto& delta = delta_;  // reused across iterations
+    if (delta.size() < n) {
+      std::vector<std::atomic<wt_t>> fresh(n);
+      delta.swap(fresh);
+    }
+    for_chunks([&](std::size_t lo, std::size_t hi, gpusim::MemoryStats&) {
+      for (std::size_t v = lo; v < hi; ++v) delta[v].store(0, std::memory_order_relaxed);
+    });
+    for_chunks([&](std::size_t lo, std::size_t hi, gpusim::MemoryStats& local) {
+      for (std::size_t u = lo; u < hi; ++u) {
+        if (!moved[u]) continue;
+        const cid_t old_c = comm_[u];
+        const cid_t new_c = next_comm_[u];
+        auto nbrs = g_.neighbors(static_cast<vid_t>(u));
+        auto ws = g_.weights(static_cast<vid_t>(u));
+        wt_t own = 0;
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const vid_t x = nbrs[i];
+          local.global_reads += 2;
+          if (x == u) continue;
+          // Recompute u's own weight against the new assignment.
+          if (next_comm_[x] == new_c) own += ws[i];
+          // Message to unmoved neighbours: u left old_c / joined new_c.
+          if (!moved[x]) {
+            const cid_t cx = comm_[x];  // == next_comm_[x]
+            wt_t d = 0;
+            if (cx == old_c) d -= ws[i];
+            if (cx == new_c) d += ws[i];
+            if (d != 0) {
+              delta[x].fetch_add(d, std::memory_order_relaxed);
+              local.global_atomics += 1;
+            }
+          }
+        }
+        weight_[u] = own;
+        local.global_writes += 1;
+      }
+    });
+    for_chunks([&](std::size_t lo, std::size_t hi, gpusim::MemoryStats& local) {
+      for (std::size_t v = lo; v < hi; ++v) {
+        if (moved[v]) continue;
+        const wt_t d = delta[v].load(std::memory_order_relaxed);
+        if (d != 0) {
+          weight_[v] += d;
+          local.global_reads += 1;
+          local.global_writes += 1;
+        }
+      }
+    });
+  }
+  iter_stats.update_traffic += traffic;
+  iter_stats.update_wall += timer.seconds();
+}
+
+Phase1Result BspLouvainEngine::run() {
+  const vid_t n = g_.num_vertices();
+  Phase1Result result;
+  Timer total_timer;
+
+  std::vector<std::uint8_t> active(n, 1);
+  std::vector<std::uint8_t> moved(n, 0);
+  std::vector<std::uint8_t> would_move;
+  std::vector<Decision> decisions(n);
+
+  wt_t q = state_modularity();
+  wt_t min_total = min_nonempty_total();
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    IterationStats stats;
+    Timer other_timer;
+
+    // 1. Pruning (§3).
+    const PruningContext prune_ctx{&g_,    comm_,        weight_,       comm_total_,
+                                   min_total, g_.two_m(), prev_moved_,  comm_changed_,
+                                   iter,      config_.resolution};
+    compute_active(config_.pruning, prune_ctx, config_.pm_alpha, rng_, active,
+                   config_.parallel ? &ThreadPool::global() : nullptr);
+    for (vid_t v = 0; v < n; ++v) stats.active += active[v];
+    stats.other_wall += other_timer.seconds();
+
+    // 2. DecideAndMove for the active set.
+    decide_phase(active, decisions, stats);
+
+    other_timer.reset();
+    // 3. Apply the move guard; BSP semantics: all decisions saw iteration-
+    //    start state.
+    vid_t moved_count = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      next_comm_[v] = active[v] ? apply_move_guard(decisions[v], comm_[v], comm_size_) : comm_[v];
+      moved[v] = next_comm_[v] != comm_[v] ? 1 : 0;
+      moved_count += moved[v];
+    }
+    stats.moved = moved_count;
+
+    // Confusion matrix (oracle mode): evaluate pruned vertices off-the-books.
+    if (config_.track_confusion) {
+      would_move.assign(n, 0);
+      oracle_pass(active, decisions, would_move);
+      for (vid_t v = 0; v < n; ++v) {
+        if (active[v]) {
+          moved[v] ? ++stats.tp : ++stats.fp;
+        } else {
+          would_move[v] ? ++stats.fn : ++stats.tn;
+        }
+      }
+    }
+    stats.other_wall += other_timer.seconds();
+
+    // 4. Community weight update (§3.5) — needs old comm_ and next_comm_.
+    weight_update_phase(moved, stats);
+
+    other_timer.reset();
+    // 5. Bookkeeping: totals, sizes, changed flags (Alg. 1 lines 5-11).
+    std::fill(comm_changed_.begin(), comm_changed_.end(), 0);
+    for (vid_t v = 0; v < n; ++v) {
+      if (!moved[v]) continue;
+      const cid_t old_c = comm_[v];
+      const cid_t new_c = next_comm_[v];
+      comm_total_[old_c] -= g_.degree(v);
+      comm_total_[new_c] += g_.degree(v);
+      GALA_ASSERT(comm_size_[old_c] > 0);
+      --comm_size_[old_c];
+      ++comm_size_[new_c];
+      comm_changed_[old_c] = 1;
+      comm_changed_[new_c] = 1;
+      stats.bookkeeping_traffic.global_atomics += 4;
+    }
+    comm_.swap(next_comm_);
+    prev_moved_.assign(moved.begin(), moved.end());
+    min_total = min_nonempty_total();
+    stats.bookkeeping_traffic.global_reads += n;  // totals/size scan
+
+    const wt_t next_q = state_modularity();
+    stats.bookkeeping_traffic.global_reads += n;  // modularity reduction
+    stats.modularity = next_q;
+    stats.delta_q = next_q - q;
+    q = next_q;
+    stats.other_wall += other_timer.seconds();
+
+    result.iterations.push_back(stats);
+    if (observer_) observer_(iter, stats, active, moved);
+
+    if (moved_count == 0 || stats.delta_q < config_.theta) break;
+  }
+
+  result.community = comm_;
+  result.modularity = q;
+  result.num_communities = count_communities(result.community);
+  result.wall_seconds = total_timer.seconds();
+  for (const auto& it : result.iterations) {
+    result.total_traffic += it.decide_traffic;
+    result.total_traffic += it.update_traffic;
+    result.total_traffic += it.bookkeeping_traffic;
+    result.decide_modeled_ms += config_.device.modeled_ms(it.decide_traffic);
+    result.update_modeled_ms += config_.device.modeled_ms(it.update_traffic);
+    result.other_modeled_ms += config_.device.modeled_ms(it.bookkeeping_traffic);
+  }
+  return result;
+}
+
+Phase1Result bsp_phase1(const graph::Graph& g, const BspConfig& config) {
+  BspLouvainEngine engine(g, config);
+  return engine.run();
+}
+
+}  // namespace gala::core

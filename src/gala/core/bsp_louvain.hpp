@@ -1,0 +1,156 @@
+// The BSP parallel Louvain engine — phase 1 of Algorithm 1.
+//
+// One iteration:
+//   1. classify vertices active/inactive under the configured pruning
+//      strategy (§3),
+//   2. DecideAndMove for active vertices through the workload-aware kernels
+//      (§4: shuffle for small degrees, hash for large, per KernelMode),
+//   3. apply moves (BSP: all decisions read the iteration-start state),
+//   4. update each vertex's community weight d_{C[v]}(v) — full recompute or
+//      the efficient delta update of §3.5,
+//   5. refresh community totals/sizes, modularity; stop when the gain drops
+//      below theta (Grappolo's convergence rule) or nothing moved.
+//
+// The engine doubles as the measurement harness: per-iteration stats carry
+// counts, confusion-matrix entries (oracle mode), per-phase memory traffic
+// and wall time, from which every pruning/memory figure of the paper is
+// regenerated.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/core/hashtables.hpp"
+#include "gala/core/kernels.hpp"
+#include "gala/core/pruning.hpp"
+#include "gala/gpusim/device.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::core {
+
+enum class KernelMode { Auto, ShuffleOnly, HashOnly };
+std::string to_string(KernelMode mode);
+
+enum class WeightUpdateMode { Recompute, Delta };
+std::string to_string(WeightUpdateMode mode);
+
+struct BspConfig {
+  PruningStrategy pruning = PruningStrategy::ModularityGain;
+  KernelMode kernel = KernelMode::Auto;
+  HashTablePolicy hashtable = HashTablePolicy::Hierarchical;
+  WeightUpdateMode weight_update = WeightUpdateMode::Delta;
+  /// Resolution parameter gamma (generalised modularity); 1.0 = classical.
+  double resolution = 1.0;
+  /// Convergence threshold theta on the per-iteration modularity gain.
+  double theta = 1e-6;
+  int max_iterations = 1000;
+  /// PM pruning probability (Vite's alpha).
+  double pm_alpha = 0.25;
+  std::uint64_t seed = 7;
+  /// Auto dispatch: out-degree < limit -> shuffle kernel (warp-sized).
+  vid_t shuffle_degree_limit = 32;
+  /// Record the per-iteration confusion matrix by additionally evaluating
+  /// pruned vertices with an uncharged oracle pass (Table 1).
+  bool track_confusion = false;
+  /// Run blocks on the host pool (false = deterministic sequential launch).
+  bool parallel = true;
+  gpusim::DeviceConfig device{};
+};
+
+struct IterationStats {
+  vid_t active = 0;
+  vid_t moved = 0;
+  // Confusion matrix over the active/inactive prediction (oracle mode only):
+  // positive = "will move".
+  vid_t tp = 0, fp = 0, tn = 0, fn = 0;
+  wt_t modularity = 0;
+  wt_t delta_q = 0;
+  gpusim::MemoryStats decide_traffic;
+  gpusim::MemoryStats update_traffic;
+  gpusim::MemoryStats bookkeeping_traffic;
+  double decide_wall = 0;
+  double update_wall = 0;
+  double other_wall = 0;
+  // Hashtable shared-memory rates for this iteration (Fig. 4).
+  double ht_maintenance_rate = 0;
+  double ht_access_rate = 0;
+
+  vid_t inactive() const { return tp + fp + tn + fn > 0 ? tn + fn : 0; }
+};
+
+struct Phase1Result {
+  std::vector<cid_t> community;  ///< final assignment, raw ids in [0, V)
+  wt_t modularity = 0;
+  vid_t num_communities = 0;
+  std::vector<IterationStats> iterations;
+  double wall_seconds = 0;
+  gpusim::MemoryStats total_traffic;
+  /// Modeled time (cost model) split by phase, milliseconds.
+  double decide_modeled_ms = 0;
+  double update_modeled_ms = 0;
+  double other_modeled_ms = 0;
+  double modeled_ms() const { return decide_modeled_ms + update_modeled_ms + other_modeled_ms; }
+};
+
+class BspLouvainEngine {
+ public:
+  /// The graph must outlive the engine. total_weight() must be positive.
+  BspLouvainEngine(const graph::Graph& g, const BspConfig& config);
+
+  /// Warm start: begin from `initial` (community ids must lie in [0, V))
+  /// instead of singletons. Used by the incremental-update extension — with
+  /// MG pruning, Equation 6 immediately deactivates every vertex whose
+  /// converged neighbourhood still holds, so only perturbed regions rerun.
+  BspLouvainEngine(const graph::Graph& g, const BspConfig& config,
+                   std::span<const cid_t> initial);
+
+  /// Called at the end of every iteration with the iteration index, its
+  /// stats, and the active/moved flags (valid only during the call).
+  using IterationObserver =
+      std::function<void(int, const IterationStats&, std::span<const std::uint8_t>,
+                         std::span<const std::uint8_t>)>;
+  void set_observer(IterationObserver observer) { observer_ = std::move(observer); }
+
+  /// Runs phase 1 to convergence and returns the result.
+  Phase1Result run();
+
+ private:
+  struct DecidePhaseOutcome {
+    gpusim::LaunchStats stats;
+  };
+
+  void decide_phase(std::span<const std::uint8_t> active, std::vector<Decision>& decisions,
+                    IterationStats& iter_stats);
+  void oracle_pass(std::span<const std::uint8_t> active, std::vector<Decision>& decisions,
+                   std::span<std::uint8_t> would_move);
+  void weight_update_phase(std::span<const std::uint8_t> moved, IterationStats& iter_stats);
+  wt_t state_modularity() const;
+  wt_t min_nonempty_total() const;
+
+  const graph::Graph& g_;
+  BspConfig config_;
+  gpusim::Device device_;
+  Xoshiro256 rng_;
+  std::uint64_t salt_;
+
+  // BSP state (comm_* indexed by community id == original vertex id space).
+  std::vector<cid_t> comm_;
+  std::vector<cid_t> next_comm_;
+  std::vector<wt_t> comm_total_;   // D_V(C)
+  std::vector<vid_t> comm_size_;
+  std::vector<wt_t> weight_;       // e_{v,C[v]} = d_{C[v]}(v) minus self-loop
+  std::vector<std::uint8_t> prev_moved_;
+  std::vector<std::uint8_t> comm_changed_;
+  std::vector<std::atomic<wt_t>> delta_;  // delta-update message buffer
+  wt_t sum_self_loops_ = 0;
+
+  IterationObserver observer_;
+};
+
+/// Convenience wrapper: construct + run.
+Phase1Result bsp_phase1(const graph::Graph& g, const BspConfig& config = {});
+
+}  // namespace gala::core

@@ -1,0 +1,89 @@
+#include "gala/core/consensus.hpp"
+
+#include "gala/core/modularity.hpp"
+#include "gala/graph/reorder.hpp"
+#include "gala/metrics/nmi.hpp"
+
+namespace gala::core {
+
+ConsensusResult consensus_louvain(const graph::Graph& g, const ConsensusConfig& config) {
+  GALA_CHECK(config.runs >= 1, "need at least one ensemble run");
+  GALA_CHECK(config.threshold >= 0 && config.threshold <= 1, "threshold must be in [0,1]");
+  const vid_t n = g.num_vertices();
+
+  // 1. Ensemble: the engine is deterministic given a seed, so diversity
+  //    comes from random vertex relabelling — Louvain's id-based tie-breaks
+  //    make each relabelled instance explore a different local optimum.
+  std::vector<std::vector<cid_t>> members;
+  members.reserve(static_cast<std::size_t>(config.runs));
+  for (int r = 0; r < config.runs; ++r) {
+    const std::uint64_t seed = splitmix64(config.base_seed + static_cast<std::uint64_t>(r));
+    GalaConfig cfg = config.detector;
+    cfg.bsp.seed = seed;
+    if (r == 0) {
+      members.push_back(run_louvain(g, cfg).assignment);
+    } else {
+      const graph::Permutation perm = graph::random_permutation(n, seed);
+      const graph::Graph shuffled = graph::apply_permutation(g, perm);
+      members.push_back(graph::unpermute_assignment(perm, run_louvain(shuffled, cfg).assignment));
+    }
+  }
+
+  ConsensusResult result;
+
+  // Agreement diagnostic: mean pairwise NMI (exact for small ensembles).
+  if (members.size() > 1) {
+    double sum = 0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        sum += metrics::nmi(members[i], members[j]);
+        ++pairs;
+      }
+    }
+    result.ensemble_agreement = sum / pairs;
+  } else {
+    result.ensemble_agreement = 1.0;
+  }
+
+  // 2. Consensus graph: reweight each input edge by its co-classification
+  //    frequency; drop edges below the threshold.
+  graph::GraphBuilder builder(n);
+  for (vid_t v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u < v) continue;  // each undirected edge once (self-loops kept)
+      int together = 0;
+      for (const auto& m : members) together += m[v] == m[u];
+      const double fraction = static_cast<double>(together) / static_cast<double>(members.size());
+      if (fraction >= config.threshold && fraction > 0) builder.add_edge(v, u, fraction);
+    }
+  }
+  graph::Graph consensus = builder.build();
+
+  // Degenerate consensus (everything dropped): fall back to the best member.
+  if (consensus.total_weight() <= 0) {
+    wt_t best_q = -1;
+    for (auto& m : members) {
+      const wt_t q = modularity(g, m);
+      if (q > best_q) {
+        best_q = q;
+        result.assignment = m;
+      }
+    }
+    result.modularity = best_q;
+    result.num_communities = renumber_communities(result.assignment);
+    return result;
+  }
+
+  // 3. Final clustering of the consensus graph; scored on the original.
+  GalaConfig final_cfg = config.detector;
+  final_cfg.bsp.seed = splitmix64(config.base_seed ^ 0xc0ffee);
+  result.assignment = run_louvain(consensus, final_cfg).assignment;
+  result.num_communities = renumber_communities(result.assignment);
+  result.modularity = modularity(g, result.assignment, config.detector.bsp.resolution);
+  return result;
+}
+
+}  // namespace gala::core

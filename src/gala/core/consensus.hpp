@@ -1,0 +1,42 @@
+// Consensus (ensemble) clustering on top of GALA (extension).
+//
+// Louvain is seed-sensitive: different tie-breaks and orderings land in
+// different local optima. The standard remedy (Lancichinetti & Fortunato
+// 2012) runs the detector R times, builds the co-classification graph
+// (edge weight = how often two vertices shared a community, restricted to
+// the input edges plus each run's intra-community pairs being implied by
+// them), and clusters that. This implementation uses the practical
+// edge-restricted variant: the consensus graph reweights each *input edge*
+// {u,v} by the fraction of runs putting u and v together, then runs GALA on
+// it; edges never co-classified are dropped.
+#pragma once
+
+#include <vector>
+
+#include "gala/core/gala.hpp"
+
+namespace gala::core {
+
+struct ConsensusConfig {
+  /// Number of ensemble runs (distinct seeds derived from base_seed).
+  int runs = 8;
+  /// Keep an edge in the consensus graph only if at least this fraction of
+  /// runs co-classified its endpoints.
+  double threshold = 0.25;
+  std::uint64_t base_seed = 1;
+  /// Configuration for both the ensemble members and the final run.
+  GalaConfig detector{};
+};
+
+struct ConsensusResult {
+  std::vector<cid_t> assignment;  ///< dense ids per vertex
+  wt_t modularity = 0;            ///< on the *original* graph
+  vid_t num_communities = 0;
+  /// Mean pairwise NMI between ensemble members — low values flag a graph
+  /// where single-run results should not be trusted.
+  double ensemble_agreement = 0;
+};
+
+ConsensusResult consensus_louvain(const graph::Graph& g, const ConsensusConfig& config = {});
+
+}  // namespace gala::core

@@ -1,0 +1,53 @@
+#include "gala/core/dendrogram.hpp"
+
+#include <numeric>
+
+#include "gala/core/aggregation.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::core {
+
+std::vector<cid_t> Dendrogram::cut(std::size_t depth) const {
+  GALA_CHECK(depth <= levels_.size(), "cut depth " << depth << " > " << levels_.size());
+  std::vector<cid_t> assignment(num_vertices_);
+  std::iota(assignment.begin(), assignment.end(), 0);
+  for (std::size_t i = 0; i < depth; ++i) {
+    assignment = compose_assignment(assignment, levels_[i].contraction);
+  }
+  return assignment;
+}
+
+std::vector<cid_t> Dendrogram::cut_at_most(vid_t max_communities) const {
+  // Cuts get coarser with depth; take the shallowest cut under the bound.
+  for (std::size_t depth = 0; depth <= levels_.size(); ++depth) {
+    const vid_t k = depth == 0 ? num_vertices_ : levels_[depth - 1].num_communities;
+    if (k <= max_communities) return cut(depth);
+  }
+  return cut(levels_.size());
+}
+
+Dendrogram build_dendrogram(const graph::Graph& g, const BspConfig& config, double level_theta,
+                            int max_levels) {
+  Dendrogram dendrogram(g.num_vertices());
+  const graph::Graph* current = &g;
+  graph::Graph owned;
+  wt_t prev_q = -1;
+  for (int level = 0; level < max_levels; ++level) {
+    const Phase1Result phase1 = bsp_phase1(*current, config);
+    if (level > 0 && phase1.modularity - prev_q < level_theta) break;
+    prev_q = phase1.modularity;
+
+    AggregationResult agg = aggregate(*current, phase1.community);
+    Dendrogram::Level lv;
+    lv.contraction = agg.fine_to_coarse;
+    lv.modularity = phase1.modularity;
+    lv.num_communities = agg.num_communities;
+    dendrogram.push_level(std::move(lv));
+    if (agg.num_communities == current->num_vertices()) break;
+    owned = std::move(agg.coarse);
+    current = &owned;
+  }
+  return dendrogram;
+}
+
+}  // namespace gala::core

@@ -1,0 +1,56 @@
+// Dendrogram: the full Louvain hierarchy, queryable at any level.
+//
+// run_louvain flattens the hierarchy to its final partition; analysts often
+// want intermediate granularities ("give me ~500 communities"). Dendrogram
+// retains every level's contraction map and exposes cuts:
+//
+//   Dendrogram d = build_dendrogram(g);
+//   auto coarse = d.cut(d.num_levels() - 1);   // final communities
+//   auto finer  = d.cut(1);                    // first-level communities
+//   auto k500   = d.cut_at_most(500);          // finest cut with <= 500
+#pragma once
+
+#include <vector>
+
+#include "gala/core/bsp_louvain.hpp"
+
+namespace gala::core {
+
+class Dendrogram {
+ public:
+  struct Level {
+    /// Maps a level-(i) vertex to its level-(i+1) community (dense ids).
+    std::vector<cid_t> contraction;
+    wt_t modularity = 0;
+    vid_t num_communities = 0;
+  };
+
+  explicit Dendrogram(vid_t num_vertices) : num_vertices_(num_vertices) {}
+
+  void push_level(Level level) { levels_.push_back(std::move(level)); }
+
+  std::size_t num_levels() const { return levels_.size(); }
+  vid_t num_vertices() const { return num_vertices_; }
+  const Level& level(std::size_t i) const {
+    GALA_CHECK(i < levels_.size(), "level " << i << " out of range");
+    return levels_[i];
+  }
+
+  /// Assignment of original vertices after the first `depth` levels
+  /// (depth 0 = singletons; depth num_levels() = final partition).
+  std::vector<cid_t> cut(std::size_t depth) const;
+
+  /// The deepest cut with at most `max_communities` communities; falls back
+  /// to the final partition if every cut is coarser-bounded than requested.
+  std::vector<cid_t> cut_at_most(vid_t max_communities) const;
+
+ private:
+  vid_t num_vertices_;
+  std::vector<Level> levels_;
+};
+
+/// Runs the multi-level pipeline and retains every level's contraction.
+Dendrogram build_dendrogram(const graph::Graph& g, const BspConfig& config = {},
+                            double level_theta = 1e-6, int max_levels = 30);
+
+}  // namespace gala::core

@@ -1,0 +1,84 @@
+#include "gala/core/gala.hpp"
+
+#include "gala/common/timer.hpp"
+#include "gala/core/aggregation.hpp"
+#include "gala/core/modularity.hpp"
+#include "gala/core/refinement.hpp"
+#include "gala/core/vertex_following.hpp"
+
+namespace gala::core {
+
+GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
+  if (config.vertex_following) {
+    // Preprocess: merge pendant vertices, solve the reduced instance, and
+    // expand. Contraction preserves modularity exactly (see
+    // vertex_following.hpp), so the reported Q transfers unchanged.
+    const VertexFollowingResult vf = follow_vertices(g);
+    GalaConfig inner = config;
+    inner.vertex_following = false;
+    GalaResult result = run_louvain(vf.reduced, inner);
+    result.assignment = expand_assignment(vf, result.assignment);
+    result.num_communities = renumber_communities(result.assignment);
+    return result;
+  }
+
+  GalaResult result;
+  Timer total_timer;
+
+  const vid_t n = g.num_vertices();
+  result.assignment.resize(n);
+  for (vid_t v = 0; v < n; ++v) result.assignment[v] = v;
+
+  const graph::Graph* current = &g;
+  graph::Graph owned;
+  wt_t prev_q = -1;  // any first level is an improvement
+
+  for (int level = 0; level < config.max_levels; ++level) {
+    Timer level_timer;
+    Phase1Result phase1 = bsp_phase1(*current, config.bsp);
+    if (level == 0 && config.keep_first_round) result.first_round = phase1;
+
+    GalaLevel lv;
+    lv.vertices = current->num_vertices();
+    lv.communities = phase1.num_communities;
+    lv.modularity = phase1.modularity;
+    lv.iterations = static_cast<int>(phase1.iterations.size());
+    result.modeled_ms += phase1.modeled_ms();
+
+    if (level > 0 && phase1.modularity - prev_q < config.level_theta) {
+      // Fold the final phase-1 partition so the reported assignment matches
+      // the reported modularity exactly (matters when refinement made the
+      // previously-folded partition finer than phase 1's).
+      const AggregationResult last = aggregate(*current, phase1.community);
+      result.assignment = compose_assignment(result.assignment, last.fine_to_coarse);
+      prev_q = phase1.modularity;
+      lv.wall_seconds = level_timer.seconds();
+      result.levels.push_back(lv);
+      break;
+    }
+    prev_q = phase1.modularity;
+
+    AggregationResult agg;
+    if (config.refine) {
+      const RefinementResult refined = refine_partition(
+          *current, phase1.community, config.bsp.resolution, config.bsp.seed ^ (level + 1));
+      agg = aggregate(*current, refined.refined);
+    } else {
+      agg = aggregate(*current, phase1.community);
+    }
+    result.assignment = compose_assignment(result.assignment, agg.fine_to_coarse);
+    lv.wall_seconds = level_timer.seconds();
+    result.levels.push_back(lv);
+
+    if (agg.num_communities == current->num_vertices()) break;  // no compression
+    owned = std::move(agg.coarse);
+    current = &owned;
+  }
+
+  result.num_communities = renumber_communities(result.assignment);
+  result.modularity = prev_q;
+  result.wall_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace gala::core

@@ -1,0 +1,64 @@
+// GALA public API: the full multi-level Louvain pipeline.
+//
+// Repeats { BSP phase 1 (bsp_louvain.hpp) ; phase 2 contraction
+// (aggregation.hpp) } until the modularity gain between levels drops below
+// `level_theta` or the graph stops compressing — the complete algorithm the
+// paper's §5.1 end-to-end comparison runs.
+//
+// Quickstart:
+//   gala::graph::Graph g = gala::graph::load_edge_list("graph.txt");
+//   gala::core::GalaResult r = gala::core::run_louvain(g);
+//   // r.assignment[v] = community of v, r.modularity = Q
+#pragma once
+
+#include <vector>
+
+#include "gala/core/bsp_louvain.hpp"
+
+namespace gala::core {
+
+struct GalaConfig {
+  /// Phase-1 engine configuration (pruning, kernels, hashtable, ...).
+  BspConfig bsp{};
+  /// Stop when a level improves modularity by less than this.
+  double level_theta = 1e-6;
+  int max_levels = 30;
+  /// Keep the full Phase1Result of the first round (the round every
+  /// per-iteration experiment in the paper measures).
+  bool keep_first_round = false;
+  /// Leiden-style refinement (extension, core/refinement.hpp): refine each
+  /// level's partition before aggregation so every community of the final
+  /// hierarchy is internally connected.
+  bool refine = false;
+  /// Vertex following (Grappolo heuristic, core/vertex_following.hpp):
+  /// merge degree-1 vertices into their neighbours before the first level.
+  /// A degree-1 vertex always gains by joining its sole neighbour, so this
+  /// is quality-neutral and shrinks round 1.
+  bool vertex_following = false;
+};
+
+struct GalaLevel {
+  vid_t vertices = 0;
+  vid_t communities = 0;
+  wt_t modularity = 0;
+  int iterations = 0;
+  double wall_seconds = 0;
+};
+
+struct GalaResult {
+  /// Final community per original vertex (dense ids in [0, communities)).
+  std::vector<cid_t> assignment;
+  wt_t modularity = 0;
+  vid_t num_communities = 0;
+  std::vector<GalaLevel> levels;
+  double wall_seconds = 0;
+  /// Modeled GPU time across all levels (cost model), milliseconds.
+  double modeled_ms = 0;
+  /// First-round phase 1 detail (when keep_first_round).
+  Phase1Result first_round;
+};
+
+/// Runs the full pipeline on `g`.
+GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config = {});
+
+}  // namespace gala::core

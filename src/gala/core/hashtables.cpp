@@ -1,0 +1,107 @@
+#include "gala/core/hashtables.hpp"
+
+#include <bit>
+
+namespace gala::core {
+
+std::string to_string(HashTablePolicy policy) {
+  switch (policy) {
+    case HashTablePolicy::GlobalOnly:
+      return "global-only";
+    case HashTablePolicy::Unified:
+      return "unified";
+    case HashTablePolicy::Hierarchical:
+      return "hierarchical";
+  }
+  return "?";
+}
+
+NeighborCommunityTable::NeighborCommunityTable(HashTablePolicy policy,
+                                               gpusim::SharedMemoryArena& arena,
+                                               std::vector<HashBucket>& global_scratch,
+                                               vid_t capacity_hint, std::uint64_t salt,
+                                               gpusim::MemoryStats& stats)
+    : policy_(policy), global_scratch_(global_scratch), salt_(salt), stats_(&stats) {
+  GALA_CHECK(capacity_hint > 0, "empty table");
+  // Capacity sizing: ~2x distinct-key upper bound, power of two for cheap
+  // modulo, as GPU hashtable implementations conventionally do.
+  const std::uint32_t want = std::bit_ceil(static_cast<std::uint32_t>(capacity_hint) * 2);
+
+  std::uint32_t s = 0;
+  if (policy != HashTablePolicy::GlobalOnly) {
+    const auto arena_max = static_cast<std::uint32_t>(arena.max_elements<HashBucket>());
+    GALA_CHECK(arena_max > 0, "shared arena too small for any bucket");
+    s = std::min(want, std::bit_floor(arena_max));
+    shared_ = arena.allocate<HashBucket>(s);
+  }
+  // The global part must be able to absorb everything that misses shared.
+  global_count_ = want;
+  if (global_scratch_.size() < global_count_) global_scratch_.resize(global_count_);
+  used_.reserve(capacity_hint);
+}
+
+std::uint32_t NeighborCommunityTable::hash0(cid_t c) const {
+  return static_cast<std::uint32_t>(splitmix64(static_cast<std::uint64_t>(c) ^ salt_) >> 32);
+}
+
+std::uint32_t NeighborCommunityTable::hash1(cid_t c) const {
+  return static_cast<std::uint32_t>(
+      splitmix64(static_cast<std::uint64_t>(c) * 0x9e3779b97f4a7c15ULL ^ ~salt_) >> 32);
+}
+
+NeighborCommunityTable::Slot NeighborCommunityTable::locate(cid_t c) {
+  const std::uint32_t s = static_cast<std::uint32_t>(shared_.size());
+  const std::uint32_t g = global_count_;
+
+  switch (policy_) {
+    case HashTablePolicy::GlobalOnly: {
+      // Single hash over the global buckets, linear probing.
+      std::uint32_t idx = hash1(c) & (g - 1);
+      for (;;) {
+        Slot slot{false, idx};
+        charge_probe(slot);  // atomicCAS probe on the key
+        const HashBucket& b = const_bucket(slot);
+        if (b.key == kInvalidCid || b.key == c) return slot;
+        idx = (idx + 1) & (g - 1);
+      }
+    }
+    case HashTablePolicy::Unified: {
+      // One hash function over s + g buckets; [0, s) shared, [s, s+g) global.
+      const std::uint32_t total = s + g;
+      std::uint32_t idx = hash0(c) % total;
+      for (;;) {
+        Slot slot{idx < s, idx < s ? idx : idx - s};
+        charge_probe(slot);
+        const HashBucket& b = const_bucket(slot);
+        if (b.key == kInvalidCid || b.key == c) return slot;
+        idx = (idx + 1) % total;
+      }
+    }
+    case HashTablePolicy::Hierarchical: {
+      // Shared first via h0 (one slot — a collision falls through to global
+      // via h1 with linear probing; see Example 2 in the paper).
+      if (s > 0) {
+        Slot slot{true, hash0(c) & (s - 1)};
+        charge_probe(slot);
+        const HashBucket& b = const_bucket(slot);
+        if (b.key == kInvalidCid || b.key == c) return slot;
+      }
+      std::uint32_t idx = hash1(c) & (g - 1);
+      for (;;) {
+        Slot slot{false, idx};
+        charge_probe(slot);
+        const HashBucket& b = const_bucket(slot);
+        if (b.key == kInvalidCid || b.key == c) return slot;
+        idx = (idx + 1) & (g - 1);
+      }
+    }
+  }
+  GALA_CHECK(false, "unreachable");
+}
+
+void NeighborCommunityTable::reset() {
+  for (const Slot slot : used_) bucket(slot) = HashBucket{};
+  used_.clear();
+}
+
+}  // namespace gala::core

@@ -1,0 +1,78 @@
+#include "gala/core/incremental.hpp"
+
+#include <map>
+
+#include "gala/core/aggregation.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::core {
+namespace {
+
+std::uint64_t edge_key(vid_t u, vid_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+graph::Graph apply_edge_updates(const graph::Graph& g, std::span<const EdgeUpdate> updates) {
+  const vid_t n = g.num_vertices();
+  // Collect the undirected edge map once, apply deltas, rebuild.
+  std::map<std::uint64_t, wt_t> edges;
+  for (vid_t v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= v) edges[edge_key(v, nbrs[i])] = ws[i];
+    }
+  }
+  for (const EdgeUpdate& u : updates) {
+    GALA_CHECK(u.u < n && u.v < n, "update touches vertex outside the graph");
+    GALA_CHECK(u.weight > 0, "update weight must be positive");
+    const std::uint64_t key = edge_key(u.u, u.v);
+    if (u.remove) {
+      auto it = edges.find(key);
+      GALA_CHECK(it != edges.end(), "removing non-existent edge {" << u.u << "," << u.v << "}");
+      it->second -= u.weight;
+      if (it->second <= 1e-12) edges.erase(it);
+    } else {
+      edges[key] += u.weight;
+    }
+  }
+  graph::GraphBuilder builder(n);
+  for (const auto& [key, w] : edges) {
+    builder.add_edge(static_cast<vid_t>(key >> 32), static_cast<vid_t>(key & 0xffffffffu), w);
+  }
+  return builder.build();
+}
+
+IncrementalResult update_communities(const graph::Graph& g, std::span<const cid_t> previous,
+                                     std::span<const EdgeUpdate> updates,
+                                     const GalaConfig& config) {
+  GALA_CHECK(previous.size() == g.num_vertices(), "assignment size mismatch");
+  IncrementalResult result;
+  result.graph = apply_edge_updates(g, updates);
+
+  // Round 1: warm-started repair. MG pruning deactivates the untouched bulk
+  // on iteration 0.
+  std::vector<cid_t> warm(previous.begin(), previous.end());
+  renumber_communities(warm);
+  BspLouvainEngine engine(result.graph, config.bsp, warm);
+  const Phase1Result repair = engine.run();
+  result.repair_iterations = static_cast<int>(repair.iterations.size());
+  for (const auto& it : repair.iterations) result.evaluated_vertices += it.active;
+
+  // Contract the repaired partition and finish with the standard pipeline.
+  AggregationResult agg = aggregate(result.graph, repair.community);
+  result.assignment = agg.fine_to_coarse;
+  if (agg.num_communities > 1 && agg.num_communities < result.graph.num_vertices()) {
+    GalaConfig rest = config;
+    const GalaResult deeper = run_louvain(agg.coarse, rest);
+    result.assignment = compose_assignment(result.assignment, deeper.assignment);
+  }
+  result.num_communities = renumber_communities(result.assignment);
+  result.modularity = modularity(result.graph, result.assignment, config.bsp.resolution);
+  return result;
+}
+
+}  // namespace gala::core

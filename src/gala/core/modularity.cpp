@@ -1,0 +1,76 @@
+#include "gala/core/modularity.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gala/common/error.hpp"
+
+namespace gala::core {
+
+wt_t modularity(const graph::Graph& g, std::span<const cid_t> community, wt_t resolution) {
+  const vid_t n = g.num_vertices();
+  GALA_CHECK(community.size() == n, "assignment size mismatch");
+  if (n == 0 || g.total_weight() <= 0) return 0;
+
+  // Community ids may be sparse; renumber into a scratch copy.
+  std::vector<cid_t> dense(community.begin(), community.end());
+  const vid_t k = renumber_communities(dense);
+
+  std::vector<wt_t> internal(k, 0);  // D_C(C): internal edges twice, loops twice
+  std::vector<wt_t> total(k, 0);     // D_V(C)
+  for (vid_t v = 0; v < n; ++v) {
+    const cid_t c = dense[v];
+    total[c] += g.degree(v);
+    internal[c] += 2 * g.self_loop(v);
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] != v && dense[nbrs[i]] == c) internal[c] += ws[i];
+    }
+  }
+  const wt_t two_m = g.two_m();
+  wt_t q = 0;
+  for (cid_t c = 0; c < k; ++c) {
+    q += internal[c] / two_m - resolution * (total[c] / two_m) * (total[c] / two_m);
+  }
+  return q;
+}
+
+vid_t count_communities(std::span<const cid_t> community) {
+  std::vector<cid_t> copy(community.begin(), community.end());
+  std::sort(copy.begin(), copy.end());
+  return static_cast<vid_t>(std::unique(copy.begin(), copy.end()) - copy.begin());
+}
+
+vid_t renumber_communities(std::span<cid_t> community, std::vector<cid_t>* representative) {
+  // Vertex-derived ids (< n) take a dense fast path; arbitrary ids fall back
+  // to a hash map.
+  const std::size_t n = community.size();
+  if (representative) representative->clear();
+  cid_t next = 0;
+  const bool dense_ids =
+      std::all_of(community.begin(), community.end(), [n](cid_t c) { return c < n; });
+  if (dense_ids) {
+    std::vector<cid_t> remap(n, kInvalidCid);
+    for (auto& c : community) {
+      if (remap[c] == kInvalidCid) {
+        remap[c] = next++;
+        if (representative) representative->push_back(c);
+      }
+      c = remap[c];
+    }
+  } else {
+    std::unordered_map<cid_t, cid_t> remap;
+    for (auto& c : community) {
+      auto [it, inserted] = remap.try_emplace(c, next);
+      if (inserted) {
+        ++next;
+        if (representative) representative->push_back(c);
+      }
+      c = it->second;
+    }
+  }
+  return next;
+}
+
+}  // namespace gala::core

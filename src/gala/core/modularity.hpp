@@ -1,0 +1,49 @@
+// Modularity (Equation 1) and modularity gain (Equation 2).
+//
+// Conventions (see also graph/csr.hpp):
+//  - d(v) counts self-loops twice; sum_v d(v) = 2|E|.
+//  - e_{v,C} ("community weight" d_C(v) in the paper) is the weight between
+//    v and the members of C *excluding v's own self-loop*. Self-loops stay
+//    internal under any move, so they cancel out of every gain comparison;
+//    they are added back (twice) when computing D_C(C) for Equation 1.
+//  - Gains are always evaluated with v removed from its current community
+//    (the Grappolo convention), which makes "stay" vs "move" comparisons
+//    exact: score(v, C) = e_{v,C} - (D_V(C) - [v in C] d(v)) * d(v) / 2|E|,
+//    and DeltaQ(v -> C) = score(v, C) / |E|.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::core {
+
+/// Computes (generalised) modularity of an assignment from scratch
+/// (O(V + E)); the independent audit used by tests and benches.
+///
+/// `resolution` is the gamma of Reichardt–Bornholdt / Arenas et al. (the
+/// paper's remedy for the resolution limit, §1 [4, 30]):
+///   Q_gamma = sum_C [ D_C(C)/2|E| - gamma * (D_V(C)/2|E|)^2 ].
+/// gamma = 1 is classical modularity; gamma > 1 favours smaller communities.
+wt_t modularity(const graph::Graph& g, std::span<const cid_t> community, wt_t resolution = 1.0);
+
+/// The move score: e_vc - gamma * (D_V(C) - [v in C]*d(v)) * d(v) / 2|E|.
+/// `in_community` says whether v currently belongs to C (so its degree is
+/// excluded from the community total). DeltaQ(v->C) = score / |E|.
+inline wt_t move_score(wt_t e_vc, wt_t community_total_degree, wt_t degree_v, wt_t two_m,
+                       bool in_community, wt_t resolution = 1.0) {
+  const wt_t total = in_community ? community_total_degree - degree_v : community_total_degree;
+  return e_vc - resolution * total * degree_v / two_m;
+}
+
+/// Number of distinct community ids used by `community` (renumber count).
+vid_t count_communities(std::span<const cid_t> community);
+
+/// Renumbers community ids to the dense range [0, k); returns k. `community`
+/// is rewritten in place; `representative` (optional) receives, for each new
+/// id, one original vertex-community id.
+vid_t renumber_communities(std::span<cid_t> community, std::vector<cid_t>* representative = nullptr);
+
+}  // namespace gala::core

@@ -1,0 +1,120 @@
+#include "gala/core/refinement.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "gala/common/error.hpp"
+#include "gala/common/prng.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::core {
+
+RefinementResult refine_partition(const graph::Graph& g, std::span<const cid_t> community,
+                                  wt_t resolution, std::uint64_t seed) {
+  const vid_t n = g.num_vertices();
+  GALA_CHECK(community.size() == n, "assignment size mismatch");
+  const wt_t two_m = g.two_m();
+
+  RefinementResult result;
+  result.refined.resize(n);
+  std::iota(result.refined.begin(), result.refined.end(), 0);
+  if (n == 0) return result;
+
+  // Sub-community totals (singletons to start) and singleton flags.
+  std::vector<wt_t> sub_total(n);
+  std::vector<vid_t> sub_size(n, 1);
+  for (vid_t v = 0; v < n; ++v) sub_total[v] = g.degree(v);
+
+  // Randomised visit order (Leiden uses a random queue).
+  std::vector<vid_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Xoshiro256 rng(seed);
+  for (vid_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.next_below(i)]);
+
+  std::unordered_map<cid_t, wt_t> weight_to;  // sub-community -> edge weight
+  for (const vid_t v : order) {
+    if (sub_size[result.refined[v]] != 1) continue;  // merged vertices never move
+    const cid_t original = community[v];
+    const wt_t dv = g.degree(v);
+
+    weight_to.clear();
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      // Only sub-communities inside v's own phase-1 community are eligible.
+      if (u == v || community[u] != original) continue;
+      weight_to[result.refined[u]] += ws[i];
+    }
+
+    // Singleton leaving itself: the stay score is 0 (e = 0, empty rest).
+    cid_t best = kInvalidCid;
+    wt_t best_score = 0;
+    for (const auto& [sub, w] : weight_to) {
+      if (sub == result.refined[v]) continue;
+      const wt_t score = move_score(w, sub_total[sub], dv, two_m, false, resolution);
+      if (score > best_score || (score == best_score && best != kInvalidCid && sub < best)) {
+        best = sub;
+        best_score = score;
+      }
+    }
+    if (best != kInvalidCid && best_score > 0) {
+      const cid_t old_sub = result.refined[v];
+      sub_total[old_sub] -= dv;
+      --sub_size[old_sub];
+      result.refined[v] = best;
+      sub_total[best] += dv;
+      ++sub_size[best];
+    }
+  }
+
+  result.num_subcommunities = renumber_communities(result.refined);
+
+  // Count split communities: phase-1 communities mapping to 2+ sub-ids.
+  std::unordered_map<cid_t, cid_t> first_sub;
+  std::unordered_map<cid_t, bool> split;
+  for (vid_t v = 0; v < n; ++v) {
+    auto [it, inserted] = first_sub.try_emplace(community[v], result.refined[v]);
+    if (!inserted && it->second != result.refined[v]) split[community[v]] = true;
+  }
+  result.communities_split = static_cast<vid_t>(split.size());
+  return result;
+}
+
+bool is_partition_connected(const graph::Graph& g, std::span<const cid_t> community) {
+  const vid_t n = g.num_vertices();
+  GALA_CHECK(community.size() == n, "assignment size mismatch");
+  // One BFS per community, seeded from its first member; a community is
+  // connected iff the BFS reaches every member.
+  std::vector<cid_t> dense(community.begin(), community.end());
+  const vid_t k = renumber_communities(dense);
+  std::vector<vid_t> comm_count(k, 0);
+  std::vector<vid_t> first_member(k, kInvalidVid);
+  for (vid_t v = 0; v < n; ++v) {
+    const cid_t c = dense[v];
+    ++comm_count[c];
+    if (first_member[c] == kInvalidVid) first_member[c] = v;
+  }
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<vid_t> queue;
+  for (cid_t c = 0; c < k; ++c) {
+    queue.clear();
+    queue.push_back(first_member[c]);
+    visited[first_member[c]] = 1;
+    vid_t reached = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const vid_t v = queue[head];
+      ++reached;
+      for (const vid_t u : g.neighbors(v)) {
+        if (!visited[u] && dense[u] == c) {
+          visited[u] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+    if (reached != comm_count[c]) return false;
+  }
+  return true;
+}
+
+}  // namespace gala::core

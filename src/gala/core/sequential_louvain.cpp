@@ -1,0 +1,118 @@
+#include "gala/core/sequential_louvain.hpp"
+
+#include <vector>
+
+#include "gala/common/error.hpp"
+#include "gala/core/aggregation.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::core {
+namespace {
+
+/// One full sweep: each vertex greedily moves to the best neighbouring
+/// community with instant state updates. Returns the number of moves.
+vid_t sweep(const graph::Graph& g, std::vector<cid_t>& comm, std::vector<wt_t>& comm_total,
+            wt_t resolution) {
+  const vid_t n = g.num_vertices();
+  const wt_t two_m = g.two_m();
+  // Scratch: community id -> accumulated edge weight for the current vertex.
+  std::vector<wt_t> weight_to(n, 0);
+  std::vector<cid_t> touched;
+  vid_t moves = 0;
+
+  for (vid_t v = 0; v < n; ++v) {
+    const cid_t old_c = comm[v];
+    const wt_t dv = g.degree(v);
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+
+    touched.clear();
+    weight_to[old_c] = 0;
+    touched.push_back(old_c);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u == v) continue;  // self-loops cancel out of every comparison
+      const cid_t c = comm[u];
+      if (weight_to[c] == 0 && c != old_c) touched.push_back(c);
+      weight_to[c] += ws[i];
+    }
+
+    // Remove v, then choose the best insertion (including back into old_c).
+    comm_total[old_c] -= dv;
+    cid_t best_c = old_c;
+    wt_t best_score = weight_to[old_c] - resolution * comm_total[old_c] * dv / two_m;
+    for (const cid_t c : touched) {
+      if (c == old_c) continue;
+      const wt_t score = weight_to[c] - resolution * comm_total[c] * dv / two_m;
+      if (score > best_score || (score == best_score && c < best_c)) {
+        best_score = score;
+        best_c = c;
+      }
+    }
+    comm_total[best_c] += dv;
+    comm[v] = best_c;
+    if (best_c != old_c) ++moves;
+    for (const cid_t c : touched) weight_to[c] = 0;
+  }
+  return moves;
+}
+
+}  // namespace
+
+SequentialResult sequential_phase1(const graph::Graph& g, const SequentialOptions& opts) {
+  const vid_t n = g.num_vertices();
+  std::vector<cid_t> comm(n);
+  std::vector<wt_t> comm_total(n);
+  for (vid_t v = 0; v < n; ++v) {
+    comm[v] = v;
+    comm_total[v] = g.degree(v);
+  }
+
+  wt_t prev_q = modularity(g, comm, opts.resolution);
+  for (int pass = 0; pass < opts.max_passes_per_level; ++pass) {
+    const vid_t moves = sweep(g, comm, comm_total, opts.resolution);
+    if (moves == 0) break;
+    const wt_t q = modularity(g, comm, opts.resolution);
+    if (q - prev_q < opts.theta) {
+      prev_q = q;
+      break;
+    }
+    prev_q = q;
+  }
+
+  SequentialResult result;
+  result.assignment = std::move(comm);
+  result.num_communities = renumber_communities(result.assignment);
+  result.modularity = prev_q;
+  result.levels = 1;
+  return result;
+}
+
+SequentialResult sequential_louvain(const graph::Graph& g, const SequentialOptions& opts) {
+  SequentialResult total;
+  total.assignment.resize(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) total.assignment[v] = v;
+
+  const graph::Graph* current = &g;
+  graph::Graph owned;  // coarse graph of the previous level
+  wt_t prev_q = modularity(g, total.assignment, opts.resolution);
+
+  for (int level = 0; level < opts.max_levels; ++level) {
+    SequentialResult phase1 = sequential_phase1(*current, opts);
+    ++total.levels;
+    if (phase1.modularity - prev_q < opts.level_theta && level > 0) break;
+
+    AggregationResult agg = aggregate(*current, phase1.assignment);
+    total.assignment = compose_assignment(total.assignment, agg.fine_to_coarse);
+    prev_q = phase1.modularity;
+    if (agg.num_communities == current->num_vertices()) break;  // no compression
+    owned = std::move(agg.coarse);
+    current = &owned;
+  }
+
+  total.num_communities = renumber_communities(total.assignment);
+  total.modularity = prev_q;
+  return total;
+}
+
+}  // namespace gala::core

@@ -1,0 +1,40 @@
+// Reference sequential Louvain (Blondel et al. 2008).
+//
+// The correctness oracle for the parallel implementations: classic
+// vertex-at-a-time greedy phase 1 with immediate state updates, plus the
+// standard multi-level driver. Not performance-tuned on purpose.
+#pragma once
+
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::core {
+
+struct SequentialOptions {
+  /// Resolution parameter gamma (generalised modularity); 1.0 = classical.
+  double resolution = 1.0;
+  /// Stop a phase-1 sweep loop when a full pass improves Q by less than this.
+  double theta = 1e-6;
+  /// Stop the multi-level loop when a level improves Q by less than this.
+  double level_theta = 1e-6;
+  int max_passes_per_level = 100;
+  int max_levels = 50;
+};
+
+struct SequentialResult {
+  std::vector<cid_t> assignment;  ///< original vertex -> final community (dense ids)
+  wt_t modularity = 0;
+  int levels = 0;
+  vid_t num_communities = 0;
+};
+
+/// One phase-1 optimisation of `g` starting from singletons. Returns the
+/// assignment (dense ids) and achieved modularity.
+SequentialResult sequential_phase1(const graph::Graph& g, const SequentialOptions& opts = {});
+
+/// Full multi-level Louvain.
+SequentialResult sequential_louvain(const graph::Graph& g, const SequentialOptions& opts = {});
+
+}  // namespace gala::core

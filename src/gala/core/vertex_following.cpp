@@ -1,0 +1,96 @@
+#include "gala/core/vertex_following.hpp"
+
+#include <numeric>
+
+#include "gala/common/error.hpp"
+
+namespace gala::core {
+
+VertexFollowingResult follow_vertices(const graph::Graph& g) {
+  const vid_t n = g.num_vertices();
+  // anchor[v]: the vertex v is merged into (itself if kept). Pendant chains
+  // are followed iteratively: a degree-1 vertex points at its neighbour;
+  // path-compress afterwards.
+  std::vector<vid_t> anchor(n);
+  std::iota(anchor.begin(), anchor.end(), 0);
+
+  // Work on mutable residual degrees so chains (a-b-c where a has degree 1
+  // and b degree 2) collapse end-to-end.
+  std::vector<vid_t> residual_degree(n);
+  for (vid_t v = 0; v < n; ++v) residual_degree[v] = g.out_degree(v);
+  std::vector<std::uint8_t> merged(n, 0);
+  std::vector<vid_t> frontier;
+  for (vid_t v = 0; v < n; ++v) {
+    // A self-loop-only vertex is not a follower.
+    if (residual_degree[v] == 1 && g.self_loop(v) == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    std::vector<vid_t> next;
+    for (const vid_t v : frontier) {
+      if (merged[v] || residual_degree[v] != 1) continue;
+      // Find the single unmerged neighbour.
+      vid_t target = kInvalidVid;
+      for (const vid_t u : g.neighbors(v)) {
+        if (u != v && !merged[u]) {
+          target = u;
+          break;
+        }
+      }
+      if (target == kInvalidVid) continue;  // whole component collapsed
+      merged[v] = 1;
+      anchor[v] = target;
+      if (residual_degree[target] > 0) --residual_degree[target];
+      if (residual_degree[target] == 1 && g.self_loop(target) == 0 && !merged[target]) {
+        next.push_back(target);
+      }
+    }
+    frontier.swap(next);
+  }
+
+  // Path compression: anchors may themselves have been merged.
+  for (vid_t v = 0; v < n; ++v) {
+    vid_t a = anchor[v];
+    while (anchor[a] != a) a = anchor[a];
+    anchor[v] = a;
+  }
+
+  VertexFollowingResult result;
+  result.original_to_reduced.assign(n, kInvalidVid);
+  vid_t next_id = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (anchor[v] == v) result.original_to_reduced[v] = next_id++;
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    result.original_to_reduced[v] = result.original_to_reduced[anchor[v]];
+    if (anchor[v] != v) ++result.followers;
+  }
+
+  graph::GraphBuilder builder(next_id);
+  for (vid_t v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] < v) continue;  // each undirected edge once
+      const vid_t a = result.original_to_reduced[v];
+      const vid_t b = result.original_to_reduced[nbrs[i]];
+      // Intra-anchor edges (follower-anchor) become self-loops, preserving
+      // total weight and degrees.
+      builder.add_edge(a, b, ws[i]);
+    }
+  }
+  result.reduced = builder.build();
+  return result;
+}
+
+std::vector<cid_t> expand_assignment(const VertexFollowingResult& vf,
+                                     std::span<const cid_t> reduced_assignment) {
+  GALA_CHECK(reduced_assignment.size() == vf.reduced.num_vertices(),
+             "reduced assignment size mismatch");
+  std::vector<cid_t> out(vf.original_to_reduced.size());
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    out[v] = reduced_assignment[vf.original_to_reduced[v]];
+  }
+  return out;
+}
+
+}  // namespace gala::core

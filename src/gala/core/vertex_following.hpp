@@ -1,0 +1,39 @@
+// Vertex following (Lu, Halappanavar & Kalyanaraman 2015 — one of the
+// "heuristics in Grappolo to ensure the convergence" the paper's footnote 1
+// adopts).
+//
+// A degree-one vertex always ends up in its sole neighbour's community (its
+// gain is maximal there and can never be beaten), so processing it every
+// iteration is wasted work and its singleton community inflates the search
+// space. The preprocessing pass merges every such vertex into its
+// neighbour — following chains (pendant paths) to their anchor — producing
+// a smaller graph plus a mapping to undo the merge afterwards.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::core {
+
+struct VertexFollowingResult {
+  /// The reduced graph (followers merged into their anchors).
+  graph::Graph reduced;
+  /// original vertex -> reduced-graph vertex.
+  std::vector<vid_t> original_to_reduced;
+  /// How many vertices were merged away.
+  vid_t followers = 0;
+};
+
+/// Merges degree-1 vertices (and pendant chains) into their anchors.
+/// Isolated vertices are kept. An edge {v, anchor} becomes a self-loop
+/// contribution on the anchor so modularity bookkeeping stays exact.
+VertexFollowingResult follow_vertices(const graph::Graph& g);
+
+/// Expands an assignment on the reduced graph back to original vertices.
+std::vector<cid_t> expand_assignment(const VertexFollowingResult& vf,
+                                     std::span<const cid_t> reduced_assignment);
+
+}  // namespace gala::core

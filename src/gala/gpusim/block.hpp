@@ -1,0 +1,75 @@
+// Block-level collectives.
+//
+// A CUDA block cooperates through shared memory: reductions and scans over
+// per-thread values are implemented as log-step trees staged in a shared
+// buffer. The hash kernel's final "obtain best_C of all threads" (Alg. 3
+// line 15) is exactly such a block reduction; modelling it explicitly keeps
+// its shared-memory traffic on the books.
+//
+// Per CUDA convention, the simulator charges a tree reduction over n values
+// ceil(log2 n) rounds of shared reads+writes plus the final broadcast.
+#pragma once
+
+#include <bit>
+#include <span>
+
+#include "gala/common/error.hpp"
+#include "gala/gpusim/memory.hpp"
+
+namespace gala::gpusim::block {
+
+/// Charges the traffic of a shared-memory tree reduction over `n` per-thread
+/// values and returns the round count. Kernels call this next to computing
+/// the reduction's value in plain code.
+inline int charge_tree_reduction(std::size_t n, MemoryStats& stats) {
+  if (n <= 1) return 0;
+  const int rounds = std::bit_width(n - 1);  // ceil(log2 n)
+  std::size_t active = n;
+  for (int r = 0; r < rounds; ++r) {
+    active = (active + 1) / 2;
+    stats.shared_reads += 2 * active;  // each surviving thread reads a pair
+    stats.shared_writes += active;     // and writes the partial result
+  }
+  stats.shared_reads += n;  // broadcast of the final value
+  return rounds;
+}
+
+/// Block-wide argmax: returns the index of the maximum element (ties toward
+/// the lower index, matching the kernels' community-id tie-break) and
+/// charges the reduction traffic.
+template <typename T>
+std::size_t reduce_argmax(std::span<const T> values, MemoryStats& stats) {
+  GALA_CHECK(!values.empty(), "argmax of empty block");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  charge_tree_reduction(values.size(), stats);
+  return best;
+}
+
+/// Block-wide sum with the same traffic model.
+template <typename T>
+T reduce_add(std::span<const T> values, MemoryStats& stats) {
+  T sum{};
+  for (const T& v : values) sum += v;
+  charge_tree_reduction(values.size(), stats);
+  return sum;
+}
+
+/// Exclusive prefix sum (Blelloch scan): returns the scanned vector and
+/// charges up-sweep + down-sweep traffic (2x the reduction tree).
+template <typename T>
+std::vector<T> exclusive_scan(std::span<const T> values, MemoryStats& stats) {
+  std::vector<T> out(values.size());
+  T acc{};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = acc;
+    acc += values[i];
+  }
+  charge_tree_reduction(values.size(), stats);
+  charge_tree_reduction(values.size(), stats);
+  return out;
+}
+
+}  // namespace gala::gpusim::block

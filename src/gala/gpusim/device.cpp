@@ -1,0 +1,52 @@
+#include "gala/gpusim/device.hpp"
+
+#include <vector>
+
+namespace gala::gpusim {
+
+Device::Device(const DeviceConfig& config) : config_(config), pool_(&ThreadPool::global()) {}
+
+LaunchStats Device::launch(std::size_t num_blocks,
+                           const std::function<void(BlockContext&)>& body) const {
+  LaunchStats result;
+  Timer timer;
+  std::mutex merge_mutex;
+  pool_->parallel_for_chunked(
+      0, num_blocks,
+      [&](std::size_t lo, std::size_t hi) {
+        SharedMemoryArena arena(config_.shared_bytes_per_block);
+        MemoryStats stats;
+        BlockContext ctx{0, &arena, &stats};
+        for (std::size_t b = lo; b < hi; ++b) {
+          ctx.block_id = b;
+          arena.reset();
+          body(ctx);
+        }
+        std::lock_guard lock(merge_mutex);
+        result.traffic += stats;
+      },
+      /*grain=*/16);
+  result.wall_seconds = timer.seconds();
+  result.modeled_cycles = config_.cost_model.cycles(result.traffic);
+  return result;
+}
+
+LaunchStats Device::launch_sequential(std::size_t num_blocks,
+                                      const std::function<void(BlockContext&)>& body) const {
+  LaunchStats result;
+  Timer timer;
+  SharedMemoryArena arena(config_.shared_bytes_per_block);
+  MemoryStats stats;
+  BlockContext ctx{0, &arena, &stats};
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    ctx.block_id = b;
+    arena.reset();
+    body(ctx);
+  }
+  result.traffic = stats;
+  result.wall_seconds = timer.seconds();
+  result.modeled_cycles = config_.cost_model.cycles(result.traffic);
+  return result;
+}
+
+}  // namespace gala::gpusim

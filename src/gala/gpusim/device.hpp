@@ -1,0 +1,83 @@
+// The simulated device: a block scheduler over host threads.
+//
+// A "kernel launch" maps a range of block ids onto the host thread pool.
+// Each block receives a BlockContext carrying its shared-memory arena and a
+// MemoryStats sink; blocks run concurrently (real host parallelism), lanes
+// within a block run warp-synchronously inside the kernel body. Launch
+// results aggregate traffic, modeled cycles, and wall time.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "gala/common/thread_pool.hpp"
+#include "gala/common/timer.hpp"
+#include "gala/gpusim/memory.hpp"
+#include "gala/gpusim/shared_memory.hpp"
+
+namespace gala::gpusim {
+
+struct DeviceConfig {
+  /// Host worker threads standing in for SMs. 0 = hardware concurrency.
+  std::size_t num_workers = 0;
+  /// Shared memory per block, bytes (A100 default opt-in max is 164 KiB;
+  /// 48 KiB is the portable default).
+  std::size_t shared_bytes_per_block = 48 * 1024;
+  CostModel cost_model{};
+  /// Concurrency assumed when converting traffic to modeled time. Defaults
+  /// to full A100 occupancy; benches on scaled-down graphs scale this down
+  /// proportionally (see DESIGN.md §4 "Modeled time").
+  double model_parallel_lanes = 108.0 * 2048.0;
+  double model_clock_ghz = 1.41;
+
+  double modeled_ms(const MemoryStats& traffic) const {
+    return cost_model.milliseconds(traffic, model_parallel_lanes, model_clock_ghz);
+  }
+};
+
+/// Per-block execution context handed to kernel bodies.
+struct BlockContext {
+  std::size_t block_id = 0;
+  SharedMemoryArena* shared = nullptr;
+  MemoryStats* stats = nullptr;
+};
+
+/// Aggregated result of one kernel launch.
+struct LaunchStats {
+  MemoryStats traffic;
+  double wall_seconds = 0;
+  double modeled_cycles = 0;
+
+  LaunchStats& operator+=(const LaunchStats& o) {
+    traffic += o.traffic;
+    wall_seconds += o.wall_seconds;
+    modeled_cycles += o.modeled_cycles;
+    return *this;
+  }
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceConfig& config = {});
+
+  const DeviceConfig& config() const { return config_; }
+
+  /// Launches `num_blocks` blocks of `body`. Blocks are distributed over the
+  /// pool; each worker reuses one arena (reset between blocks). Returns the
+  /// aggregated traffic/cost of the launch.
+  LaunchStats launch(std::size_t num_blocks,
+                     const std::function<void(BlockContext&)>& body) const;
+
+  /// Sequential launch on the calling thread (deterministic debugging and
+  /// per-iteration accounting without pool scheduling noise).
+  LaunchStats launch_sequential(std::size_t num_blocks,
+                                const std::function<void(BlockContext&)>& body) const;
+
+ private:
+  DeviceConfig config_;
+  ThreadPool* pool_;  // not owned; the process-global pool
+};
+
+}  // namespace gala::gpusim

@@ -1,0 +1,68 @@
+// Per-block shared-memory arena.
+//
+// Models the fixed shared-memory budget a CUDA block owns (48 KiB default,
+// configurable up to the A100's 164 KiB). Kernels allocate typed arrays out
+// of the arena; an allocation beyond capacity fails, which is exactly the
+// condition that forces hashtable buckets into global memory (§4.2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gala/common/error.hpp"
+
+namespace gala::gpusim {
+
+class SharedMemoryArena {
+ public:
+  explicit SharedMemoryArena(std::size_t capacity_bytes = 48 * 1024)
+      : capacity_(capacity_bytes), storage_(capacity_bytes) {}
+
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t used_bytes() const { return used_; }
+  std::size_t free_bytes() const { return capacity_ - used_; }
+
+  /// True if `count` elements of T fit in the remaining space.
+  template <typename T>
+  bool fits(std::size_t count) const {
+    return aligned_used(alignof(T)) + count * sizeof(T) <= capacity_;
+  }
+
+  /// Allocates `count` default-initialised elements of T. Throws gala::Error
+  /// when the block's shared-memory budget is exceeded — callers that can
+  /// overflow must check fits() first (as a CUDA kernel must at compile
+  /// time / launch time).
+  template <typename T>
+  std::span<T> allocate(std::size_t count) {
+    const std::size_t start = aligned_used(alignof(T));
+    const std::size_t bytes = count * sizeof(T);
+    GALA_CHECK(start + bytes <= capacity_,
+               "shared memory overflow: need " << bytes << "B at offset " << start
+                                               << ", capacity " << capacity_ << "B");
+    used_ = start + bytes;
+    T* ptr = reinterpret_cast<T*>(storage_.data() + start);
+    for (std::size_t i = 0; i < count; ++i) ptr[i] = T{};
+    return {ptr, count};
+  }
+
+  /// Releases all allocations (start of a new block).
+  void reset() { used_ = 0; }
+
+  /// Largest count of T a fresh block could allocate.
+  template <typename T>
+  std::size_t max_elements() const {
+    return capacity_ / sizeof(T);
+  }
+
+ private:
+  std::size_t aligned_used(std::size_t alignment) const {
+    return (used_ + alignment - 1) / alignment * alignment;
+  }
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace gala::gpusim

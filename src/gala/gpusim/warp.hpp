@@ -1,0 +1,175 @@
+// Warp-synchronous collective primitives.
+//
+// GALA's shuffle-based kernel (paper Algorithm 2) is built on the CUDA
+// sm_70+ warp collectives. The simulator executes warps in SoA form: a
+// "warp" is an array of 32 per-lane values plus an active-lane mask, and
+// each primitive computes the per-lane results with exactly the semantics
+// the CUDA programming guide documents:
+//
+//   __match_any_sync(mask, v) : per-lane mask of lanes holding an equal v
+//   __reduce_add_sync(mask, v): sum of v over the lanes named in mask
+//                               (every lane in mask receives the sum)
+//   __reduce_max_sync(mask, v): max of v over the lanes named in mask
+//   __ballot_sync(mask, pred) : bitmask of lanes with pred != 0
+//   __shfl_sync(mask, v, src) : value of lane `src`
+//
+// Each collective charges one shuffle_op (plus per-lane register traffic)
+// to the MemoryStats of the calling kernel.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "gala/common/error.hpp"
+#include "gala/gpusim/memory.hpp"
+
+namespace gala::gpusim {
+
+inline constexpr int kWarpSize = 32;
+using LaneMask = std::uint32_t;
+inline constexpr LaneMask kFullMask = 0xffffffffu;
+
+template <typename T>
+using WarpValues = std::array<T, kWarpSize>;
+
+template <typename T>
+using WarpMasks = std::array<LaneMask, kWarpSize>;
+
+namespace warp {
+
+/// __match_any_sync for every active lane at once. Inactive lanes receive 0.
+template <typename T>
+std::array<LaneMask, kWarpSize> match_any(LaneMask active, const WarpValues<T>& values,
+                                          MemoryStats& stats) {
+  std::array<LaneMask, kWarpSize> result{};
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!((active >> i) & 1u)) continue;
+    LaneMask m = 0;
+    for (int j = 0; j < kWarpSize; ++j) {
+      if (((active >> j) & 1u) && values[j] == values[i]) m |= (1u << j);
+    }
+    result[i] = m;
+  }
+  stats.shuffle_ops += 1;
+  stats.register_ops += static_cast<std::uint64_t>(std::popcount(active));
+  return result;
+}
+
+/// __reduce_add_sync for every active lane: lane i receives the sum of
+/// `values` over the lanes in masks[i]. In CUDA, lanes sharing a mask form
+/// one hardware reduction; we charge one shuffle_op per *distinct* mask,
+/// matching the hardware's group-wise execution.
+template <typename T>
+WarpValues<T> segmented_reduce_add(LaneMask active, const std::array<LaneMask, kWarpSize>& masks,
+                                   const WarpValues<T>& values, MemoryStats& stats) {
+  WarpValues<T> result{};
+  LaneMask seen = 0;
+  int groups = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!((active >> i) & 1u)) continue;
+    if ((seen >> i) & 1u) continue;  // group already reduced via its leader
+    T sum{};
+    for (int j = 0; j < kWarpSize; ++j) {
+      if ((masks[i] >> j) & 1u) sum += values[j];
+    }
+    for (int j = 0; j < kWarpSize; ++j) {
+      if ((masks[i] >> j) & 1u) result[j] = sum;
+    }
+    seen |= masks[i];
+    ++groups;
+  }
+  stats.shuffle_ops += static_cast<std::uint64_t>(groups);
+  stats.register_ops += static_cast<std::uint64_t>(std::popcount(active));
+  return result;
+}
+
+/// __reduce_max_sync over the full active mask: every active lane receives
+/// the maximum of `values` over active lanes.
+template <typename T>
+T reduce_max(LaneMask active, const WarpValues<T>& values, MemoryStats& stats) {
+  GALA_ASSERT(active != 0);
+  bool first = true;
+  T best{};
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!((active >> i) & 1u)) continue;
+    if (first || values[i] > best) {
+      best = values[i];
+      first = false;
+    }
+  }
+  stats.shuffle_ops += 1;
+  stats.register_ops += static_cast<std::uint64_t>(std::popcount(active));
+  return best;
+}
+
+template <typename T>
+T reduce_add(LaneMask active, const WarpValues<T>& values, MemoryStats& stats) {
+  T sum{};
+  for (int i = 0; i < kWarpSize; ++i) {
+    if ((active >> i) & 1u) sum += values[i];
+  }
+  stats.shuffle_ops += 1;
+  stats.register_ops += static_cast<std::uint64_t>(std::popcount(active));
+  return sum;
+}
+
+/// __ballot_sync.
+inline LaneMask ballot(LaneMask active, const WarpValues<bool>& preds, MemoryStats& stats) {
+  LaneMask m = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (((active >> i) & 1u) && preds[i]) m |= (1u << i);
+  }
+  stats.shuffle_ops += 1;
+  return m;
+}
+
+/// __shfl_sync: every active lane reads lane `src_lane`'s value.
+template <typename T>
+T shfl(LaneMask active, const WarpValues<T>& values, int src_lane, MemoryStats& stats) {
+  GALA_ASSERT(src_lane >= 0 && src_lane < kWarpSize);
+  GALA_ASSERT((active >> src_lane) & 1u);
+  (void)active;  // only consulted by the debug assertion above
+  stats.shuffle_ops += 1;
+  return values[src_lane];
+}
+
+/// Models the coalescing of a warp gather: per-lane addresses within the
+/// same 32-element segment coalesce into one memory transaction (the
+/// 128-byte-line rule for 4-byte elements). Returns the transaction count
+/// and records it in the stats diagnostics. The per-access latency is
+/// charged separately by the caller via global_reads.
+template <typename Addr>
+int gather_transactions(LaneMask active, const WarpValues<Addr>& addresses, MemoryStats& stats) {
+  std::uint64_t segments_seen[kWarpSize];
+  int count = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!((active >> i) & 1u)) continue;
+    const std::uint64_t segment = static_cast<std::uint64_t>(addresses[i]) / kWarpSize;
+    bool seen = false;
+    for (int j = 0; j < count; ++j) {
+      if (segments_seen[j] == segment) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) segments_seen[count++] = segment;
+  }
+  stats.gather_requests += 1;
+  stats.gather_transactions += static_cast<std::uint64_t>(count);
+  return count;
+}
+
+/// Lowest set lane of a mask (leader election), -1 for empty.
+inline int leader_lane(LaneMask mask) {
+  return mask == 0 ? -1 : std::countr_zero(mask);
+}
+
+/// Mask with the low `n` lanes active.
+inline LaneMask first_lanes(int n) {
+  GALA_ASSERT(n >= 0 && n <= kWarpSize);
+  return n == kWarpSize ? kFullMask : ((LaneMask{1} << n) - 1);
+}
+
+}  // namespace warp
+}  // namespace gala::gpusim

@@ -1,0 +1,121 @@
+// Weighted undirected graph in Compressed Sparse Row form.
+//
+// Conventions (paper §2.1):
+//  - Each undirected edge {u,v}, u != v, appears in both adjacency lists.
+//  - A self-loop (v,v) appears exactly once in v's adjacency list.
+//  - The weighted degree d(v) counts a self-loop twice, so that
+//      sum_v d(v) == 2*|E|  where  |E| = sum of undirected edge weights.
+//    This keeps Equation 1 (modularity) and Equation 2 (gain) exact.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gala/common/error.hpp"
+#include "gala/common/types.hpp"
+
+namespace gala::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  vid_t num_vertices() const { return static_cast<vid_t>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+
+  /// Number of directed adjacency entries (2x undirected non-loop edges +
+  /// 1x self-loops).
+  eid_t num_adjacency() const { return static_cast<eid_t>(neighbors_.size()); }
+
+  /// Number of undirected edges (self-loops count once).
+  eid_t num_edges() const { return num_undirected_edges_; }
+
+  /// |E| — total undirected edge weight, self-loops counted once.
+  wt_t total_weight() const { return total_weight_; }
+
+  /// 2|E| — the normalisation constant of Equations 1-2.
+  wt_t two_m() const { return 2 * total_weight_; }
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    GALA_ASSERT(v < num_vertices());
+    return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+  }
+
+  std::span<const wt_t> weights(vid_t v) const {
+    GALA_ASSERT(v < num_vertices());
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Adjacency-list length of v (self-loop contributes one entry).
+  vid_t out_degree(vid_t v) const {
+    GALA_ASSERT(v < num_vertices());
+    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Weighted degree d(v); self-loops counted twice (see header comment).
+  wt_t degree(vid_t v) const {
+    GALA_ASSERT(v < num_vertices());
+    return degrees_[v];
+  }
+
+  /// Weight of v's self-loop (0 if none), counted once.
+  wt_t self_loop(vid_t v) const {
+    GALA_ASSERT(v < num_vertices());
+    return self_loops_[v];
+  }
+
+  std::span<const eid_t> offsets() const { return offsets_; }
+  std::span<const vid_t> adjacency() const { return neighbors_; }
+  std::span<const wt_t> adjacency_weights() const { return weights_; }
+  std::span<const wt_t> degrees() const { return degrees_; }
+
+  vid_t max_out_degree() const { return max_out_degree_; }
+
+  /// Validates structural invariants (sorted adjacency, symmetry, degree
+  /// sums). Intended for tests and after deserialisation; O(V + E log E).
+  void validate() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<eid_t> offsets_;    // size V+1
+  std::vector<vid_t> neighbors_;  // size num_adjacency()
+  std::vector<wt_t> weights_;     // parallel to neighbors_
+  std::vector<wt_t> degrees_;     // d(v), self-loops doubled
+  std::vector<wt_t> self_loops_;  // self-loop weight per vertex
+  eid_t num_undirected_edges_ = 0;
+  wt_t total_weight_ = 0;
+  vid_t max_out_degree_ = 0;
+};
+
+/// Accumulating builder. add_edge() takes undirected edges; duplicates are
+/// merged by summing weights. build() produces a Graph with sorted adjacency.
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex id range [0, num_vertices).
+  explicit GraphBuilder(vid_t num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Adds undirected edge {u,v} with weight w (> 0). u == v adds a self-loop.
+  void add_edge(vid_t u, vid_t v, wt_t w = 1.0);
+
+  /// Number of add_edge calls so far.
+  std::size_t num_added() const { return edges_.size(); }
+
+  /// Builds the CSR graph. The builder is left empty afterwards.
+  Graph build();
+
+ private:
+  struct RawEdge {
+    vid_t src;
+    vid_t dst;
+    wt_t weight;
+  };
+
+  vid_t num_vertices_;
+  std::vector<RawEdge> edges_;
+};
+
+/// Returns a human-readable one-line summary ("V=..., E=..., ...").
+std::string summary(const Graph& g);
+
+}  // namespace gala::graph

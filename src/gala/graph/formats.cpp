@@ -1,0 +1,124 @@
+#include "gala/graph/formats.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace gala::graph {
+namespace {
+
+/// Reads the next non-comment line; returns false at EOF.
+bool next_content_line(std::ifstream& in, std::string& line, char comment) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != comment) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph load_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  GALA_CHECK(in.is_open(), "cannot open Matrix Market file: " << path);
+  std::string header;
+  GALA_CHECK(static_cast<bool>(std::getline(in, header)), "empty file: " << path);
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  GALA_CHECK(banner == "%%MatrixMarket" && object == "matrix" && format == "coordinate",
+             path << ": only '%%MatrixMarket matrix coordinate' is supported");
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+  GALA_CHECK(symmetric || symmetry == "general",
+             path << ": unsupported symmetry '" << symmetry << "'");
+
+  std::string line;
+  GALA_CHECK(next_content_line(in, line, '%'), path << ": missing size line");
+  std::istringstream ss(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  GALA_CHECK(static_cast<bool>(ss >> rows >> cols >> nnz), path << ": malformed size line");
+  GALA_CHECK(rows == cols, path << ": adjacency matrices must be square");
+  GALA_CHECK(rows > 0 && rows <= kInvalidVid, path << ": bad dimension " << rows);
+
+  GraphBuilder builder(static_cast<vid_t>(rows));
+  std::uint64_t seen = 0;
+  while (seen < nnz && next_content_line(in, line, '%')) {
+    std::istringstream es(line);
+    std::uint64_t i = 0, j = 0;
+    double w = 1.0;
+    GALA_CHECK(static_cast<bool>(es >> i >> j), path << ": malformed entry '" << line << "'");
+    if (!pattern) es >> w;
+    GALA_CHECK(i >= 1 && i <= rows && j >= 1 && j <= rows, path << ": index out of range");
+    GALA_CHECK(w > 0, path << ": non-positive weight " << w);
+    // Symmetric files list one triangle; general files are symmetrised by
+    // summing both triangles (the usual directed->undirected conversion).
+    builder.add_edge(static_cast<vid_t>(i - 1), static_cast<vid_t>(j - 1), w);
+    ++seen;
+  }
+  GALA_CHECK(seen == nnz, path << ": expected " << nnz << " entries, found " << seen);
+  return builder.build();
+}
+
+Graph load_metis(const std::string& path) {
+  std::ifstream in(path);
+  GALA_CHECK(in.is_open(), "cannot open METIS file: " << path);
+  std::string line;
+  GALA_CHECK(next_content_line(in, line, '%'), path << ": missing header");
+  std::istringstream hs(line);
+  std::uint64_t n = 0, m = 0;
+  std::string fmt = "0";
+  GALA_CHECK(static_cast<bool>(hs >> n >> m), path << ": malformed header");
+  hs >> fmt;
+  const bool edge_weights = !fmt.empty() && (fmt.back() == '1');
+  GALA_CHECK(fmt == "0" || fmt == "1" || fmt == "00" || fmt == "01",
+             path << ": vertex weights/sizes (fmt " << fmt << ") are not supported");
+  GALA_CHECK(n > 0 && n <= kInvalidVid, path << ": bad vertex count");
+
+  GraphBuilder builder(static_cast<vid_t>(n));
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (!std::getline(in, line)) {
+      GALA_CHECK(false, path << ": truncated at vertex " << v + 1);
+    }
+    if (!line.empty() && line[0] == '%') {
+      --v;  // comment line does not consume a vertex
+      continue;
+    }
+    std::istringstream vs(line);
+    std::uint64_t u = 0;
+    while (vs >> u) {
+      GALA_CHECK(u >= 1 && u <= n, path << ": neighbour " << u << " out of range");
+      double w = 1.0;
+      if (edge_weights) {
+        GALA_CHECK(static_cast<bool>(vs >> w), path << ": missing edge weight");
+      }
+      // Each undirected edge appears on both endpoint lines; keep one.
+      if (u - 1 > v) builder.add_edge(static_cast<vid_t>(v), static_cast<vid_t>(u - 1), w);
+    }
+  }
+  const Graph g = builder.build();
+  GALA_CHECK(g.num_edges() == m,
+             path << ": header claims " << m << " edges, file contains " << g.num_edges());
+  return g;
+}
+
+void save_metis(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  GALA_CHECK(out.is_open(), "cannot open for writing: " << path);
+  // fmt 1: edge weights present. METIS has no self-loop support; assert.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    GALA_CHECK(g.self_loop(v) == 0, "METIS format cannot express self-loops (vertex " << v << ")");
+  }
+  out << g.num_vertices() << ' ' << g.num_edges() << " 1\n";
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << (nbrs[i] + 1) << ' ' << ws[i];
+    }
+    out << '\n';
+  }
+  GALA_CHECK(out.good(), "write failure: " << path);
+}
+
+}  // namespace gala::graph

@@ -1,0 +1,30 @@
+// Additional graph interchange formats.
+//
+//  - Matrix Market (%%MatrixMarket matrix coordinate ...): the format the
+//    SuiteSparse collection distributes (symmetric patterns or weighted
+//    coordinate listings). 1-based indices.
+//  - METIS .graph: header "n m [fmt]", then one line per vertex listing its
+//    neighbours (1-based), optionally with weights when fmt has the 1-bit
+//    set. The format Grappolo/Vite consume.
+//
+// Both loaders symmetrise and merge duplicates through GraphBuilder, like
+// load_edge_list.
+#pragma once
+
+#include <string>
+
+#include "gala/graph/csr.hpp"
+
+namespace gala::graph {
+
+/// Loads a Matrix Market coordinate file as an undirected weighted graph.
+/// `pattern` matrices get weight 1; `general` matrices are symmetrised.
+Graph load_matrix_market(const std::string& path);
+
+/// Loads a METIS .graph file (edge weights honoured when present).
+Graph load_metis(const std::string& path);
+
+/// Writes METIS .graph (fmt 1: edge weights).
+void save_metis(const Graph& g, const std::string& path);
+
+}  // namespace gala::graph

@@ -1,0 +1,335 @@
+#include "gala/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace gala::graph {
+namespace {
+
+/// Packs a directed pair into a 64-bit key for dedup sets.
+std::uint64_t pair_key(vid_t u, vid_t v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+/// Weighted sampling from a cumulative-sum array: returns the index i with
+/// cum[i-1] <= r < cum[i].
+std::size_t sample_cdf(const std::vector<double>& cum, Xoshiro256& rng) {
+  GALA_ASSERT(!cum.empty());
+  const double r = rng.next_double() * cum.back();
+  auto it = std::upper_bound(cum.begin(), cum.end(), r);
+  if (it == cum.end()) --it;
+  return static_cast<std::size_t>(it - cum.begin());
+}
+
+}  // namespace
+
+Graph erdos_renyi(vid_t n, eid_t m, std::uint64_t seed) {
+  GALA_CHECK(n >= 2, "need at least two vertices");
+  const eid_t max_edges = static_cast<eid_t>(n) * (n - 1) / 2;
+  GALA_CHECK(m <= max_edges, "too many edges requested: " << m << " > " << max_edges);
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(m) * 2);
+  GraphBuilder builder(n);
+  while (seen.size() < m) {
+    vid_t u = static_cast<vid_t>(rng.next_below(n));
+    vid_t v = static_cast<vid_t>(rng.next_below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.insert(pair_key(u, v)).second) builder.add_edge(u, v, 1.0);
+  }
+  return builder.build();
+}
+
+Graph ring_of_cliques(vid_t num_cliques, vid_t clique_size) {
+  GALA_CHECK(num_cliques >= 1 && clique_size >= 2, "degenerate ring-of-cliques");
+  const vid_t n = num_cliques * clique_size;
+  GraphBuilder builder(n);
+  for (vid_t c = 0; c < num_cliques; ++c) {
+    const vid_t base = c * clique_size;
+    for (vid_t i = 0; i < clique_size; ++i) {
+      for (vid_t j = i + 1; j < clique_size; ++j) {
+        builder.add_edge(base + i, base + j, 1.0);
+      }
+    }
+    if (num_cliques > 1) {
+      // Bridge: last vertex of this clique to first vertex of the next.
+      const vid_t next_base = ((c + 1) % num_cliques) * clique_size;
+      builder.add_edge(base + clique_size - 1, next_base, 1.0);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<vid_t> sample_power_law(vid_t lo, vid_t hi, double gamma, std::size_t count,
+                                    Xoshiro256& rng) {
+  GALA_CHECK(lo >= 1 && lo <= hi, "invalid power-law bounds [" << lo << "," << hi << "]");
+  std::vector<double> cum;
+  cum.reserve(hi - lo + 1);
+  double acc = 0;
+  for (vid_t x = lo; x <= hi; ++x) {
+    acc += std::pow(static_cast<double>(x), -gamma);
+    cum.push_back(acc);
+  }
+  std::vector<vid_t> out(count);
+  for (auto& v : out) v = lo + static_cast<vid_t>(sample_cdf(cum, rng));
+  return out;
+}
+
+Graph planted_partition(const PlantedPartitionParams& p, std::vector<cid_t>* ground_truth) {
+  GALA_CHECK(p.num_vertices >= 2, "too few vertices");
+  GALA_CHECK(p.num_communities >= 1 && p.num_communities <= p.num_vertices,
+             "invalid community count " << p.num_communities);
+  GALA_CHECK(p.mixing >= 0 && p.mixing < 1, "mixing must be in [0,1)");
+  GALA_CHECK(p.avg_degree > 0, "avg_degree must be positive");
+  Xoshiro256 rng(p.seed);
+
+  const vid_t n = p.num_vertices;
+  const cid_t k = p.num_communities;
+
+  // Contiguous equal-size-ish community blocks.
+  std::vector<cid_t> community(n);
+  std::vector<std::vector<vid_t>> members(k);
+  for (vid_t v = 0; v < n; ++v) {
+    const cid_t c = static_cast<cid_t>((static_cast<std::uint64_t>(v) * k) / n);
+    community[v] = c;
+    members[c].push_back(v);
+  }
+  if (ground_truth) *ground_truth = community;
+
+  // Per-vertex propensity (degree-corrected SBM): power-law skew or uniform.
+  std::vector<double> theta(n, 1.0);
+  if (p.degree_exponent > 0) {
+    const vid_t hi = static_cast<vid_t>(std::max(2.0, p.max_degree_ratio));
+    auto samples = sample_power_law(1, hi, p.degree_exponent, n, rng);
+    for (vid_t v = 0; v < n; ++v) theta[v] = static_cast<double>(samples[v]);
+  }
+
+  GraphBuilder builder(n);
+
+  // A spanning path inside each community guarantees no isolated vertices
+  // and a connected community core.
+  for (cid_t c = 0; c < k; ++c) {
+    auto& mem = members[c];
+    for (std::size_t i = 1; i < mem.size(); ++i) builder.add_edge(mem[i - 1], mem[i], 1.0);
+  }
+
+  // Internal edges, distributed across communities proportionally to the sum
+  // of member propensities; endpoints sampled propensity-weighted.
+  const double target_internal =
+      static_cast<double>(n) * p.avg_degree * (1.0 - p.mixing) / 2.0;
+  std::vector<double> comm_theta_cum;
+  comm_theta_cum.reserve(k);
+  {
+    double acc = 0;
+    for (cid_t c = 0; c < k; ++c) {
+      double s = 0;
+      for (vid_t v : members[c]) s += theta[v];
+      acc += s;
+      comm_theta_cum.push_back(acc);
+    }
+  }
+  std::vector<std::vector<double>> member_theta_cum(k);
+  for (cid_t c = 0; c < k; ++c) {
+    double acc = 0;
+    member_theta_cum[c].reserve(members[c].size());
+    for (vid_t v : members[c]) {
+      acc += theta[v];
+      member_theta_cum[c].push_back(acc);
+    }
+  }
+  for (double placed = 0; placed < target_internal; ++placed) {
+    const cid_t c = static_cast<cid_t>(sample_cdf(comm_theta_cum, rng));
+    if (members[c].size() < 2) continue;
+    const vid_t u = members[c][sample_cdf(member_theta_cum[c], rng)];
+    const vid_t v = members[c][sample_cdf(member_theta_cum[c], rng)];
+    if (u == v) continue;  // slight undershoot is fine
+    builder.add_edge(u, v, 1.0);
+  }
+
+  // External edges: both endpoints propensity-weighted, communities must
+  // differ (retry a few times; failures undershoot the target slightly).
+  std::vector<double> theta_cum(n);
+  {
+    double acc = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      acc += theta[v];
+      theta_cum[v] = acc;
+    }
+  }
+  const double target_external = static_cast<double>(n) * p.avg_degree * p.mixing / 2.0;
+  for (double placed = 0; placed < target_external; ++placed) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const vid_t u = static_cast<vid_t>(sample_cdf(theta_cum, rng));
+      const vid_t v = static_cast<vid_t>(sample_cdf(theta_cum, rng));
+      if (u != v && community[u] != community[v]) {
+        builder.add_edge(u, v, 1.0);
+        break;
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph rmat(const RmatParams& p) {
+  GALA_CHECK(p.scale >= 1 && p.scale <= 30, "scale out of range");
+  const double d = 1.0 - p.a - p.b - p.c;
+  GALA_CHECK(p.a > 0 && p.b >= 0 && p.c >= 0 && d > 0, "invalid R-MAT quadrant probabilities");
+  Xoshiro256 rng(p.seed);
+  const vid_t n = vid_t{1} << p.scale;
+  const eid_t target = static_cast<eid_t>(p.edge_factor * static_cast<double>(n));
+  GraphBuilder builder(n);
+  for (eid_t e = 0; e < target; ++e) {
+    vid_t u = 0, v = 0;
+    for (int bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant selection with light noise to avoid perfectly self-similar
+      // artefacts (standard practice).
+      int quad;
+      if (r < p.a) {
+        quad = 0;
+      } else if (r < p.a + p.b) {
+        quad = 1;
+      } else if (r < p.a + p.b + p.c) {
+        quad = 2;
+      } else {
+        quad = 3;
+      }
+      u = (u << 1) | static_cast<vid_t>(quad >> 1);
+      v = (v << 1) | static_cast<vid_t>(quad & 1);
+    }
+    if (u == v) continue;
+    builder.add_edge(u, v, 1.0);
+  }
+  return builder.build();
+}
+
+Graph lfr(const LfrParams& p, std::vector<cid_t>& ground_truth) {
+  GALA_CHECK(p.num_vertices >= 10, "too few vertices for LFR");
+  GALA_CHECK(p.min_degree >= 1 && p.min_degree <= p.max_degree, "bad degree bounds");
+  GALA_CHECK(p.min_community >= 2 && p.min_community <= p.max_community, "bad community bounds");
+  GALA_CHECK(p.mixing >= 0 && p.mixing < 1, "mixing must be in [0,1)");
+  Xoshiro256 rng(p.seed);
+  const vid_t n = p.num_vertices;
+
+  // 1. Power-law degree sequence (tau1).
+  auto degree = sample_power_law(p.min_degree, p.max_degree, p.degree_exponent, n, rng);
+
+  // 2. Power-law community sizes (tau2) summing to n.
+  std::vector<vid_t> comm_size;
+  {
+    vid_t total = 0;
+    while (total < n) {
+      vid_t s = sample_power_law(p.min_community, p.max_community, p.community_exponent, 1, rng)[0];
+      s = std::min<vid_t>(s, n - total);
+      // Avoid a trailing sliver smaller than min_community: fold it in.
+      if (n - total - s < p.min_community && n - total - s > 0) s = n - total;
+      comm_size.push_back(s);
+      total += s;
+    }
+  }
+  const cid_t k = static_cast<cid_t>(comm_size.size());
+
+  // 3. Assign vertices to communities: random order, first community with
+  //    room whose size can host the vertex's internal degree.
+  std::vector<vid_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (vid_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  ground_truth.assign(n, kInvalidCid);
+  std::vector<std::vector<vid_t>> members(k);
+  std::vector<vid_t> internal_degree(n);
+  for (vid_t v = 0; v < n; ++v) {
+    internal_degree[v] = static_cast<vid_t>(std::lround((1.0 - p.mixing) * degree[v]));
+  }
+  {
+    std::vector<vid_t> room(comm_size.begin(), comm_size.end());
+    for (vid_t v : order) {
+      // Try a few random communities; prefer one large enough for int-degree.
+      cid_t chosen = kInvalidCid;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const cid_t c = static_cast<cid_t>(rng.next_below(k));
+        if (room[c] == 0) continue;
+        if (comm_size[c] > internal_degree[v] || attempt >= 8) {
+          chosen = c;
+          break;
+        }
+      }
+      if (chosen == kInvalidCid) {
+        for (cid_t c = 0; c < k; ++c) {
+          if (room[c] > 0) {
+            chosen = c;
+            break;
+          }
+        }
+      }
+      GALA_CHECK(chosen != kInvalidCid, "LFR assignment overflow");
+      ground_truth[v] = chosen;
+      members[chosen].push_back(v);
+      --room[chosen];
+      // Cap internal degree to what the community can host.
+      internal_degree[v] = std::min<vid_t>(internal_degree[v], comm_size[chosen] - 1);
+    }
+  }
+
+  GraphBuilder builder(n);
+
+  // 4. Internal wiring: configuration model per community.
+  for (cid_t c = 0; c < k; ++c) {
+    std::vector<vid_t> stubs;
+    for (vid_t v : members[c]) {
+      for (vid_t s = 0; s < internal_degree[v]; ++s) stubs.push_back(v);
+    }
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+    }
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (stubs[i] != stubs[i + 1]) builder.add_edge(stubs[i], stubs[i + 1], 1.0);
+    }
+  }
+
+  // 5. External wiring: global configuration model over leftover stubs,
+  //    rejecting same-community pairs with a few reshuffle passes.
+  std::vector<vid_t> ext_stubs;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t ext = degree[v] > internal_degree[v] ? degree[v] - internal_degree[v] : 0;
+    for (vid_t s = 0; s < ext; ++s) ext_stubs.push_back(v);
+  }
+  for (std::size_t i = ext_stubs.size(); i > 1; --i) {
+    std::swap(ext_stubs[i - 1], ext_stubs[rng.next_below(i)]);
+  }
+  std::vector<vid_t> deferred;
+  for (std::size_t i = 0; i + 1 < ext_stubs.size(); i += 2) {
+    const vid_t u = ext_stubs[i], v = ext_stubs[i + 1];
+    if (u != v && ground_truth[u] != ground_truth[v]) {
+      builder.add_edge(u, v, 1.0);
+    } else {
+      deferred.push_back(u);
+      deferred.push_back(v);
+    }
+  }
+  for (int pass = 0; pass < 4 && deferred.size() >= 2; ++pass) {
+    for (std::size_t i = deferred.size(); i > 1; --i) {
+      std::swap(deferred[i - 1], deferred[rng.next_below(i)]);
+    }
+    std::vector<vid_t> still;
+    for (std::size_t i = 0; i + 1 < deferred.size(); i += 2) {
+      const vid_t u = deferred[i], v = deferred[i + 1];
+      if (u != v && ground_truth[u] != ground_truth[v]) {
+        builder.add_edge(u, v, 1.0);
+      } else {
+        still.push_back(u);
+        still.push_back(v);
+      }
+    }
+    deferred.swap(still);
+  }
+  // Residual unmatched stubs are dropped (standard LFR implementations also
+  // tolerate small degree-sequence deviations).
+  return builder.build();
+}
+
+}  // namespace gala::graph

@@ -1,0 +1,81 @@
+// Synthetic graph generators.
+//
+// These provide the workloads for every experiment: degree-corrected planted
+// partitions (stand-ins for the paper's social/web graphs), R-MAT (skewed
+// graphs without community structure, the Twitter stand-in), rings of
+// cliques (sanity tests and the near-modularity-1 web-graph regime), uniform
+// random graphs, and an LFR-style benchmark with ground-truth communities
+// for the NMI experiments (Table 4).
+//
+// Every generator is deterministic given its seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gala/common/prng.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::graph {
+
+/// Erdos–Renyi G(n, m): m distinct edges sampled uniformly. No self-loops.
+Graph erdos_renyi(vid_t n, eid_t m, std::uint64_t seed);
+
+/// `num_cliques` cliques of `clique_size` vertices, consecutive cliques
+/// joined by a single edge in a ring. The classic high-modularity instance.
+Graph ring_of_cliques(vid_t num_cliques, vid_t clique_size);
+
+/// Parameters for the degree-corrected planted-partition generator.
+struct PlantedPartitionParams {
+  vid_t num_vertices = 10000;
+  vid_t num_communities = 100;
+  /// Average total degree per vertex (internal + external).
+  double avg_degree = 16.0;
+  /// Fraction of a vertex's edges that leave its community ("mixing").
+  /// Louvain recovers modularity roughly (1 - mixing) - 1/num_communities.
+  double mixing = 0.2;
+  /// Power-law exponent for per-vertex degree propensity (Chung–Lu style).
+  /// <= 0 disables skew (uniform propensity).
+  double degree_exponent = 0.0;
+  /// Max/min propensity ratio when skew is enabled (hub strength).
+  double max_degree_ratio = 100.0;
+  std::uint64_t seed = 1;
+};
+
+/// A planted-partition / degree-corrected-SBM graph. If `ground_truth` is
+/// non-null it receives the planted community of every vertex.
+Graph planted_partition(const PlantedPartitionParams& params,
+                        std::vector<cid_t>* ground_truth = nullptr);
+
+/// R-MAT power-law generator (Chakrabarti et al.), symmetrised, dedup'd.
+/// Produces hub-heavy graphs with weak community structure.
+struct RmatParams {
+  int scale = 14;            // 2^scale vertices
+  double edge_factor = 8.0;  // edges-per-vertex before dedup
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1-a-b-c
+  std::uint64_t seed = 1;
+};
+Graph rmat(const RmatParams& params);
+
+/// LFR-style benchmark (Lancichinetti–Fortunato–Radicchi, 2008):
+/// power-law degrees, power-law community sizes, mixing parameter mu.
+/// Ground-truth communities are written to `ground_truth`.
+struct LfrParams {
+  vid_t num_vertices = 100000;
+  double degree_exponent = 2.5;     // tau1
+  double community_exponent = 1.5;  // tau2
+  vid_t min_degree = 5;
+  vid_t max_degree = 100;
+  vid_t min_community = 20;
+  vid_t max_community = 1000;
+  double mixing = 0.3;  // mu: fraction of each vertex's edges leaving its community
+  std::uint64_t seed = 1;
+};
+Graph lfr(const LfrParams& params, std::vector<cid_t>& ground_truth);
+
+/// Samples `count` values from a discrete bounded power law p(x) ~ x^-gamma
+/// over [lo, hi]. Exposed for tests.
+std::vector<vid_t> sample_power_law(vid_t lo, vid_t hi, double gamma, std::size_t count,
+                                    Xoshiro256& rng);
+
+}  // namespace gala::graph

@@ -1,0 +1,39 @@
+#include "gala/graph/partition.hpp"
+
+#include <algorithm>
+
+#include "gala/common/error.hpp"
+
+namespace gala::graph {
+
+std::vector<VertexRange> partition_by_edges(const Graph& g, std::size_t parts) {
+  GALA_CHECK(parts >= 1, "need at least one part");
+  const vid_t n = g.num_vertices();
+  std::vector<VertexRange> ranges(parts);
+  const eid_t total = g.num_adjacency();
+  vid_t v = 0;
+  eid_t consumed = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    ranges[p].begin = v;
+    // Give part p edges up to the p+1-th fraction of the total.
+    const eid_t target = total * static_cast<eid_t>(p + 1) / parts;
+    while (v < n && (consumed < target || p + 1 == parts)) {
+      consumed += g.out_degree(v);
+      ++v;
+      // Leave at least one vertex per remaining part when possible.
+      if (p + 1 < parts && n - v <= parts - p - 1) break;
+    }
+    ranges[p].end = v;
+  }
+  ranges.back().end = n;
+  return ranges;
+}
+
+std::size_t owner_of(const std::vector<VertexRange>& ranges, vid_t v) {
+  auto it = std::upper_bound(ranges.begin(), ranges.end(), v,
+                             [](vid_t value, const VertexRange& r) { return value < r.end; });
+  GALA_CHECK(it != ranges.end() && v >= it->begin, "vertex " << v << " not covered by partition");
+  return static_cast<std::size_t>(it - ranges.begin());
+}
+
+}  // namespace gala::graph

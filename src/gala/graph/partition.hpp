@@ -1,0 +1,26 @@
+// Vertex partitioning for the multi-GPU layer (§4.3): contiguous vertex
+// ranges balanced by adjacency size, so each simulated device owns its
+// vertices and their full neighbour lists (1-D partitioning, as GALA does).
+#pragma once
+
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::graph {
+
+struct VertexRange {
+  vid_t begin = 0;
+  vid_t end = 0;  // exclusive
+  vid_t size() const { return end - begin; }
+};
+
+/// Splits [0, V) into `parts` contiguous ranges with near-equal adjacency
+/// entry counts (edge-balanced, since per-vertex work is degree-driven).
+std::vector<VertexRange> partition_by_edges(const Graph& g, std::size_t parts);
+
+/// Returns the part owning vertex v under `ranges` (binary search).
+std::size_t owner_of(const std::vector<VertexRange>& ranges, vid_t v);
+
+}  // namespace gala::graph

@@ -1,0 +1,91 @@
+#include "gala/graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gala/common/error.hpp"
+#include "gala/common/prng.hpp"
+
+namespace gala::graph {
+
+void validate_permutation(const Permutation& perm, vid_t n) {
+  GALA_CHECK(perm.size() == n, "permutation size " << perm.size() << " != " << n);
+  std::vector<std::uint8_t> seen(n, 0);
+  for (const vid_t p : perm) {
+    GALA_CHECK(p < n, "permutation value " << p << " out of range");
+    GALA_CHECK(!seen[p], "permutation repeats value " << p);
+    seen[p] = 1;
+  }
+}
+
+Permutation degree_descending_order(const Graph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](vid_t a, vid_t b) {
+    return g.out_degree(a) > g.out_degree(b);
+  });
+  Permutation perm(n);
+  for (vid_t rank = 0; rank < n; ++rank) perm[by_degree[rank]] = rank;
+  return perm;
+}
+
+Permutation bfs_order(const Graph& g, vid_t source) {
+  const vid_t n = g.num_vertices();
+  GALA_CHECK(source < n || n == 0, "BFS source out of range");
+  Permutation perm(n, kInvalidVid);
+  std::vector<vid_t> queue;
+  vid_t next_rank = 0;
+  auto visit_from = [&](vid_t start) {
+    queue.clear();
+    queue.push_back(start);
+    perm[start] = next_rank++;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const vid_t u : g.neighbors(queue[head])) {
+        if (perm[u] == kInvalidVid) {
+          perm[u] = next_rank++;
+          queue.push_back(u);
+        }
+      }
+    }
+  };
+  if (n > 0) visit_from(source);
+  for (vid_t v = 0; v < n; ++v) {
+    if (perm[v] == kInvalidVid) visit_from(v);
+  }
+  return perm;
+}
+
+Permutation random_permutation(vid_t n, std::uint64_t seed) {
+  Permutation perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Xoshiro256 rng(seed);
+  for (vid_t i = n; i > 1; --i) std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  return perm;
+}
+
+Graph apply_permutation(const Graph& g, const Permutation& perm) {
+  const vid_t n = g.num_vertices();
+  validate_permutation(perm, n);
+  GraphBuilder builder(n);
+  for (vid_t v = 0; v < n; ++v) {
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= v) builder.add_edge(perm[v], perm[nbrs[i]], ws[i]);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<cid_t> unpermute_assignment(const Permutation& perm,
+                                        std::span<const cid_t> permuted_assignment) {
+  GALA_CHECK(perm.size() == permuted_assignment.size(), "size mismatch");
+  std::vector<cid_t> out(perm.size());
+  for (std::size_t old_id = 0; old_id < perm.size(); ++old_id) {
+    out[old_id] = permuted_assignment[perm[old_id]];
+  }
+  return out;
+}
+
+}  // namespace gala::graph

@@ -1,0 +1,41 @@
+// Vertex reordering.
+//
+// GPU graph kernels are sensitive to vertex order: degree-sorted orders
+// give warps uniform work (the shuffle/hash dispatch classes become
+// contiguous), and BFS orders improve locality of community lookups. These
+// utilities permute a graph and translate results back to original ids.
+#pragma once
+
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::graph {
+
+/// A vertex permutation: new_id = perm[old_id]. Always a bijection on [0,V).
+using Permutation = std::vector<vid_t>;
+
+/// Descending-degree order (hubs first — the classic GPU scheduling order).
+Permutation degree_descending_order(const Graph& g);
+
+/// BFS order from `source` (unreached vertices appended in id order).
+Permutation bfs_order(const Graph& g, vid_t source = 0);
+
+/// Uniformly random permutation (Fisher-Yates), deterministic in `seed`.
+/// Used to diversify ensemble runs: Louvain's id-based tie-breaks make a
+/// relabelled instance explore a different local optimum.
+Permutation random_permutation(vid_t n, std::uint64_t seed);
+
+/// Applies a permutation: returns the isomorphic graph with renamed ids.
+Graph apply_permutation(const Graph& g, const Permutation& perm);
+
+/// Translates a community assignment on the permuted graph back to original
+/// vertex ids: result[old_id] = permuted_assignment[perm[old_id]].
+std::vector<cid_t> unpermute_assignment(const Permutation& perm,
+                                        std::span<const cid_t> permuted_assignment);
+
+/// Validates that `perm` is a bijection on [0, n). Throws otherwise.
+void validate_permutation(const Permutation& perm, vid_t n);
+
+}  // namespace gala::graph

@@ -1,0 +1,34 @@
+// Scaled-down synthetic stand-ins for the paper's seven evaluation graphs
+// (Table 2). Each stand-in reproduces the *character* of the original that
+// the experiments depend on — community sharpness (final modularity level),
+// degree skew, relative size and density — at a size that runs on one
+// machine (see DESIGN.md §1). The abbreviations match the paper.
+//
+//   FR  com-Friendster : largest social graph, Q≈0.63
+//   LJ  com-LiveJournal: social graph, Q≈0.75
+//   OR  com-Orkut      : dense social graph, Q≈0.66
+//   TW  twitter-2010   : hub-heavy, blurred communities, Q≈0.47
+//   UK  uk-2002        : web graph, extremely sharp communities, Q≈0.99
+//   EW  enwiki-2022    : skewed, Q≈0.66
+//   HW  hollywood-2011 : dense collaboration graph, Q≈0.75
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gala/graph/csr.hpp"
+
+namespace gala::graph {
+
+/// Paper-order abbreviations: FR, LJ, OR, TW, UK, EW, HW.
+const std::vector<std::string>& standin_abbrs();
+
+/// Full dataset name a stand-in substitutes for ("com-Friendster", ...).
+std::string standin_full_name(const std::string& abbr);
+
+/// Builds the stand-in graph. `scale` multiplies the vertex count (1.0 is
+/// the default bench size, small enough for seconds-long runs); results are
+/// deterministic in (abbr, scale, seed).
+Graph make_standin(const std::string& abbr, double scale = 1.0, std::uint64_t seed = 42);
+
+}  // namespace gala::graph

@@ -1,0 +1,103 @@
+#include "gala/graph/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+#include <unordered_map>
+
+#include "gala/common/error.hpp"
+
+namespace gala::graph {
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return s;
+  std::vector<vid_t> degrees(n);
+  for (vid_t v = 0; v < n; ++v) degrees[v] = g.out_degree(v);
+  std::sort(degrees.begin(), degrees.end());
+  s.min = degrees.front();
+  s.max = degrees.back();
+  s.median = degrees[n / 2];
+  s.p99 = degrees[static_cast<std::size_t>(0.99 * (n - 1))];
+  double sum = 0;
+  for (const vid_t d : degrees) sum += d;
+  s.mean = sum / n;
+  const int buckets = s.max <= 1 ? 1 : std::bit_width(static_cast<std::uint32_t>(s.max));
+  s.log2_histogram.assign(buckets, 0);
+  for (const vid_t d : degrees) {
+    const int b = d <= 1 ? 0 : std::bit_width(static_cast<std::uint32_t>(d)) - 1;
+    ++s.log2_histogram[b];
+  }
+  return s;
+}
+
+std::vector<vid_t> connected_components(const Graph& g, vid_t& num_components) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> component(n, kInvalidVid);
+  std::vector<vid_t> queue;
+  num_components = 0;
+  for (vid_t start = 0; start < n; ++start) {
+    if (component[start] != kInvalidVid) continue;
+    const vid_t id = num_components++;
+    queue.clear();
+    queue.push_back(start);
+    component[start] = id;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (const vid_t u : g.neighbors(queue[head])) {
+        if (component[u] == kInvalidVid) {
+          component[u] = id;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+vid_t largest_component_size(const Graph& g) {
+  vid_t k = 0;
+  const auto component = connected_components(g, k);
+  std::vector<vid_t> sizes(k, 0);
+  for (const vid_t c : component) ++sizes[c];
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+CommunityStats community_stats(const Graph& g, std::span<const cid_t> community) {
+  GALA_CHECK(community.size() == g.num_vertices(), "assignment size mismatch");
+  CommunityStats s;
+  if (community.empty()) return s;
+  std::unordered_map<cid_t, vid_t> size_of;
+  for (const cid_t c : community) ++size_of[c];
+  s.num_communities = static_cast<vid_t>(size_of.size());
+  std::vector<vid_t> sizes;
+  sizes.reserve(size_of.size());
+  for (const auto& [c, count] : size_of) sizes.push_back(count);
+  std::sort(sizes.begin(), sizes.end());
+  s.smallest = sizes.front();
+  s.largest = sizes.back();
+  s.median_size = sizes[sizes.size() / 2];
+  s.mean_size = static_cast<double>(community.size()) / static_cast<double>(sizes.size());
+
+  wt_t internal = 0;
+  wt_t total = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      total += ws[i];
+      if (community[nbrs[i]] == community[v]) internal += ws[i];
+    }
+  }
+  s.coverage = total > 0 ? internal / total : 1.0;
+  return s;
+}
+
+std::string describe(const DegreeStats& s) {
+  std::ostringstream os;
+  os << "degree min=" << s.min << " median=" << s.median << " mean=" << s.mean
+     << " p99=" << s.p99 << " max=" << s.max;
+  return os.str();
+}
+
+}  // namespace gala::graph

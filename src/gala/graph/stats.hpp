@@ -1,0 +1,50 @@
+// Graph and partition statistics: degree distribution, connected
+// components, and per-community summaries. Used by the CLI tools, the
+// examples, and the benches' workload descriptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::graph {
+
+struct DegreeStats {
+  vid_t min = 0;
+  vid_t max = 0;
+  double mean = 0;
+  double median = 0;
+  double p99 = 0;
+  /// Histogram over power-of-two buckets: bucket[i] counts vertices with
+  /// out-degree in [2^i, 2^(i+1)) (bucket 0 also holds degree 0..1).
+  std::vector<vid_t> log2_histogram;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Connected components via BFS. Returns the component id per vertex (dense
+/// ids in discovery order) and sets `num_components`.
+std::vector<vid_t> connected_components(const Graph& g, vid_t& num_components);
+
+/// Size of the largest connected component.
+vid_t largest_component_size(const Graph& g);
+
+/// Per-community summary of a partition.
+struct CommunityStats {
+  vid_t num_communities = 0;
+  vid_t largest = 0;
+  vid_t smallest = 0;
+  double mean_size = 0;
+  double median_size = 0;
+  /// Fraction of edge weight inside communities (the "coverage" measure).
+  double coverage = 0;
+};
+
+CommunityStats community_stats(const Graph& g, std::span<const cid_t> community);
+
+/// One-line human-readable report of degree_stats.
+std::string describe(const DegreeStats& s);
+
+}  // namespace gala::graph

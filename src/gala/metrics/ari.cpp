@@ -1,0 +1,41 @@
+#include "gala/metrics/ari.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "gala/common/error.hpp"
+
+namespace gala::metrics {
+
+double adjusted_rand_index(std::span<const cid_t> a, std::span<const cid_t> b) {
+  GALA_CHECK(a.size() == b.size(), "clusterings must cover the same vertex set");
+  const double n = static_cast<double>(a.size());
+  if (a.empty()) return 1.0;
+
+  auto comb2 = [](double x) { return x * (x - 1) / 2; };
+
+  // Sparse contingency table over (cluster-in-a, cluster-in-b) pairs.
+  std::unordered_map<cid_t, double> count_a, count_b;
+  std::unordered_map<std::uint64_t, double> joint;
+  std::unordered_map<cid_t, std::uint32_t> ida, idb;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ca = ida.try_emplace(a[i], static_cast<std::uint32_t>(ida.size())).first->second;
+    const auto cb = idb.try_emplace(b[i], static_cast<std::uint32_t>(idb.size())).first->second;
+    count_a[ca] += 1;
+    count_b[cb] += 1;
+    joint[(static_cast<std::uint64_t>(ca) << 32) | cb] += 1;
+  }
+
+  double sum_joint = 0, sum_a = 0, sum_b = 0;
+  for (const auto& [key, c] : joint) sum_joint += comb2(c);
+  for (const auto& [key, c] : count_a) sum_a += comb2(c);
+  for (const auto& [key, c] : count_b) sum_b += comb2(c);
+
+  const double total_pairs = comb2(n);
+  const double expected = sum_a * sum_b / total_pairs;
+  const double max_index = (sum_a + sum_b) / 2;
+  if (max_index == expected) return 1.0;  // both trivial partitions
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+}  // namespace gala::metrics

@@ -1,0 +1,16 @@
+// Adjusted Rand Index (Hubert & Arabie 1985) — a second external clustering
+// quality measure next to NMI, chance-corrected: 1 for identical partitions,
+// ~0 for independent ones, negative for adversarial disagreement.
+#pragma once
+
+#include <span>
+
+#include "gala/common/types.hpp"
+
+namespace gala::metrics {
+
+/// ARI between two assignments over the same vertex set (ids need not be
+/// dense). Returns 1.0 when both partitions are trivial and identical.
+double adjusted_rand_index(std::span<const cid_t> a, std::span<const cid_t> b);
+
+}  // namespace gala::metrics

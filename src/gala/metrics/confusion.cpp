@@ -1,0 +1,16 @@
+#include "gala/metrics/confusion.hpp"
+
+namespace gala::metrics {
+
+ConfusionSummary summarize_confusion(const std::vector<core::IterationStats>& iterations) {
+  ConfusionSummary s;
+  for (const auto& it : iterations) {
+    s.tp += it.tp;
+    s.fp += it.fp;
+    s.tn += it.tn;
+    s.fn += it.fn;
+  }
+  return s;
+}
+
+}  // namespace gala::metrics

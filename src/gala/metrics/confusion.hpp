@@ -1,0 +1,31 @@
+// Aggregation of the per-iteration pruning confusion matrices into the
+// FNR/FPR numbers of the paper's Table 1.
+//
+//   FNR = FN / (FN + TP)  — share of would-move vertices wrongly pruned
+//   FPR = FP / (FP + TN)  — share of stay-put vertices wrongly kept active
+#pragma once
+
+#include <vector>
+
+#include "gala/core/bsp_louvain.hpp"
+
+namespace gala::metrics {
+
+struct ConfusionSummary {
+  std::uint64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double fnr() const {
+    const std::uint64_t denom = fn + tp;
+    return denom == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(denom);
+  }
+  double fpr() const {
+    const std::uint64_t denom = fp + tn;
+    return denom == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(denom);
+  }
+};
+
+/// Sums the confusion entries over all iterations of a phase-1 run (the
+/// engine must have been configured with track_confusion = true).
+ConfusionSummary summarize_confusion(const std::vector<core::IterationStats>& iterations);
+
+}  // namespace gala::metrics

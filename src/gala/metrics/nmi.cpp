@@ -1,0 +1,70 @@
+#include "gala/metrics/nmi.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "gala/common/error.hpp"
+
+namespace gala::metrics {
+namespace {
+
+/// Renumbers arbitrary ids to [0, k); returns k.
+std::size_t densify(std::span<const cid_t> in, std::vector<std::uint32_t>& out) {
+  std::unordered_map<cid_t, std::uint32_t> remap;
+  out.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    auto [it, inserted] = remap.try_emplace(in[i], static_cast<std::uint32_t>(remap.size()));
+    out[i] = it->second;
+  }
+  return remap.size();
+}
+
+}  // namespace
+
+double entropy(std::span<const cid_t> a) {
+  if (a.empty()) return 0;
+  std::vector<std::uint32_t> dense;
+  const std::size_t k = densify(a, dense);
+  std::vector<double> count(k, 0);
+  for (const auto c : dense) count[c] += 1;
+  const double n = static_cast<double>(a.size());
+  double h = 0;
+  for (const double c : count) {
+    if (c > 0) h -= (c / n) * std::log(c / n);
+  }
+  return h;
+}
+
+double nmi(std::span<const cid_t> a, std::span<const cid_t> b) {
+  GALA_CHECK(a.size() == b.size(), "clusterings must cover the same vertex set");
+  if (a.empty()) return 1.0;
+  const double n = static_cast<double>(a.size());
+
+  std::vector<std::uint32_t> da, db;
+  const std::size_t ka = densify(a, da);
+  const std::size_t kb = densify(b, db);
+
+  // Sparse contingency table.
+  std::unordered_map<std::uint64_t, double> joint;
+  std::vector<double> ca(ka, 0), cb(kb, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ca[da[i]] += 1;
+    cb[db[i]] += 1;
+    joint[(static_cast<std::uint64_t>(da[i]) << 32) | db[i]] += 1;
+  }
+
+  double mi = 0;
+  for (const auto& [key, nij] : joint) {
+    const double ni = ca[key >> 32];
+    const double nj = cb[key & 0xffffffffu];
+    mi += (nij / n) * std::log((nij * n) / (ni * nj));
+  }
+  const double ha = entropy(a);
+  const double hb = entropy(b);
+  if (ha == 0 && hb == 0) return 1.0;  // both trivial partitions: identical
+  if (ha == 0 || hb == 0) return 0.0;
+  return mi / std::sqrt(ha * hb);
+}
+
+}  // namespace gala::metrics

@@ -1,0 +1,22 @@
+// Normalized Mutual Information (Strehl & Ghosh 2002) between two
+// clusterings — the community-quality metric of the paper's Table 4.
+//
+// NMI(X, Y) = I(X; Y) / sqrt(H(X) * H(Y)), in [0, 1]; 1 means identical
+// partitions (up to relabeling).
+#pragma once
+
+#include <span>
+
+#include "gala/common/types.hpp"
+
+namespace gala::metrics {
+
+/// Computes NMI between two assignments over the same vertex set. Ids need
+/// not be dense. Returns 1.0 for two identical single-cluster partitions
+/// (both entropies zero).
+double nmi(std::span<const cid_t> a, std::span<const cid_t> b);
+
+/// Shannon entropy (nats) of a clustering.
+double entropy(std::span<const cid_t> a);
+
+}  // namespace gala::metrics

@@ -1,0 +1,64 @@
+#include "gala/metrics/report.hpp"
+
+#include <fstream>
+
+#include "gala/graph/stats.hpp"
+
+namespace gala::metrics {
+
+std::string run_report_json(const graph::Graph& g, const core::GalaConfig& config,
+                            const core::GalaResult& result) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("graph").begin_object();
+  w.key("vertices").value(static_cast<std::uint64_t>(g.num_vertices()));
+  w.key("edges").value(static_cast<std::uint64_t>(g.num_edges()));
+  w.key("total_weight").value(g.total_weight());
+  w.key("max_out_degree").value(static_cast<std::uint64_t>(g.max_out_degree()));
+  w.end_object();
+
+  w.key("config").begin_object();
+  w.key("pruning").value(core::to_string(config.bsp.pruning));
+  w.key("kernel").value(core::to_string(config.bsp.kernel));
+  w.key("hashtable").value(core::to_string(config.bsp.hashtable));
+  w.key("weight_update").value(core::to_string(config.bsp.weight_update));
+  w.key("resolution").value(config.bsp.resolution);
+  w.key("theta").value(config.bsp.theta);
+  w.key("refine").value(config.refine);
+  w.key("vertex_following").value(config.vertex_following);
+  w.end_object();
+
+  w.key("result").begin_object();
+  w.key("modularity").value(result.modularity);
+  w.key("communities").value(static_cast<std::uint64_t>(result.num_communities));
+  w.key("wall_seconds").value(result.wall_seconds);
+  w.key("modeled_ms").value(result.modeled_ms);
+  const auto cs = graph::community_stats(g, result.assignment);
+  w.key("largest_community").value(static_cast<std::uint64_t>(cs.largest));
+  w.key("coverage").value(cs.coverage);
+  w.key("levels").begin_array();
+  for (const auto& lv : result.levels) {
+    w.begin_object();
+    w.key("vertices").value(static_cast<std::uint64_t>(lv.vertices));
+    w.key("communities").value(static_cast<std::uint64_t>(lv.communities));
+    w.key("modularity").value(lv.modularity);
+    w.key("iterations").value(lv.iterations);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+void save_run_report(const graph::Graph& g, const core::GalaConfig& config,
+                     const core::GalaResult& result, const std::string& path) {
+  std::ofstream out(path);
+  GALA_CHECK(out.is_open(), "cannot open report file: " << path);
+  out << run_report_json(g, config, result) << '\n';
+  GALA_CHECK(out.good(), "write failure: " << path);
+}
+
+}  // namespace gala::metrics

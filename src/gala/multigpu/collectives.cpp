@@ -1,0 +1,50 @@
+#include "gala/multigpu/collectives.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gala::multigpu {
+
+Communicator::Communicator(std::size_t num_ranks, CommCostModel cost)
+    : num_ranks_(num_ranks), cost_(cost), barrier_(static_cast<std::ptrdiff_t>(num_ranks)) {
+  GALA_CHECK(num_ranks >= 1, "communicator needs at least one rank");
+  staging_.resize(num_ranks);
+  scalar_buffer_.resize(num_ranks);
+}
+
+void Communicator::all_reduce_sum(std::size_t rank, std::span<double> data, CommStats& stats) {
+  {
+    std::lock_guard lock(mutex_);
+    if (reduce_buffer_.size() < data.size()) reduce_buffer_.assign(data.size(), 0.0);
+  }
+  barrier_.arrive_and_wait();
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < data.size(); ++i) reduce_buffer_[i] += data[i];
+  }
+  barrier_.arrive_and_wait();
+  std::copy_n(reduce_buffer_.begin(), data.size(), data.begin());
+  const std::size_t bytes = data.size() * sizeof(double);
+  stats.collectives += 1;
+  stats.bytes += bytes;
+  stats.modeled_us += cost_.microseconds(bytes);
+  barrier_.arrive_and_wait();
+  if (rank == 0) {
+    std::lock_guard lock(mutex_);
+    std::fill(reduce_buffer_.begin(), reduce_buffer_.end(), 0.0);
+  }
+  barrier_.arrive_and_wait();
+}
+
+double Communicator::all_reduce_min(std::size_t rank, double value, CommStats& stats) {
+  scalar_buffer_[rank] = value;
+  barrier_.arrive_and_wait();
+  const double result = *std::min_element(scalar_buffer_.begin(), scalar_buffer_.end());
+  stats.collectives += 1;
+  stats.bytes += num_ranks_ * sizeof(double);
+  stats.modeled_us += cost_.microseconds(num_ranks_ * sizeof(double));
+  barrier_.arrive_and_wait();
+  return result;
+}
+
+}  // namespace gala::multigpu

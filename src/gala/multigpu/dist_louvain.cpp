@@ -1,0 +1,342 @@
+#include "gala/multigpu/dist_louvain.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "gala/common/timer.hpp"
+#include "gala/core/aggregation.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::multigpu {
+namespace {
+
+/// Sparse-sync wire record: one moved vertex.
+struct MoveRecord {
+  vid_t vertex;
+  cid_t community;
+};
+
+/// Owner-computed weight-update message: "add delta to d_{C[x]}(x)".
+struct WeightMsg {
+  vid_t target;
+  wt_t delta;
+};
+
+/// State owned by one rank. Community-level arrays are full replicas (kept
+/// identical by the sync); weight_ is valid for owned vertices only.
+struct RankState {
+  graph::VertexRange range;
+  std::vector<cid_t> comm;
+  std::vector<cid_t> next_comm;
+  std::vector<wt_t> comm_total;
+  std::vector<vid_t> comm_size;
+  std::vector<wt_t> weight;
+  std::vector<std::uint8_t> prev_moved;
+  std::vector<std::uint8_t> moved;
+  std::vector<std::uint8_t> comm_changed;
+  std::vector<std::uint8_t> active;
+  std::vector<core::Decision> decisions;
+  DeviceTimeline timeline;
+};
+
+}  // namespace
+
+std::string to_string(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::Dense:
+      return "dense";
+    case SyncMode::Sparse:
+      return "sparse";
+    case SyncMode::Adaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+DistributedResult distributed_phase1(const graph::Graph& g, const DistributedConfig& config) {
+  GALA_CHECK(config.num_gpus >= 1, "need at least one device");
+  GALA_CHECK(g.total_weight() > 0, "graph has no edge weight");
+  const vid_t n = g.num_vertices();
+  const std::size_t P = config.num_gpus;
+  const auto ranges = graph::partition_by_edges(g, P);
+
+  Communicator comm_world(P, config.comm_cost);
+  std::vector<RankState> ranks(P);
+  DistributedResult result;
+  result.iteration_log.reserve(64);
+  std::mutex log_mutex;
+
+  wt_t sum_self_loops = 0;
+  for (vid_t v = 0; v < n; ++v) sum_self_loops += g.self_loop(v);
+
+  Timer wall_timer;
+
+  auto rank_main = [&](std::size_t rank) {
+    RankState& st = ranks[rank];
+    st.range = ranges[rank];
+    st.comm.resize(n);
+    st.next_comm.resize(n);
+    st.comm_total.resize(n);
+    st.comm_size.assign(n, 1);
+    st.weight.assign(n, 0);
+    st.prev_moved.assign(n, 0);
+    st.moved.assign(n, 0);
+    st.comm_changed.assign(n, 0);
+    st.active.assign(n, 0);
+    st.decisions.resize(n);
+    for (vid_t v = 0; v < n; ++v) {
+      st.comm[v] = v;
+      st.comm_total[v] = g.degree(v);
+    }
+
+    gpusim::Device device(config.device);
+    gpusim::SharedMemoryArena arena(config.device.shared_bytes_per_block);
+    std::vector<core::HashBucket> hash_scratch;
+    const std::uint64_t salt = splitmix64(config.seed ^ 0xabcdef0123456789ULL);
+
+    // Iteration-start modularity of the singleton partition.
+    wt_t q;
+    {
+      wt_t sq = 0;
+      for (vid_t c = 0; c < n; ++c) {
+        const wt_t f = st.comm_total[c] / g.two_m();
+        sq += f * f;
+      }
+      q = 2 * sum_self_loops / g.two_m() - config.resolution * sq;
+    }
+    wt_t min_total = *std::min_element(st.comm_total.begin(), st.comm_total.end());
+
+    for (int iter = 0; iter < config.max_iterations; ++iter) {
+      // --- 1. Pruning over the owned range only. -----------------------
+      const core::PruningContext prune_ctx{&g,
+                                           st.comm,
+                                           st.weight,
+                                           st.comm_total,
+                                           min_total,
+                                           g.two_m(),
+                                           st.prev_moved,
+                                           st.comm_changed,
+                                           iter,
+                                           config.resolution};
+      const std::uint64_t pm_base = splitmix64(config.seed ^ (0x5851f42d4c957f2dULL * iter));
+      for (vid_t v = st.range.begin; v < st.range.end; ++v) {
+        st.active[v] =
+            core::is_inactive(config.pruning, prune_ctx, v, config.pm_alpha, pm_base) ? 0 : 1;
+      }
+
+      // --- 2. DecideAndMove for owned active vertices. ------------------
+      const core::DecideInput input{&g, st.comm, st.comm_total, g.two_m(), config.resolution};
+      {
+        gpusim::MemoryStats stats;
+        for (vid_t v = st.range.begin; v < st.range.end; ++v) {
+          if (!st.active[v]) continue;
+          arena.reset();
+          const bool small = g.out_degree(v) < config.shuffle_degree_limit;
+          const bool use_shuffle = config.kernel == core::KernelMode::ShuffleOnly ||
+                                   (config.kernel == core::KernelMode::Auto && small);
+          st.decisions[v] =
+              use_shuffle
+                  ? core::shuffle_decide(input, v, arena, stats)
+                  : core::hash_decide(input, v, config.hashtable, arena, hash_scratch, salt, stats);
+        }
+        st.timeline.traffic += stats;
+      }
+
+      // Owned moves under the shared guard.
+      std::vector<MoveRecord> local_moves;
+      for (vid_t v = st.range.begin; v < st.range.end; ++v) {
+        const cid_t next =
+            st.active[v] ? core::apply_move_guard(st.decisions[v], st.comm[v], st.comm_size)
+                         : st.comm[v];
+        if (next != st.comm[v]) local_moves.push_back({v, next});
+      }
+
+      // --- 3. Community sync: dense vs sparse (§4.3). -------------------
+      double moved_total_d = static_cast<double>(local_moves.size());
+      {
+        double buf[1] = {moved_total_d};
+        comm_world.all_reduce_sum(rank, std::span<double>(buf, 1), st.timeline.comm);
+        moved_total_d = buf[0];
+      }
+      const auto moved_total = static_cast<vid_t>(moved_total_d);
+      const std::uint64_t sparse_bytes = static_cast<std::uint64_t>(moved_total) * sizeof(MoveRecord);
+      const std::uint64_t dense_bytes = static_cast<std::uint64_t>(n) * sizeof(cid_t);
+      const bool use_sparse = config.sync == SyncMode::Sparse ||
+                              (config.sync == SyncMode::Adaptive && sparse_bytes < dense_bytes);
+
+      std::copy(st.comm.begin(), st.comm.end(), st.next_comm.begin());
+      if (use_sparse) {
+        const auto all_moves = comm_world.all_gather_v<MoveRecord>(
+            rank, std::span<const MoveRecord>(local_moves), st.timeline.comm);
+        for (const MoveRecord& m : all_moves) st.next_comm[m.vertex] = m.community;
+      } else {
+        // Dense: every rank ships its whole owned slice of next_comm.
+        for (const MoveRecord& m : local_moves) st.next_comm[m.vertex] = m.community;
+        const auto slices = comm_world.all_gather_v<cid_t>(
+            rank,
+            std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()),
+            st.timeline.comm);
+        GALA_ASSERT(slices.size() == n);
+        std::copy(slices.begin(), slices.end(), st.next_comm.begin());
+      }
+
+      vid_t moved_check = 0;
+      for (vid_t v = 0; v < n; ++v) {
+        st.moved[v] = st.next_comm[v] != st.comm[v] ? 1 : 0;
+        moved_check += st.moved[v];
+      }
+      GALA_ASSERT(moved_check == moved_total);
+
+      // --- 4. Owner-computed weight update (§3.5, distributed). ---------
+      std::vector<WeightMsg> out_msgs;
+      {
+        gpusim::MemoryStats stats;
+        for (const MoveRecord& m : local_moves) {
+          const vid_t u = m.vertex;
+          const cid_t old_c = st.comm[u];
+          const cid_t new_c = m.community;
+          auto nbrs = g.neighbors(u);
+          auto ws = g.weights(u);
+          wt_t own = 0;
+          for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const vid_t x = nbrs[i];
+            stats.global_reads += 2;
+            if (x == u) continue;
+            if (st.next_comm[x] == new_c) own += ws[i];
+            if (!st.moved[x]) {
+              const cid_t cx = st.comm[x];
+              wt_t d = 0;
+              if (cx == old_c) d -= ws[i];
+              if (cx == new_c) d += ws[i];
+              if (d != 0) {
+                out_msgs.push_back({x, d});
+                stats.global_atomics += 1;
+              }
+            }
+          }
+          st.weight[u] = own;
+          stats.global_writes += 1;
+        }
+        st.timeline.traffic += stats;
+      }
+      const auto all_msgs =
+          comm_world.all_gather_v<WeightMsg>(rank, std::span<const WeightMsg>(out_msgs),
+                                             st.timeline.comm);
+      for (const WeightMsg& msg : all_msgs) {
+        if (msg.target >= st.range.begin && msg.target < st.range.end && !st.moved[msg.target]) {
+          st.weight[msg.target] += msg.delta;
+          st.timeline.traffic.global_reads += 1;
+          st.timeline.traffic.global_writes += 1;
+        }
+      }
+
+      // --- 5. Apply + bookkeeping on the replica. ------------------------
+      std::fill(st.comm_changed.begin(), st.comm_changed.end(), 0);
+      for (vid_t v = 0; v < n; ++v) {
+        if (!st.moved[v]) continue;
+        const cid_t old_c = st.comm[v];
+        const cid_t new_c = st.next_comm[v];
+        st.comm_total[old_c] -= g.degree(v);
+        st.comm_total[new_c] += g.degree(v);
+        --st.comm_size[old_c];
+        ++st.comm_size[new_c];
+        st.comm_changed[old_c] = 1;
+        st.comm_changed[new_c] = 1;
+      }
+      st.comm.swap(st.next_comm);
+      st.prev_moved.assign(st.moved.begin(), st.moved.end());
+      st.timeline.traffic.global_reads += st.range.size();
+
+      min_total = std::numeric_limits<wt_t>::max();
+      for (vid_t c = 0; c < n; ++c) {
+        if (st.comm_size[c] > 0) min_total = std::min(min_total, st.comm_total[c]);
+      }
+
+      // --- 6. Modularity: owned internal partial + replicated totals. ---
+      wt_t internal_partial = 0;
+      for (vid_t v = st.range.begin; v < st.range.end; ++v) {
+        internal_partial += st.weight[v] + 2 * g.self_loop(v);
+      }
+      {
+        double buf[1] = {internal_partial};
+        comm_world.all_reduce_sum(rank, std::span<double>(buf, 1), st.timeline.comm);
+        internal_partial = buf[0];
+      }
+      wt_t sq = 0;
+      for (vid_t c = 0; c < n; ++c) {
+        if (st.comm_size[c] > 0) {
+          const wt_t f = st.comm_total[c] / g.two_m();
+          sq += f * f;
+        }
+      }
+      const wt_t next_q = internal_partial / g.two_m() - config.resolution * sq;
+      const wt_t dq = next_q - q;
+      q = next_q;
+
+      if (rank == 0) {
+        std::lock_guard lock(log_mutex);
+        result.iteration_log.push_back(
+            {moved_total, use_sparse, use_sparse ? sparse_bytes : dense_bytes, q, dq});
+      }
+      comm_world.barrier();  // iteration_log visible before anyone proceeds
+
+      if (moved_total == 0 || dq < config.theta) break;
+    }
+
+    st.timeline.compute_modeled_ms =
+        config.device.modeled_ms(st.timeline.traffic);
+  };
+
+  if (P == 1) {
+    rank_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(P);
+    for (std::size_t r = 0; r < P; ++r) threads.emplace_back(rank_main, r);
+    for (auto& t : threads) t.join();
+  }
+
+  result.community = ranks[0].comm;
+  result.modularity = core::modularity(g, result.community);
+  result.iterations = static_cast<int>(result.iteration_log.size());
+  result.wall_seconds = wall_timer.seconds();
+  result.devices.reserve(P);
+  for (auto& st : ranks) result.devices.push_back(st.timeline);
+  return result;
+}
+
+DistributedFullResult distributed_louvain(const graph::Graph& g,
+                                          const DistributedConfig& config, double level_theta,
+                                          int max_levels) {
+  DistributedFullResult result;
+  Timer timer;
+  result.assignment.resize(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) result.assignment[v] = v;
+
+  const graph::Graph* current = &g;
+  graph::Graph owned;
+  wt_t prev_q = -1;
+  for (int level = 0; level < max_levels; ++level) {
+    const DistributedResult phase1 = distributed_phase1(*current, config);
+    result.modeled_ms += phase1.modeled_ms();
+    ++result.levels;
+    const core::AggregationResult agg = core::aggregate(*current, phase1.community);
+    if (level > 0 && phase1.modularity - prev_q < level_theta) {
+      result.assignment = core::compose_assignment(result.assignment, agg.fine_to_coarse);
+      prev_q = phase1.modularity;
+      break;
+    }
+    prev_q = phase1.modularity;
+    result.assignment = core::compose_assignment(result.assignment, agg.fine_to_coarse);
+    if (agg.num_communities == current->num_vertices()) break;
+    owned = std::move(agg.coarse);
+    current = &owned;
+  }
+  result.num_communities = core::renumber_communities(result.assignment);
+  result.modularity = prev_q;
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace gala::multigpu

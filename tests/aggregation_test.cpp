@@ -1,0 +1,102 @@
+// Phase 2 (graph contraction): modularity invariance, weight conservation,
+// self-loop formation, and assignment composition.
+#include "gala/core/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gala/core/modularity.hpp"
+#include "gala/core/sequential_louvain.hpp"
+#include "gala/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gala::core {
+namespace {
+
+TEST(Aggregation, TwoTrianglesContractToTwoSuperVertices) {
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> comm = {0, 0, 0, 1, 1, 1};
+  const auto agg = aggregate(g, comm);
+  EXPECT_EQ(agg.num_communities, 2u);
+  EXPECT_EQ(agg.coarse.num_vertices(), 2u);
+  // Each triangle: internal weight 3 -> self-loop 3; one bridge edge.
+  EXPECT_DOUBLE_EQ(agg.coarse.self_loop(0), 3.0);
+  EXPECT_DOUBLE_EQ(agg.coarse.self_loop(1), 3.0);
+  EXPECT_DOUBLE_EQ(agg.coarse.total_weight(), g.total_weight());
+}
+
+TEST(Aggregation, ModularityIsInvariantUnderContraction) {
+  // Q of the partition on the fine graph == Q of singletons on the coarse
+  // graph: the defining property of Louvain's phase 2.
+  for (const std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    const auto g = testing::small_planted(seed, 500, 10, 0.25);
+    const auto phase1 = sequential_phase1(g);
+    const wt_t q_fine = modularity(g, phase1.assignment);
+    const auto agg = aggregate(g, phase1.assignment);
+    std::vector<cid_t> singletons(agg.coarse.num_vertices());
+    for (vid_t v = 0; v < agg.coarse.num_vertices(); ++v) singletons[v] = v;
+    const wt_t q_coarse = modularity(agg.coarse, singletons);
+    EXPECT_NEAR(q_fine, q_coarse, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Aggregation, TotalWeightAndDegreeConserved) {
+  const auto g = testing::small_planted(3, 400, 8, 0.3);
+  const auto phase1 = sequential_phase1(g);
+  const auto agg = aggregate(g, phase1.assignment);
+  EXPECT_NEAR(agg.coarse.total_weight(), g.total_weight(), 1e-9);
+  EXPECT_NEAR(agg.coarse.two_m(), g.two_m(), 1e-9);
+  // Super-vertex degree == sum of member degrees.
+  std::vector<wt_t> expect(agg.num_communities, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) expect[agg.fine_to_coarse[v]] += g.degree(v);
+  for (vid_t c = 0; c < agg.num_communities; ++c) {
+    EXPECT_NEAR(agg.coarse.degree(c), expect[c], 1e-9);
+  }
+}
+
+TEST(Aggregation, PreservesExistingSelfLoops) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 0, 2.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  const auto g = b.build();
+  std::vector<cid_t> comm = {0, 0, 1};
+  const auto agg = aggregate(g, comm);
+  // Community {0,1}: self-loop = 2 (v0's loop) + 1 (edge 0-1) = 3.
+  EXPECT_DOUBLE_EQ(agg.coarse.self_loop(0), 3.0);
+  EXPECT_NEAR(agg.coarse.total_weight(), g.total_weight(), 1e-12);
+}
+
+TEST(Aggregation, SingletonPartitionIsIdentity) {
+  const auto g = testing::small_planted(7, 100, 4, 0.2);
+  std::vector<cid_t> comm(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) comm[v] = v;
+  const auto agg = aggregate(g, comm);
+  EXPECT_EQ(agg.coarse.num_vertices(), g.num_vertices());
+  EXPECT_EQ(agg.coarse.num_adjacency(), g.num_adjacency());
+  EXPECT_NEAR(agg.coarse.total_weight(), g.total_weight(), 1e-9);
+}
+
+TEST(Aggregation, AllInOneCommunityGivesSingleLoopVertex) {
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> comm(6, 3);  // sparse id is fine
+  const auto agg = aggregate(g, comm);
+  EXPECT_EQ(agg.coarse.num_vertices(), 1u);
+  EXPECT_DOUBLE_EQ(agg.coarse.self_loop(0), g.total_weight());
+  EXPECT_DOUBLE_EQ(agg.coarse.degree(0), g.two_m());
+}
+
+TEST(ComposeAssignment, ChainsTwoLevels) {
+  const std::vector<cid_t> fine_to_coarse = {0, 0, 1, 2, 1};
+  const std::vector<cid_t> coarse_assign = {5, 6, 5};
+  const auto composed = compose_assignment(fine_to_coarse, coarse_assign);
+  EXPECT_EQ(composed, (std::vector<cid_t>{5, 5, 6, 5, 6}));
+}
+
+TEST(ComposeAssignment, RejectsOutOfRangeCoarseIds) {
+  const std::vector<cid_t> fine_to_coarse = {0, 3};
+  const std::vector<cid_t> coarse_assign = {1, 1};
+  EXPECT_THROW(compose_assignment(fine_to_coarse, coarse_assign), Error);
+}
+
+}  // namespace
+}  // namespace gala::core

@@ -1,0 +1,91 @@
+// Baseline systems (Fig. 5 comparators): modularity parity with GALA and
+// the expected traffic/modeled-time ordering.
+#include "gala/baselines/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace gala::baselines {
+namespace {
+
+const graph::Graph& shared_graph() {
+  static const graph::Graph g = testing::small_planted(33, 800, 16, 0.25);
+  return g;
+}
+
+using Runner = BaselineResult (*)(const graph::Graph&, const BaselineOptions&);
+
+class EachBaseline : public ::testing::TestWithParam<std::pair<const char*, Runner>> {};
+
+TEST_P(EachBaseline, ConvergesToGalaModularity) {
+  // §5.1: every system follows the same convergence strategy, so the final
+  // modularity matches (identical decide semantics => identical result).
+  const auto& g = shared_graph();
+  BaselineOptions opts;
+  const auto gala = run_gala(g, opts);
+  const auto r = GetParam().second(g, opts);
+  EXPECT_EQ(r.name, GetParam().first);
+  EXPECT_NEAR(r.modularity, gala.modularity, 1e-9);
+  EXPECT_EQ(r.community, gala.community);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_GT(r.modeled_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, EachBaseline,
+    ::testing::Values(std::make_pair("cuGraph", &run_cugraph_like),
+                      std::make_pair("Gunrock", &run_gunrock_like),
+                      std::make_pair("nido", &run_nido_like),
+                      std::make_pair("Grappolo (GPU)", &run_grappolo_gpu),
+                      std::make_pair("Grappolo (GPU)*", &run_grappolo_gpu_star),
+                      std::make_pair("Grappolo (CPU)", &run_grappolo_cpu)));
+
+TEST(Baselines, GalaIsTheFastestModeledSystem) {
+  const auto& g = shared_graph();
+  const auto all = run_all_systems(g, {});
+  const auto& gala = all.back();
+  ASSERT_EQ(gala.name, "GALA");
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_GT(all[i].modeled_ms, gala.modeled_ms) << all[i].name;
+  }
+}
+
+TEST(Baselines, TrafficOrderingMatchesTheStrategies) {
+  const auto& g = shared_graph();
+  BaselineOptions opts;
+  const auto gala = run_gala(g, opts);
+  const auto gunrock = run_gunrock_like(g, opts);
+  const auto cugraph = run_cugraph_like(g, opts);
+  const auto grappolo = run_grappolo_gpu(g, opts);
+  // Gunrock's edge-list re-materialisation dwarfs everyone's global traffic.
+  EXPECT_GT(gunrock.traffic.global_reads, cugraph.traffic.global_reads);
+  EXPECT_GT(cugraph.traffic.global_reads, gala.traffic.global_reads);
+  // The unpruned global-hashtable baseline reads far more than GALA.
+  EXPECT_GT(grappolo.traffic.global_reads, 2 * gala.traffic.global_reads);
+}
+
+TEST(Baselines, RunAllReturnsPaperOrder) {
+  const auto all = run_all_systems(shared_graph(), {});
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(all[0].name, "cuGraph");
+  EXPECT_EQ(all[1].name, "Gunrock");
+  EXPECT_EQ(all[2].name, "nido");
+  EXPECT_EQ(all[3].name, "Grappolo (GPU)");
+  EXPECT_EQ(all[4].name, "Grappolo (GPU)*");
+  EXPECT_EQ(all[5].name, "Grappolo (CPU)");
+  EXPECT_EQ(all[6].name, "GALA");
+}
+
+TEST(Baselines, SequentialModeMatchesParallel) {
+  const auto& g = shared_graph();
+  BaselineOptions par, seq;
+  seq.parallel = false;
+  const auto a = run_cugraph_like(g, par);
+  const auto b = run_cugraph_like(g, seq);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.traffic.global_reads, b.traffic.global_reads);
+}
+
+}  // namespace
+}  // namespace gala::baselines

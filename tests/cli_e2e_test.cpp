@@ -1,0 +1,133 @@
+// End-to-end tests of the `gala` CLI binary: real subprocess invocations
+// exercising detect/stats/generate/convert and their error paths. The
+// binary path is injected by CMake as GALA_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliE2e : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "gala_cli_e2e";
+    fs::create_directories(dir_);
+  }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  /// Runs the CLI with `args`, capturing stdout+stderr; returns exit code.
+  int run(const std::string& args, std::string* output = nullptr) const {
+    const std::string out_file = path("last_output.txt");
+    const std::string cmd = std::string(GALA_CLI_PATH) + " " + args + " > " + out_file + " 2>&1";
+    const int status = std::system(cmd.c_str());
+    if (output != nullptr) {
+      std::ifstream in(out_file);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      *output = ss.str();
+    }
+    return WEXITSTATUS(status);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliE2e, GenerateDetectPipeline) {
+  std::string out;
+  ASSERT_EQ(run("generate planted --vertices 400 --communities 4 --mixing 0.1 --out " +
+                    path("g.txt") + " --truth " + path("truth.txt"),
+                &out),
+            0)
+      << out;
+  EXPECT_TRUE(fs::exists(path("g.txt")));
+  EXPECT_TRUE(fs::exists(path("truth.txt")));
+
+  ASSERT_EQ(run("detect " + path("g.txt") + " --output " + path("comm.txt") + " --connected",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("modularity"), std::string::npos);
+  EXPECT_NE(out.find("all communities connected: yes"), std::string::npos);
+
+  // The community file covers every vertex.
+  std::ifstream comm(path("comm.txt"));
+  int lines = 0;
+  std::string line;
+  while (std::getline(comm, line)) ++lines;
+  EXPECT_EQ(lines, 400);
+}
+
+TEST_F(CliE2e, DetectWithStandinAndJsonReport) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --refine --json " + path("run.json"), &out), 0) << out;
+  std::ifstream json(path("run.json"));
+  std::ostringstream ss;
+  ss << json.rdbuf();
+  EXPECT_NE(ss.str().find("\"refine\":true"), std::string::npos);
+}
+
+TEST_F(CliE2e, DistributedDetect) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:OR:0.05 --gpus 4", &out), 0) << out;
+  EXPECT_NE(out.find("distributed phase 1 on 4 devices"), std::string::npos);
+}
+
+TEST_F(CliE2e, LpaAlgorithm) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:LJ:0.05 --algorithm lpa", &out), 0) << out;
+  EXPECT_NE(out.find("label propagation"), std::string::npos);
+}
+
+TEST_F(CliE2e, StatsCommand) {
+  std::string out;
+  ASSERT_EQ(run("stats standin:TW:0.05", &out), 0) << out;
+  EXPECT_NE(out.find("connected components"), std::string::npos);
+  EXPECT_NE(out.find("degree bucket"), std::string::npos);
+}
+
+TEST_F(CliE2e, ConvertRoundTripAcrossFormats) {
+  std::string out;
+  ASSERT_EQ(run("generate ring --cliques 6 --clique-size 4 --out " + path("ring.txt"), &out), 0);
+  ASSERT_EQ(run("convert " + path("ring.txt") + " " + path("ring.bin"), &out), 0) << out;
+  ASSERT_EQ(run("convert " + path("ring.bin") + " " + path("ring.graph"), &out), 0) << out;
+  ASSERT_EQ(run("detect " + path("ring.graph"), &out), 0) << out;
+  EXPECT_NE(out.find("24 communities") == std::string::npos &&
+                    out.find("6 communities") == std::string::npos,
+            true)
+      << out;  // either granularity is fine; detection must succeed
+}
+
+TEST_F(CliE2e, CompareCommand) {
+  std::string out;
+  ASSERT_EQ(run("generate planted --vertices 200 --communities 2 --mixing 0.05 --out " +
+                    path("cmp.txt") + " --truth " + path("cmp_truth.txt"),
+                &out),
+            0);
+  ASSERT_EQ(run("detect " + path("cmp.txt") + " --output " + path("cmp_comm.txt"), &out), 0);
+  ASSERT_EQ(run("compare " + path("cmp_comm.txt") + " " + path("cmp_truth.txt"), &out), 0) << out;
+  EXPECT_NE(out.find("NMI:"), std::string::npos);
+  EXPECT_NE(out.find("ARI:"), std::string::npos);
+}
+
+TEST_F(CliE2e, ErrorPathsReturnNonZero) {
+  std::string out;
+  EXPECT_NE(run("detect /nonexistent/path.txt", &out), 0);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(run("nonsense-command", &out), 0);
+  EXPECT_NE(run("detect standin:LJ:0.05 --pruning bogus", &out), 0);
+  EXPECT_NE(run("generate bogus-type --out " + path("x.txt"), &out), 0);
+}
+
+TEST_F(CliE2e, HelpExitsCleanly) {
+  std::string out;
+  EXPECT_EQ(run("detect --help", &out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Unit tests for the common substrate: PRNG, thread pool, error macros,
+// text tables, timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "gala/common/error.hpp"
+#include "gala/common/prng.hpp"
+#include "gala/common/table.hpp"
+#include "gala/common/thread_pool.hpp"
+#include "gala/common/timer.hpp"
+
+namespace gala {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = rng.next_below(7);
+    EXPECT_LT(x, 7u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Prng, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 10, kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Prng, SplitProducesIndependentStream) {
+  Xoshiro256 a(5);
+  Xoshiro256 child = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == child();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, SplitmixIsConstexprAndStable) {
+  static_assert(splitmix64(0) == 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, ChunkedCoversRangeContiguously) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for_chunked(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, [](std::size_t i) {
+        if (i == 37) throw Error("boom");
+      }),
+      Error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ErrorMacros, CheckThrowsWithMessage) {
+  try {
+    GALA_CHECK(1 == 2, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, CheckPassesSilently) {
+  GALA_CHECK(2 + 2 == 4, "never");
+}
+
+TEST(TextTable, AlignsColumnsAndPrintsAllRows) {
+  TextTable t({"a", "long-header", "c"});
+  t.row().cell("x").cell(3.14159, 2).cell(7);
+  t.row().cell("longer-value").cell(1).cell("z");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("longer-value"), std::string::npos);
+  // Header + separator + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, CellBeforeRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.cell("x"), Error);
+}
+
+TEST(Timer, MeasuresElapsedTimeMonotonically) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(PhaseTimer, AccumulatesAcrossStartStop) {
+  PhaseTimer t;
+  t.start();
+  t.stop();
+  t.start();
+  t.stop();
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_GE(t.total_seconds(), 0.0);
+  t.reset();
+  EXPECT_EQ(t.count(), 0u);
+}
+
+}  // namespace
+}  // namespace gala

@@ -1,0 +1,241 @@
+// Tests for the synthetic graph generators, including property-style sweeps
+// (TEST_P) over their parameter spaces.
+#include "gala/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gala/graph/standin.hpp"
+
+namespace gala::graph {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCountNoLoopsNoDuplicates) {
+  const Graph g = erdos_renyi(100, 500, 1);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) EXPECT_DOUBLE_EQ(g.self_loop(v), 0.0);
+}
+
+TEST(ErdosRenyi, RejectsImpossibleEdgeCounts) {
+  EXPECT_THROW(erdos_renyi(4, 100, 1), Error);
+  EXPECT_THROW(erdos_renyi(1, 0, 1), Error);
+}
+
+TEST(ErdosRenyi, DeterministicBySeed) {
+  const Graph a = erdos_renyi(50, 100, 9);
+  const Graph b = erdos_renyi(50, 100, 9);
+  ASSERT_EQ(a.num_adjacency(), b.num_adjacency());
+  for (vid_t v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_TRUE(std::equal(a.neighbors(v).begin(), a.neighbors(v).end(),
+                           b.neighbors(v).begin()));
+  }
+}
+
+TEST(RingOfCliques, StructureIsExact) {
+  const vid_t k = 5, s = 4;
+  const Graph g = ring_of_cliques(k, s);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), k * s);
+  // Edges: k * C(s,2) cliques + k bridges.
+  EXPECT_EQ(g.num_edges(), k * (s * (s - 1) / 2) + k);
+}
+
+TEST(RingOfCliques, SingleCliqueHasNoBridges) {
+  const Graph g = ring_of_cliques(1, 5);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(SamplePowerLaw, RespectsBoundsAndSkew) {
+  Xoshiro256 rng(3);
+  const auto xs = sample_power_law(2, 50, 2.5, 20000, rng);
+  vid_t lo = 1000, hi = 0;
+  double mean = 0;
+  for (const vid_t x : xs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  EXPECT_GE(lo, 2u);
+  EXPECT_LE(hi, 50u);
+  // Power law with gamma 2.5 on [2,50]: mean well below the midpoint.
+  EXPECT_LT(mean, 8.0);
+  EXPECT_GT(mean, 2.0);
+}
+
+struct PlantedCase {
+  vid_t n;
+  vid_t k;
+  double mixing;
+  double degree_exponent;
+};
+
+class PlantedPartitionSweep : public ::testing::TestWithParam<PlantedCase> {};
+
+TEST_P(PlantedPartitionSweep, ProducesRequestedStructure) {
+  const auto param = GetParam();
+  PlantedPartitionParams p;
+  p.num_vertices = param.n;
+  p.num_communities = param.k;
+  p.avg_degree = 12;
+  p.mixing = param.mixing;
+  p.degree_exponent = param.degree_exponent;
+  p.seed = 17;
+  std::vector<cid_t> truth;
+  const Graph g = planted_partition(p, &truth);
+  g.validate();
+
+  ASSERT_EQ(truth.size(), param.n);
+  // Every community non-empty, ids in range.
+  std::vector<vid_t> sizes(param.k, 0);
+  for (const cid_t c : truth) {
+    ASSERT_LT(c, param.k);
+    ++sizes[c];
+  }
+  for (const vid_t s : sizes) EXPECT_GT(s, 0u);
+
+  // Empirical mixing: fraction of edge weight crossing communities should
+  // track the requested mixing (the spanning path adds a little internal).
+  wt_t cross = 0, total = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      total += ws[i];
+      if (truth[nbrs[i]] != truth[v]) cross += ws[i];
+    }
+  }
+  EXPECT_NEAR(cross / total, param.mixing, 0.08);
+
+  // Average weighted degree near the request (the per-community spanning
+  // path adds ~2 on top of avg_degree).
+  EXPECT_NEAR(g.two_m() / param.n, 12.0 + 2.0, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlantedPartitionSweep,
+                         ::testing::Values(PlantedCase{2000, 10, 0.1, 0.0},
+                                           PlantedCase{2000, 10, 0.4, 0.0},
+                                           PlantedCase{2000, 40, 0.25, 2.5},
+                                           PlantedCase{5000, 5, 0.05, 2.1},
+                                           PlantedCase{1000, 1, 0.0, 0.0}));
+
+TEST(PlantedPartition, SkewProducesHubs) {
+  PlantedPartitionParams p;
+  p.num_vertices = 5000;
+  p.num_communities = 10;
+  p.avg_degree = 20;
+  p.mixing = 0.3;
+  p.degree_exponent = 2.1;
+  p.max_degree_ratio = 200;
+  p.seed = 23;
+  const Graph g = planted_partition(p);
+  // Hubs: max degree far above the average.
+  EXPECT_GT(g.max_out_degree(), 4 * 20u);
+}
+
+TEST(PlantedPartition, RejectsBadParameters) {
+  PlantedPartitionParams p;
+  p.num_vertices = 10;
+  p.num_communities = 20;  // more communities than vertices
+  EXPECT_THROW(planted_partition(p), Error);
+  p.num_communities = 2;
+  p.mixing = 1.0;
+  EXPECT_THROW(planted_partition(p), Error);
+}
+
+TEST(Rmat, ProducesSkewedGraphOfRequestedScale) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 5;
+  const Graph g = rmat(p);
+  g.validate();
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_GT(g.num_edges(), 4000u);
+  // Heavy skew: the max degree dwarfs the average.
+  const double avg = static_cast<double>(g.num_adjacency()) / g.num_vertices();
+  EXPECT_GT(g.max_out_degree(), 5 * avg);
+}
+
+TEST(Rmat, RejectsBadQuadrants) {
+  RmatParams p;
+  p.a = 0.9;
+  p.b = 0.2;
+  p.c = 0.2;  // sums beyond 1
+  EXPECT_THROW(rmat(p), Error);
+}
+
+class LfrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LfrSweep, MixingAndDegreesTrackParameters) {
+  const double mu = GetParam();
+  LfrParams p;
+  p.num_vertices = 3000;
+  p.min_degree = 5;
+  p.max_degree = 40;
+  p.min_community = 20;
+  p.max_community = 200;
+  p.mixing = mu;
+  p.seed = 31;
+  std::vector<cid_t> truth;
+  const Graph g = lfr(p, truth);
+  g.validate();
+  ASSERT_EQ(truth.size(), p.num_vertices);
+
+  // Community sizes within bounds (the last may be folded, so allow upper
+  // slack of one max_community).
+  std::vector<vid_t> sizes;
+  {
+    std::vector<vid_t> count(p.num_vertices, 0);
+    cid_t max_c = 0;
+    for (const cid_t c : truth) {
+      ++count[c];
+      max_c = std::max(max_c, c);
+    }
+    for (cid_t c = 0; c <= max_c; ++c) {
+      if (count[c] > 0) sizes.push_back(count[c]);
+    }
+  }
+  EXPECT_GT(sizes.size(), 3u);
+  for (const vid_t s : sizes) EXPECT_LE(s, 2 * p.max_community);
+
+  // Empirical mixing within tolerance of mu (stub matching is approximate).
+  wt_t cross = 0, total = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      total += 1;
+      if (truth[nbrs[i]] != truth[v]) cross += 1;
+    }
+  }
+  EXPECT_NEAR(cross / total, mu, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixings, LfrSweep, ::testing::Values(0.1, 0.3, 0.5));
+
+TEST(StandIns, AllSevenBuildAndValidate) {
+  for (const auto& abbr : standin_abbrs()) {
+    const Graph g = make_standin(abbr, 0.05);
+    g.validate();
+    EXPECT_GT(g.num_vertices(), 0u) << abbr;
+    EXPECT_GT(g.num_edges(), 0u) << abbr;
+    EXPECT_FALSE(standin_full_name(abbr).empty());
+  }
+}
+
+TEST(StandIns, ScaleGrowsTheGraph) {
+  const Graph small = make_standin("LJ", 0.05);
+  const Graph large = make_standin("LJ", 0.2);
+  EXPECT_GT(large.num_vertices(), 2 * small.num_vertices());
+}
+
+TEST(StandIns, UnknownAbbrThrows) {
+  EXPECT_THROW(make_standin("XX"), Error);
+  EXPECT_THROW(standin_full_name("XX"), Error);
+}
+
+}  // namespace
+}  // namespace gala::graph

@@ -1,0 +1,169 @@
+// NeighborCommunityTable under all three placement policies: correctness
+// against a std::map reference (property-swept), placement behaviour, and
+// the Fig. 4 accounting.
+#include "gala/core/hashtables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gala/common/prng.hpp"
+
+namespace gala::core {
+namespace {
+
+constexpr std::size_t kBucketBytes = sizeof(HashBucket);
+
+struct TableHarness {
+  gpusim::SharedMemoryArena arena;
+  std::vector<HashBucket> scratch;
+  gpusim::MemoryStats stats;
+
+  explicit TableHarness(std::size_t shared_buckets)
+      : arena(shared_buckets * kBucketBytes) {}
+
+  NeighborCommunityTable make(HashTablePolicy policy, vid_t capacity, std::uint64_t salt = 42) {
+    return NeighborCommunityTable(policy, arena, scratch, capacity, salt, stats);
+  }
+};
+
+class PolicyTest : public ::testing::TestWithParam<HashTablePolicy> {};
+
+TEST_P(PolicyTest, AccumulatesLikeAReferenceMap) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    TableHarness h(16);
+    auto table = h.make(GetParam(), 256, seed);
+    Xoshiro256 rng(seed);
+    std::map<cid_t, wt_t> reference;
+    auto total_of = [](cid_t c) { return static_cast<wt_t>(c) * 10; };
+    for (int i = 0; i < 256; ++i) {
+      const cid_t c = static_cast<cid_t>(rng.next_below(40));
+      const wt_t w = 1.0 + rng.next_double();
+      table.upsert(c, w, total_of);
+      reference[c] += w;
+    }
+    EXPECT_EQ(table.size(), reference.size());
+    std::map<cid_t, wt_t> seen;
+    table.for_each([&](cid_t c, wt_t w, wt_t total) {
+      seen[c] = w;
+      EXPECT_DOUBLE_EQ(total, total_of(c)) << "cached D_V(C) for " << c;
+    });
+    ASSERT_EQ(seen.size(), reference.size());
+    for (const auto& [c, w] : reference) EXPECT_NEAR(seen[c], w, 1e-12) << "community " << c;
+  }
+}
+
+TEST_P(PolicyTest, ResetEmptiesTheTableForReuse) {
+  TableHarness h(16);
+  auto table = h.make(GetParam(), 64);
+  table.upsert(5, 1.0, [](cid_t) { return 0.0; });
+  table.upsert(9, 2.0, [](cid_t) { return 0.0; });
+  EXPECT_EQ(table.size(), 2u);
+  table.reset();
+  EXPECT_EQ(table.size(), 0u);
+  int visited = 0;
+  table.for_each([&](cid_t, wt_t, wt_t) { ++visited; });
+  EXPECT_EQ(visited, 0);
+  // The scratch slab must be clean for the next vertex.
+  for (const auto& b : h.scratch) EXPECT_EQ(b.key, kInvalidCid);
+}
+
+TEST_P(PolicyTest, HandlesMoreKeysThanSharedBuckets) {
+  TableHarness h(4);  // tiny shared part forces overflow
+  auto table = h.make(GetParam(), 128);
+  for (cid_t c = 0; c < 100; ++c) table.upsert(c, 1.0, [](cid_t) { return 0.0; });
+  EXPECT_EQ(table.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(HashTablePolicy::GlobalOnly, HashTablePolicy::Unified,
+                                           HashTablePolicy::Hierarchical),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case HashTablePolicy::GlobalOnly:
+                               return std::string("GlobalOnly");
+                             case HashTablePolicy::Unified:
+                               return std::string("Unified");
+                             case HashTablePolicy::Hierarchical:
+                               return std::string("Hierarchical");
+                           }
+                           return std::string("Unknown");
+                         });
+
+TEST(HashTablePlacement, GlobalOnlyNeverTouchesShared) {
+  TableHarness h(16);
+  auto table = h.make(HashTablePolicy::GlobalOnly, 64);
+  for (cid_t c = 0; c < 50; ++c) table.upsert(c, 1.0, [](cid_t) { return 0.0; });
+  EXPECT_EQ(h.stats.ht_maintain_shared, 0u);
+  EXPECT_EQ(h.stats.ht_access_shared, 0u);
+  EXPECT_EQ(h.stats.shared_reads, 0u);
+  EXPECT_GT(h.stats.ht_maintain_global, 0u);
+}
+
+TEST(HashTablePlacement, HierarchicalPrioritisesShared) {
+  // With enough shared buckets, hierarchical keeps (nearly) everything in
+  // shared memory; unified spills ~g/(s+g) of entries to global by design.
+  constexpr vid_t kKeys = 24;
+  TableHarness hier_h(64), uni_h(64);
+  auto hier = hier_h.make(HashTablePolicy::Hierarchical, 64);
+  auto uni = uni_h.make(HashTablePolicy::Unified, 64);
+  for (cid_t c = 0; c < kKeys; ++c) {
+    hier.upsert(c, 1.0, [](cid_t) { return 0.0; });
+    uni.upsert(c, 1.0, [](cid_t) { return 0.0; });
+  }
+  // Single-probe h0 into 64 shared buckets: some birthday collisions spill
+  // to global, but the bulk stays shared.
+  EXPECT_GT(hier_h.stats.maintenance_rate(), 0.65);
+  EXPECT_GT(hier_h.stats.maintenance_rate(), uni_h.stats.maintenance_rate());
+  EXPECT_GT(hier_h.stats.access_rate(), uni_h.stats.access_rate());
+}
+
+TEST(HashTablePlacement, RepeatedAccessPushesAccessRateAboveMaintenance) {
+  // A hot community maintained in shared memory is re-accessed many times:
+  // access rate should exceed maintenance rate (the paper's observation).
+  TableHarness h(8);
+  auto table = h.make(HashTablePolicy::Hierarchical, 64);
+  for (int round = 0; round < 20; ++round) {
+    for (cid_t c = 0; c < 12; ++c) table.upsert(c, 1.0, [](cid_t) { return 0.0; });
+  }
+  EXPECT_GE(h.stats.access_rate(), h.stats.maintenance_rate());
+}
+
+TEST(HashTable, CollidingKeysBothSurvive) {
+  // Force a collision in the single shared probe: with 1 shared bucket every
+  // second key must fall through to global and still accumulate correctly.
+  TableHarness h(1);
+  auto table = h.make(HashTablePolicy::Hierarchical, 16);
+  table.upsert(1, 1.0, [](cid_t) { return 0.0; });
+  table.upsert(2, 2.0, [](cid_t) { return 0.0; });
+  table.upsert(1, 3.0, [](cid_t) { return 0.0; });
+  std::map<cid_t, wt_t> seen;
+  table.for_each([&](cid_t c, wt_t w, wt_t) { seen[c] = w; });
+  EXPECT_DOUBLE_EQ(seen[1], 4.0);
+  EXPECT_DOUBLE_EQ(seen[2], 2.0);
+}
+
+TEST(HashTable, ChargesGlobalReadPerInsertForCommunityTotal) {
+  TableHarness h(16);
+  auto table = h.make(HashTablePolicy::Hierarchical, 16);
+  const auto before = h.stats.global_reads;
+  table.upsert(3, 1.0, [](cid_t) { return 5.0; });  // insert: loads D_V
+  const auto after_insert = h.stats.global_reads;
+  table.upsert(3, 1.0, [](cid_t) { return 5.0; });  // update: cached
+  EXPECT_EQ(h.stats.global_reads, after_insert);
+  EXPECT_GT(after_insert, before);
+}
+
+TEST(HashTable, RejectsZeroCapacity) {
+  TableHarness h(4);
+  EXPECT_THROW(h.make(HashTablePolicy::Hierarchical, 0), Error);
+}
+
+TEST(HashTable, PolicyNames) {
+  EXPECT_EQ(to_string(HashTablePolicy::GlobalOnly), "global-only");
+  EXPECT_EQ(to_string(HashTablePolicy::Unified), "unified");
+  EXPECT_EQ(to_string(HashTablePolicy::Hierarchical), "hierarchical");
+}
+
+}  // namespace
+}  // namespace gala::core

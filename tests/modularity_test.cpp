@@ -1,0 +1,108 @@
+// Unit tests for modularity, gain scoring, and community renumbering.
+#include "gala/core/modularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gala/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gala::core {
+namespace {
+
+TEST(Modularity, SingletonPartitionOfCliquePair) {
+  const auto g = testing::two_triangles();
+  // Singletons: Q = 0 - sum (d_v/2m)^2; 2m = 14.
+  std::vector<cid_t> singles = {0, 1, 2, 3, 4, 5};
+  const wt_t q = modularity(g, singles);
+  wt_t expect = 0;
+  for (vid_t v = 0; v < 6; ++v) {
+    const wt_t f = g.degree(v) / g.two_m();
+    expect -= f * f;
+  }
+  EXPECT_NEAR(q, expect, 1e-12);
+}
+
+TEST(Modularity, TwoTrianglePartitionMatchesHandComputation) {
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> comm = {0, 0, 0, 1, 1, 1};
+  // Each triangle: D_C = 6 (3 internal edges twice), D_V = 7, 2m = 14.
+  // Q = 2 * (6/14 - (7/14)^2) = 2*(0.428571 - 0.25) = 0.357142...
+  EXPECT_NEAR(modularity(g, comm), 2.0 * (6.0 / 14 - 0.25), 1e-12);
+}
+
+TEST(Modularity, AllInOneCommunityIsZeroForLooplessGraph) {
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> comm(6, 0);
+  // D_C(C) = 2|E|, D_V(C) = 2|E| -> Q = 1 - 1 = 0.
+  EXPECT_NEAR(modularity(g, comm), 0.0, 1e-12);
+}
+
+TEST(Modularity, SelfLoopsCountTwiceInInternalWeight) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(0, 0, 2.0);  // self-loop, weight 2
+  const auto g = b.build();
+  // |E| = 3, 2|E| = 6; d(0) = 1 + 2*2 = 5, d(1) = 1.
+  EXPECT_NEAR(g.two_m(), 6.0, 1e-12);
+  EXPECT_NEAR(g.degree(0), 5.0, 1e-12);
+  std::vector<cid_t> singles = {0, 1};
+  // C0: D_C = 2*2 = 4, D_V = 5; C1: D_C = 0, D_V = 1.
+  const wt_t expect = (4.0 / 6 - 25.0 / 36) + (0.0 - 1.0 / 36);
+  EXPECT_NEAR(modularity(g, singles), expect, 1e-12);
+}
+
+TEST(Modularity, MoveScoreMatchesModularityDelta) {
+  // Brute-force check: score difference == |E| * (Q_after - Q_before) when
+  // moving one vertex between communities.
+  const auto g = testing::small_planted(11, 60, 3, 0.3);
+  std::vector<cid_t> comm(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) comm[v] = v % 3;
+
+  std::vector<wt_t> total(3, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) total[comm[v]] += g.degree(v);
+
+  for (vid_t v = 0; v < 10; ++v) {
+    const cid_t from = comm[v];
+    const cid_t to = (from + 1) % 3;
+    wt_t e_from = 0, e_to = 0;
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == v) continue;
+      if (comm[nbrs[i]] == from) e_from += ws[i];
+      if (comm[nbrs[i]] == to) e_to += ws[i];
+    }
+    const wt_t q_before = modularity(g, comm);
+    comm[v] = to;
+    const wt_t q_after = modularity(g, comm);
+    comm[v] = from;
+
+    const wt_t score_stay = move_score(e_from, total[from], g.degree(v), g.two_m(), true);
+    const wt_t score_move = move_score(e_to, total[to], g.degree(v), g.two_m(), false);
+    EXPECT_NEAR((score_move - score_stay) / g.total_weight(), q_after - q_before, 1e-10)
+        << "vertex " << v;
+  }
+}
+
+TEST(RenumberCommunities, CompactsSparseIdsStably) {
+  std::vector<cid_t> comm = {7, 3, 7, 9, 3};
+  std::vector<cid_t> reps;
+  const vid_t k = renumber_communities(comm, &reps);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(comm, (std::vector<cid_t>{0, 1, 0, 2, 1}));
+  EXPECT_EQ(reps, (std::vector<cid_t>{7, 3, 9}));
+}
+
+TEST(RenumberCommunities, HandlesIdsBeyondVertexRange) {
+  std::vector<cid_t> comm = {1000000, 0, 1000000};
+  EXPECT_EQ(renumber_communities(comm), 2u);
+  EXPECT_EQ(comm, (std::vector<cid_t>{0, 1, 0}));
+}
+
+TEST(CountCommunities, CountsDistinct) {
+  std::vector<cid_t> comm = {5, 5, 2, 9, 2};
+  EXPECT_EQ(count_communities(comm), 3u);
+}
+
+}  // namespace
+}  // namespace gala::core

@@ -1,0 +1,208 @@
+// Multi-GPU layer: collectives, distributed/single-device parity, and the
+// dense/sparse synchronisation behaviour.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gala/core/bsp_louvain.hpp"
+#include "gala/multigpu/dist_louvain.hpp"
+#include "test_util.hpp"
+
+namespace gala::multigpu {
+namespace {
+
+TEST(Collectives, AllGatherVConcatenatesInRankOrder) {
+  constexpr std::size_t P = 4;
+  Communicator comm(P);
+  std::vector<std::vector<int>> results(P);
+  std::vector<CommStats> stats(P);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<int> local(r + 1, static_cast<int>(r));  // rank r sends r+1 copies of r
+      results[r] = comm.all_gather_v<int>(r, local, stats[r]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::vector<int> expect = {0, 1, 1, 2, 2, 2, 3, 3, 3, 3};
+  for (std::size_t r = 0; r < P; ++r) {
+    EXPECT_EQ(results[r], expect) << "rank " << r;
+    EXPECT_EQ(stats[r].collectives, 1u);
+    EXPECT_EQ(stats[r].bytes, expect.size() * sizeof(int));
+    EXPECT_GT(stats[r].modeled_us, 0.0);
+  }
+}
+
+TEST(Collectives, AllGatherVHandlesEmptyContributions) {
+  constexpr std::size_t P = 3;
+  Communicator comm(P);
+  std::vector<std::vector<double>> results(P);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      CommStats stats;
+      std::vector<double> local;
+      if (r == 1) local = {3.5};
+      results[r] = comm.all_gather_v<double>(r, local, stats);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t r = 0; r < P; ++r) EXPECT_EQ(results[r], std::vector<double>{3.5});
+}
+
+TEST(Collectives, AllReduceSumIsExactAndRepeatable) {
+  constexpr std::size_t P = 4;
+  Communicator comm(P);
+  std::vector<std::thread> threads;
+  std::vector<std::array<double, 3>> data(P);
+  for (std::size_t r = 0; r < P; ++r) data[r] = {1.0 * r, 2.0, -1.0 * r};
+  for (std::size_t r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      CommStats stats;
+      // Two rounds: the buffer must be cleanly reset between collectives.
+      comm.all_reduce_sum(r, data[r], stats);
+      comm.all_reduce_sum(r, data[r], stats);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Round 1: {0+1+2+3, 8, -6} = {6, 8, -6}; round 2 sums the reduced copies.
+  for (std::size_t r = 0; r < P; ++r) {
+    EXPECT_DOUBLE_EQ(data[r][0], 24.0);
+    EXPECT_DOUBLE_EQ(data[r][1], 32.0);
+    EXPECT_DOUBLE_EQ(data[r][2], -24.0);
+  }
+}
+
+TEST(Collectives, AllReduceMin) {
+  constexpr std::size_t P = 3;
+  Communicator comm(P);
+  std::vector<double> results(P);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      CommStats stats;
+      results[r] = comm.all_reduce_min(r, 10.0 - static_cast<double>(r), stats);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const double v : results) EXPECT_DOUBLE_EQ(v, 8.0);
+}
+
+TEST(CommCostModel, AlphaBetaShape) {
+  CommCostModel cost;
+  EXPECT_DOUBLE_EQ(cost.microseconds(0), cost.alpha_us);
+  EXPECT_GT(cost.microseconds(1 << 20), cost.microseconds(1 << 10));
+}
+
+class DeviceCounts : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeviceCounts, MatchesSingleEngineTrajectoryExactly) {
+  const auto g = testing::small_planted(41, 800, 16, 0.25);
+  core::BspConfig single_cfg;
+  single_cfg.parallel = false;
+  const auto single = core::bsp_phase1(g, single_cfg);
+
+  DistributedConfig cfg;
+  cfg.num_gpus = GetParam();
+  const auto dist = distributed_phase1(g, cfg);
+  EXPECT_EQ(dist.community, single.community);
+  EXPECT_NEAR(dist.modularity, single.modularity, 1e-9);
+  EXPECT_EQ(static_cast<std::size_t>(dist.iterations), single.iterations.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToEight, DeviceCounts, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Distributed, AllSyncModesProduceTheSameResult) {
+  const auto g = testing::small_planted(43, 600, 12, 0.3);
+  std::vector<std::vector<cid_t>> communities;
+  for (const auto mode : {SyncMode::Dense, SyncMode::Sparse, SyncMode::Adaptive}) {
+    DistributedConfig cfg;
+    cfg.num_gpus = 4;
+    cfg.sync = mode;
+    communities.push_back(distributed_phase1(g, cfg).community);
+  }
+  EXPECT_EQ(communities[0], communities[1]);
+  EXPECT_EQ(communities[1], communities[2]);
+}
+
+TEST(Distributed, AdaptiveSwitchesToSparseInLateIterations) {
+  const auto g = testing::small_planted(47, 2000, 20, 0.2);
+  DistributedConfig cfg;
+  cfg.num_gpus = 4;
+  cfg.sync = SyncMode::Adaptive;
+  const auto r = distributed_phase1(g, cfg);
+  ASSERT_GT(r.iteration_log.size(), 2u);
+  // Moves decay over iterations, so the tail must be sparse.
+  EXPECT_TRUE(r.iteration_log.back().sparse_sync);
+  // Sparse payloads must be smaller than the dense payload for the switch
+  // to have been correct.
+  const std::uint64_t dense_bytes = static_cast<std::uint64_t>(g.num_vertices()) * sizeof(cid_t);
+  for (const auto& it : r.iteration_log) {
+    if (it.sparse_sync) {
+      EXPECT_LT(it.sync_bytes, dense_bytes);
+    }
+  }
+}
+
+TEST(Distributed, SparseMovesFewerBytesThanDenseOverall) {
+  const auto g = testing::small_planted(49, 1500, 15, 0.25);
+  auto total_bytes = [&](SyncMode mode) {
+    DistributedConfig cfg;
+    cfg.num_gpus = 4;
+    cfg.sync = mode;
+    const auto r = distributed_phase1(g, cfg);
+    std::uint64_t bytes = 0;
+    for (const auto& it : r.iteration_log) bytes += it.sync_bytes;
+    return bytes;
+  };
+  const auto dense = total_bytes(SyncMode::Dense);
+  const auto adaptive = total_bytes(SyncMode::Adaptive);
+  EXPECT_LE(adaptive, dense);
+}
+
+TEST(Distributed, ComputeTrafficSplitsAcrossDevices) {
+  const auto g = testing::small_planted(51, 2000, 20, 0.25);
+  DistributedConfig one, four;
+  one.num_gpus = 1;
+  four.num_gpus = 4;
+  const auto r1 = distributed_phase1(g, one);
+  const auto r4 = distributed_phase1(g, four);
+  // Per-device decide traffic must shrink substantially with more devices.
+  EXPECT_LT(r4.max_compute_modeled_ms(), 0.6 * r1.max_compute_modeled_ms());
+  // The union of all devices' traffic is ~ the single-device traffic.
+  std::uint64_t reads4 = 0;
+  for (const auto& d : r4.devices) reads4 += d.traffic.global_reads;
+  EXPECT_NEAR(static_cast<double>(reads4),
+              static_cast<double>(r1.devices[0].traffic.global_reads),
+              0.1 * static_cast<double>(r1.devices[0].traffic.global_reads));
+}
+
+TEST(Distributed, PruningStrategiesMatchSingleEngineExactly) {
+  // The deterministic strategies must produce the single-engine trajectory
+  // under distribution (same decisions, same pruning, exact sync).
+  const auto g = testing::small_planted(53, 500, 10, 0.3);
+  for (const auto strategy :
+       {core::PruningStrategy::None, core::PruningStrategy::Strict,
+        core::PruningStrategy::Relaxed, core::PruningStrategy::ModularityGain,
+        core::PruningStrategy::MgPlusRelaxed}) {
+    core::BspConfig single_cfg;
+    single_cfg.pruning = strategy;
+    single_cfg.parallel = false;
+    const auto single = core::bsp_phase1(g, single_cfg);
+    DistributedConfig cfg;
+    cfg.num_gpus = 3;
+    cfg.pruning = strategy;
+    const auto r = distributed_phase1(g, cfg);
+    EXPECT_EQ(r.community, single.community) << core::to_string(strategy);
+  }
+}
+
+TEST(Distributed, RejectsZeroDevices) {
+  const auto g = testing::two_triangles();
+  DistributedConfig cfg;
+  cfg.num_gpus = 0;
+  EXPECT_THROW(distributed_phase1(g, cfg), Error);
+}
+
+}  // namespace
+}  // namespace gala::multigpu

@@ -1,0 +1,80 @@
+// NMI and entropy (metrics for Table 4).
+#include "gala/metrics/nmi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gala/common/prng.hpp"
+
+namespace gala::metrics {
+namespace {
+
+TEST(Nmi, IdenticalPartitionsScoreOne) {
+  const std::vector<cid_t> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(nmi(a, a), 1.0, 1e-12);
+}
+
+TEST(Nmi, RelabelingIsInvariant) {
+  const std::vector<cid_t> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<cid_t> b = {9, 9, 4, 4, 7, 7};
+  EXPECT_NEAR(nmi(a, b), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsScoreNearZero) {
+  Xoshiro256 rng(5);
+  std::vector<cid_t> a(20000), b(20000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<cid_t>(rng.next_below(10));
+    b[i] = static_cast<cid_t>(rng.next_below(10));
+  }
+  EXPECT_LT(nmi(a, b), 0.02);
+}
+
+TEST(Nmi, RefinementScoresBetweenZeroAndOne) {
+  // b refines a (splits each cluster in two): informative but not identical.
+  std::vector<cid_t> a(1000), b(1000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<cid_t>(i % 4);
+    b[i] = static_cast<cid_t>(i % 8);
+  }
+  const double v = nmi(a, b);
+  EXPECT_GT(v, 0.5);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Nmi, SymmetricInItsArguments) {
+  Xoshiro256 rng(8);
+  std::vector<cid_t> a(500), b(500);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<cid_t>(rng.next_below(5));
+    b[i] = static_cast<cid_t>(i % 7);
+  }
+  EXPECT_NEAR(nmi(a, b), nmi(b, a), 1e-12);
+}
+
+TEST(Nmi, TrivialPartitionEdgeCases) {
+  const std::vector<cid_t> one_cluster(10, 0);
+  const std::vector<cid_t> split = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  EXPECT_NEAR(nmi(one_cluster, one_cluster), 1.0, 1e-12);
+  // A constant partition carries no information about any other.
+  EXPECT_NEAR(nmi(one_cluster, split), 0.0, 1e-12);
+}
+
+TEST(Nmi, MismatchedSizesThrow) {
+  const std::vector<cid_t> a = {0, 1};
+  const std::vector<cid_t> b = {0, 1, 2};
+  EXPECT_THROW(nmi(a, b), Error);
+}
+
+TEST(Entropy, MatchesClosedForm) {
+  const std::vector<cid_t> uniform4 = {0, 1, 2, 3};
+  EXPECT_NEAR(entropy(uniform4), std::log(4.0), 1e-12);
+  const std::vector<cid_t> constant(7, 3);
+  EXPECT_NEAR(entropy(constant), 0.0, 1e-12);
+  const std::vector<cid_t> skew = {0, 0, 0, 1};
+  EXPECT_NEAR(entropy(skew), -(0.75 * std::log(0.75) + 0.25 * std::log(0.25)), 1e-12);
+}
+
+}  // namespace
+}  // namespace gala::metrics

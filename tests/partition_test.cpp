@@ -1,0 +1,63 @@
+// Vertex-range partitioning for the multi-GPU layer.
+#include "gala/graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace gala::graph {
+namespace {
+
+TEST(Partition, CoversAllVerticesContiguously) {
+  const Graph g = testing::small_planted(3, 500, 8, 0.2);
+  for (const std::size_t parts : {1u, 2u, 3u, 7u}) {
+    const auto ranges = partition_by_edges(g, parts);
+    ASSERT_EQ(ranges.size(), parts);
+    EXPECT_EQ(ranges.front().begin, 0u);
+    EXPECT_EQ(ranges.back().end, g.num_vertices());
+    for (std::size_t p = 1; p < parts; ++p) EXPECT_EQ(ranges[p].begin, ranges[p - 1].end);
+  }
+}
+
+TEST(Partition, BalancesAdjacencyEntries) {
+  const Graph g = testing::small_planted(5, 2000, 20, 0.2);
+  const auto ranges = partition_by_edges(g, 4);
+  std::vector<eid_t> load(4, 0);
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (vid_t v = ranges[p].begin; v < ranges[p].end; ++v) load[p] += g.out_degree(v);
+  }
+  const eid_t target = g.num_adjacency() / 4;
+  for (const eid_t l : load) {
+    EXPECT_NEAR(static_cast<double>(l), static_cast<double>(target), 0.25 * target);
+  }
+}
+
+TEST(Partition, MorePartsThanVerticesStillCovers) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const auto ranges = partition_by_edges(g, 8);
+  EXPECT_EQ(ranges.back().end, 3u);
+  vid_t covered = 0;
+  for (const auto& r : ranges) covered += r.size();
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(Partition, OwnerOfFindsTheRightRange) {
+  const Graph g = testing::small_planted(7, 300, 6, 0.2);
+  const auto ranges = partition_by_edges(g, 5);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const std::size_t p = owner_of(ranges, v);
+    EXPECT_GE(v, ranges[p].begin);
+    EXPECT_LT(v, ranges[p].end);
+  }
+}
+
+TEST(Partition, ZeroPartsRejected) {
+  const Graph g = testing::two_triangles();
+  EXPECT_THROW(partition_by_edges(g, 0), Error);
+}
+
+}  // namespace
+}  // namespace gala::graph

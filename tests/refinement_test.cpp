@@ -1,0 +1,108 @@
+// Leiden-style refinement (extension): refinement property (every refined
+// sub-community is connected and respects phase-1 boundaries) and the
+// refine-enabled pipeline.
+#include "gala/core/refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gala/core/bsp_louvain.hpp"
+#include "gala/core/gala.hpp"
+#include "gala/core/modularity.hpp"
+#include "test_util.hpp"
+
+namespace gala::core {
+namespace {
+
+TEST(Refinement, RefinesWithinCommunityBoundaries) {
+  const auto g = testing::small_planted(3, 500, 10, 0.25);
+  const auto phase1 = bsp_phase1(g, {});
+  const auto r = refine_partition(g, phase1.community);
+  ASSERT_EQ(r.refined.size(), g.num_vertices());
+  // Refinement: same sub-community implies same phase-1 community.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t u : g.neighbors(v)) {
+      if (r.refined[u] == r.refined[v]) {
+        EXPECT_EQ(phase1.community[u], phase1.community[v]);
+      }
+    }
+  }
+  EXPECT_GE(r.num_subcommunities, phase1.num_communities);
+}
+
+class RefinementConnectivity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RefinementConnectivity, EverySubCommunityIsConnected) {
+  const auto g = testing::small_planted(GetParam(), 600, 12, 0.3);
+  const auto phase1 = bsp_phase1(g, {});
+  const auto r = refine_partition(g, phase1.community, 1.0, GetParam());
+  EXPECT_TRUE(is_partition_connected(g, r.refined));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinementConnectivity, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Refinement, SingletonPartitionStaysSingleton) {
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> singles = {0, 1, 2, 3, 4, 5};
+  const auto r = refine_partition(g, singles);
+  EXPECT_EQ(r.num_subcommunities, 6u);
+  EXPECT_EQ(r.communities_split, 0u);
+}
+
+TEST(Refinement, MergesWithinASingleCommunity) {
+  // Everything in one community: refinement should still build non-trivial
+  // sub-communities out of the triangles.
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> one(6, 0);
+  const auto r = refine_partition(g, one);
+  EXPECT_LT(r.num_subcommunities, 6u);
+  EXPECT_TRUE(is_partition_connected(g, r.refined));
+}
+
+TEST(Refinement, SplitsDisconnectedCommunities) {
+  // Two disjoint triangles forced into one community must split.
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  const auto g = b.build();
+  std::vector<cid_t> one(6, 0);
+  EXPECT_FALSE(is_partition_connected(g, one));
+  const auto r = refine_partition(g, one);
+  EXPECT_TRUE(is_partition_connected(g, r.refined));
+  EXPECT_GE(r.num_subcommunities, 2u);
+  EXPECT_NE(r.refined[0], r.refined[3]);
+}
+
+TEST(Refinement, DeterministicInSeed) {
+  const auto g = testing::small_planted(9, 400, 8, 0.3);
+  const auto phase1 = bsp_phase1(g, {});
+  const auto a = refine_partition(g, phase1.community, 1.0, 7);
+  const auto b = refine_partition(g, phase1.community, 1.0, 7);
+  EXPECT_EQ(a.refined, b.refined);
+}
+
+TEST(IsPartitionConnected, HandlesIsolatedVertices) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto g = b.build();  // vertex 2 isolated
+  std::vector<cid_t> comm = {0, 0, 1};
+  EXPECT_TRUE(is_partition_connected(g, comm));
+  std::vector<cid_t> bad = {0, 1, 0};  // {0,2} disconnected
+  EXPECT_FALSE(is_partition_connected(g, bad));
+}
+
+TEST(Refinement, PipelineWithRefineReachesComparableQuality) {
+  const auto g = testing::small_planted(11, 1000, 12, 0.2);
+  GalaConfig plain, leiden;
+  leiden.refine = true;
+  const auto a = run_louvain(g, plain);
+  const auto b = run_louvain(g, leiden);
+  EXPECT_GT(b.modularity, 0.95 * a.modularity);
+  EXPECT_NEAR(b.modularity, modularity(g, b.assignment), 1e-9);
+}
+
+}  // namespace
+}  // namespace gala::core

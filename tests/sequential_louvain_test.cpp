@@ -1,0 +1,76 @@
+// The sequential Blondel reference implementation.
+#include "gala/core/sequential_louvain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gala/core/modularity.hpp"
+#include "gala/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gala::core {
+namespace {
+
+TEST(SequentialLouvain, FindsTheTwoTriangles) {
+  const auto g = testing::two_triangles();
+  const auto r = sequential_louvain(g);
+  EXPECT_EQ(r.num_communities, 2u);
+  EXPECT_NEAR(r.modularity, 2.0 * (6.0 / 14 - 0.25), 1e-9);
+}
+
+TEST(SequentialLouvain, RingOfCliquesGetsOneCommunityPerClique) {
+  const auto g = graph::ring_of_cliques(10, 5);
+  const auto r = sequential_louvain(g);
+  EXPECT_EQ(r.num_communities, 10u);
+  // All members of a clique share a community.
+  for (vid_t c = 0; c < 10; ++c) {
+    for (vid_t i = 1; i < 5; ++i) {
+      EXPECT_EQ(r.assignment[c * 5 + i], r.assignment[c * 5]);
+    }
+  }
+}
+
+TEST(SequentialLouvain, ReportedModularityMatchesAudit) {
+  const auto g = testing::small_planted(21, 800, 10, 0.25);
+  const auto r = sequential_louvain(g);
+  EXPECT_NEAR(r.modularity, modularity(g, r.assignment), 1e-9);
+}
+
+TEST(SequentialLouvain, Phase1NeverDecreasesModularity) {
+  const auto g = testing::small_planted(23, 500, 8, 0.3);
+  std::vector<cid_t> singles(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) singles[v] = v;
+  const wt_t q0 = modularity(g, singles);
+  const auto r = sequential_phase1(g);
+  EXPECT_GE(r.modularity, q0);
+}
+
+TEST(SequentialLouvain, MultiLevelAtLeastAsGoodAsPhase1) {
+  const auto g = testing::small_planted(25, 700, 14, 0.2);
+  const auto p1 = sequential_phase1(g);
+  const auto full = sequential_louvain(g);
+  EXPECT_GE(full.modularity, p1.modularity - 1e-9);
+  EXPECT_LE(full.num_communities, p1.num_communities);
+}
+
+TEST(SequentialLouvain, AssignmentIsDense) {
+  const auto g = testing::small_planted(27);
+  const auto r = sequential_louvain(g);
+  for (const cid_t c : r.assignment) EXPECT_LT(c, r.num_communities);
+}
+
+TEST(SequentialLouvain, HandlesWeightedGraphs) {
+  // Strong weights must dominate topology: {0,1} and {2,3} despite the ring.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 10.0);
+  b.add_edge(2, 3, 10.0);
+  b.add_edge(1, 2, 0.1);
+  b.add_edge(3, 0, 0.1);
+  const auto g = b.build();
+  const auto r = sequential_louvain(g);
+  EXPECT_EQ(r.num_communities, 2u);
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[2], r.assignment[3]);
+}
+
+}  // namespace
+}  // namespace gala::core

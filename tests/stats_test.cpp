@@ -1,0 +1,98 @@
+// Graph statistics: degree distribution, components, community summaries.
+#include "gala/graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gala/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gala::graph {
+namespace {
+
+TEST(DegreeStats, HandComputedValues) {
+  // Star with 4 leaves: center degree 4, leaves degree 1.
+  GraphBuilder b(5);
+  for (vid_t v = 1; v < 5; ++v) b.add_edge(0, v);
+  const auto s = degree_stats(b.build());
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5);
+  EXPECT_DOUBLE_EQ(s.median, 1.0);
+  // Histogram: bucket 0 = degree 0..1 (4 leaves), bucket 2 = degree 4..7.
+  ASSERT_EQ(s.log2_histogram.size(), 3u);
+  EXPECT_EQ(s.log2_histogram[0], 4u);
+  EXPECT_EQ(s.log2_histogram[2], 1u);
+}
+
+TEST(DegreeStats, HistogramCoversAllVertices) {
+  const auto g = testing::small_planted(3);
+  const auto s = degree_stats(g);
+  vid_t total = 0;
+  for (const vid_t c : s.log2_histogram) total += c;
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_FALSE(describe(s).empty());
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  GraphBuilder b(0);
+  const auto s = degree_stats(b.build());
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_TRUE(s.log2_histogram.empty());
+}
+
+TEST(ConnectedComponents, CountsAndLabelsCorrectly) {
+  // Two triangles, one isolated vertex: 3 components.
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const auto g = b.build();
+  vid_t k = 0;
+  const auto comp = connected_components(g, k);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[6], comp[0]);
+  EXPECT_EQ(largest_component_size(g), 3u);
+}
+
+TEST(ConnectedComponents, ConnectedGraphIsOneComponent) {
+  const auto g = graph::ring_of_cliques(5, 4);
+  vid_t k = 0;
+  connected_components(g, k);
+  EXPECT_EQ(k, 1u);
+  EXPECT_EQ(largest_component_size(g), 20u);
+}
+
+TEST(CommunityStats, SummarisesAPartition) {
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> comm = {0, 0, 0, 1, 1, 1};
+  const auto s = community_stats(g, comm);
+  EXPECT_EQ(s.num_communities, 2u);
+  EXPECT_EQ(s.largest, 3u);
+  EXPECT_EQ(s.smallest, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_size, 3.0);
+  // 6 internal edges of 7 total: coverage = 12/14 of directed weight.
+  EXPECT_NEAR(s.coverage, 12.0 / 14.0, 1e-12);
+}
+
+TEST(CommunityStats, SingletonPartitionHasZeroCoverage) {
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> singles = {0, 1, 2, 3, 4, 5};
+  const auto s = community_stats(g, singles);
+  EXPECT_EQ(s.num_communities, 6u);
+  EXPECT_DOUBLE_EQ(s.coverage, 0.0);
+}
+
+TEST(CommunityStats, MismatchedSizeThrows) {
+  const auto g = testing::two_triangles();
+  std::vector<cid_t> bad = {0, 1};
+  EXPECT_THROW(community_stats(g, bad), Error);
+}
+
+}  // namespace
+}  // namespace gala::graph

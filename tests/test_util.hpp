@@ -1,0 +1,37 @@
+// Shared helpers for the GALA test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "gala/graph/csr.hpp"
+#include "gala/graph/generators.hpp"
+
+namespace gala::testing {
+
+/// Tiny two-triangle graph joined by one bridge: the canonical hand-checkable
+/// community structure. Vertices 0-2 and 3-5; bridge {2,3}.
+inline graph::Graph two_triangles() {
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  b.add_edge(2, 3);
+  return b.build();
+}
+
+/// Karate-club-sized deterministic planted graph for mid-size tests.
+inline graph::Graph small_planted(std::uint64_t seed = 5, vid_t n = 400, vid_t k = 8,
+                                  double mixing = 0.15) {
+  graph::PlantedPartitionParams p;
+  p.num_vertices = n;
+  p.num_communities = k;
+  p.avg_degree = 12;
+  p.mixing = mixing;
+  p.seed = seed;
+  return graph::planted_partition(p);
+}
+
+}  // namespace gala::testing

@@ -1,0 +1,111 @@
+// Vertex following (Grappolo's pendant-merge heuristic).
+#include "gala/core/vertex_following.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gala/core/gala.hpp"
+#include "gala/core/modularity.hpp"
+#include "gala/graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace gala::core {
+namespace {
+
+TEST(VertexFollowing, MergesPendantsIntoAnchors) {
+  // Triangle {0,1,2} with pendant 3 hanging off 0 and chain 4-5 off 1.
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  b.add_edge(1, 4);
+  b.add_edge(4, 5);
+  const auto g = b.build();
+  const auto vf = follow_vertices(g);
+  vf.reduced.validate();
+  // Pendant 3 merges into 0; chain 5 -> 4 -> 1 collapses entirely.
+  EXPECT_EQ(vf.followers, 3u);
+  EXPECT_EQ(vf.reduced.num_vertices(), 3u);
+  EXPECT_EQ(vf.original_to_reduced[3], vf.original_to_reduced[0]);
+  EXPECT_EQ(vf.original_to_reduced[4], vf.original_to_reduced[1]);
+  EXPECT_EQ(vf.original_to_reduced[5], vf.original_to_reduced[1]);
+  // Weight and degree mass preserved.
+  EXPECT_NEAR(vf.reduced.total_weight(), g.total_weight(), 1e-12);
+  EXPECT_NEAR(vf.reduced.two_m(), g.two_m(), 1e-12);
+}
+
+TEST(VertexFollowing, KeepsIsolatedAndSelfLoopVertices) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 2, 3.0);  // self-loop only
+  // vertex 3 isolated
+  const auto g = b.build();
+  const auto vf = follow_vertices(g);
+  // {0,1} is a mutual pendant pair: one follows the other; 2 and 3 stay.
+  EXPECT_EQ(vf.reduced.num_vertices(), 3u);
+  EXPECT_EQ(vf.original_to_reduced[0], vf.original_to_reduced[1]);
+  EXPECT_NE(vf.original_to_reduced[2], vf.original_to_reduced[3]);
+}
+
+TEST(VertexFollowing, NoFollowersOnMinDegreeTwoGraphs) {
+  const auto g = graph::ring_of_cliques(5, 4);
+  const auto vf = follow_vertices(g);
+  EXPECT_EQ(vf.followers, 0u);
+  EXPECT_EQ(vf.reduced.num_vertices(), g.num_vertices());
+}
+
+TEST(VertexFollowing, ModularityInvariantUnderTheMerge) {
+  // Any partition on the reduced graph expands to a partition on the
+  // original with identical modularity.
+  graph::GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(3, 5);
+  b.add_edge(2, 3);
+  b.add_edge(0, 6);  // pendant
+  const auto g = b.build();
+  const auto vf = follow_vertices(g);
+  std::vector<cid_t> reduced_comm(vf.reduced.num_vertices());
+  for (vid_t v = 0; v < vf.reduced.num_vertices(); ++v) reduced_comm[v] = v % 2;
+  const auto expanded = expand_assignment(vf, reduced_comm);
+  EXPECT_NEAR(modularity(vf.reduced, reduced_comm), modularity(g, expanded), 1e-12);
+}
+
+TEST(VertexFollowing, PipelineQualityUnchangedWithPendants) {
+  // Planted graph plus a pendant on every 10th vertex.
+  auto base = testing::small_planted(5, 500, 10, 0.2);
+  graph::GraphBuilder b(base.num_vertices() + 50);
+  for (vid_t v = 0; v < base.num_vertices(); ++v) {
+    auto nbrs = base.neighbors(v);
+    auto ws = base.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= v) b.add_edge(v, nbrs[i], ws[i]);
+    }
+  }
+  for (vid_t p = 0; p < 50; ++p) b.add_edge(p * 10, base.num_vertices() + p);
+  const auto g = b.build();
+
+  GalaConfig plain, following;
+  following.vertex_following = true;
+  const auto a = run_louvain(g, plain);
+  const auto c = run_louvain(g, following);
+  EXPECT_NEAR(c.modularity, a.modularity, 0.01);
+  EXPECT_NEAR(core::modularity(g, c.assignment), c.modularity, 1e-9);
+  // Each pendant shares its anchor's community.
+  for (vid_t p = 0; p < 50; ++p) {
+    EXPECT_EQ(c.assignment[base.num_vertices() + p], c.assignment[p * 10]);
+  }
+}
+
+TEST(VertexFollowing, ExpandRejectsWrongSizes) {
+  const auto g = testing::two_triangles();
+  const auto vf = follow_vertices(g);
+  std::vector<cid_t> wrong(vf.reduced.num_vertices() + 1, 0);
+  EXPECT_THROW(expand_assignment(vf, wrong), Error);
+}
+
+}  // namespace
+}  // namespace gala::core

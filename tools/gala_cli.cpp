@@ -1,0 +1,328 @@
+// The `gala` command-line tool.
+//
+//   gala detect <graph> [options]   run community detection, write results
+//   gala stats <graph>              graph statistics
+//   gala generate <type> [options]  synthesize a graph to disk
+//   gala convert <in> <out>         text edge-list <-> binary snapshot
+//
+// Graphs are text edge lists ("u v [w]" per line) unless the path ends in
+// .bin (binary snapshot), or "standin:ABBR[:scale]" for the built-in
+// stand-in suite (e.g. standin:LJ:0.5).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "gala/baselines/label_propagation.hpp"
+#include "gala/common/cli.hpp"
+#include "gala/common/table.hpp"
+#include "gala/core/gala.hpp"
+#include "gala/core/refinement.hpp"
+#include "gala/graph/generators.hpp"
+#include "gala/graph/formats.hpp"
+#include "gala/graph/io.hpp"
+#include "gala/graph/standin.hpp"
+#include "gala/graph/stats.hpp"
+#include "gala/metrics/ari.hpp"
+#include "gala/metrics/nmi.hpp"
+#include "gala/metrics/report.hpp"
+#include "gala/multigpu/dist_louvain.hpp"
+
+namespace {
+
+using namespace gala;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+graph::Graph load_graph(const std::string& spec) {
+  if (spec.rfind("standin:", 0) == 0) {
+    std::string rest = spec.substr(8);
+    double scale = 0.5;
+    if (const auto colon = rest.find(':'); colon != std::string::npos) {
+      scale = std::stod(rest.substr(colon + 1));
+      rest = rest.substr(0, colon);
+    }
+    return graph::make_standin(rest, scale);
+  }
+  if (ends_with(spec, ".bin")) return graph::load_binary(spec);
+  if (ends_with(spec, ".mtx")) return graph::load_matrix_market(spec);
+  if (ends_with(spec, ".graph") || ends_with(spec, ".metis")) return graph::load_metis(spec);
+  return graph::load_edge_list(spec);
+}
+
+core::PruningStrategy parse_pruning(const std::string& name) {
+  if (name == "none") return core::PruningStrategy::None;
+  if (name == "SM" || name == "sm") return core::PruningStrategy::Strict;
+  if (name == "RM" || name == "rm") return core::PruningStrategy::Relaxed;
+  if (name == "PM" || name == "pm") return core::PruningStrategy::Probabilistic;
+  if (name == "MG" || name == "mg") return core::PruningStrategy::ModularityGain;
+  if (name == "MG+RM" || name == "mg+rm") return core::PruningStrategy::MgPlusRelaxed;
+  GALA_CHECK(false, "unknown pruning strategy '" << name << "' (none|SM|RM|PM|MG|MG+RM)");
+}
+
+core::HashTablePolicy parse_hashtable(const std::string& name) {
+  if (name == "global") return core::HashTablePolicy::GlobalOnly;
+  if (name == "unified") return core::HashTablePolicy::Unified;
+  if (name == "hierarchical") return core::HashTablePolicy::Hierarchical;
+  GALA_CHECK(false, "unknown hashtable policy '" << name << "' (global|unified|hierarchical)");
+}
+
+int cmd_detect(int argc, const char* const* argv) {
+  ArgParser args("gala detect",
+                 "Detect communities with the GALA multi-level Louvain pipeline.");
+  args.add_positional("graph", "edge list / .bin / standin:ABBR[:scale]")
+      .add_option("pruning", "none|SM|RM|PM|MG|MG+RM", "MG")
+      .add_option("hashtable", "global|unified|hierarchical", "hierarchical")
+      .add_option("resolution", "gamma for generalised modularity", "1.0")
+      .add_option("theta", "per-iteration convergence threshold", "1e-6")
+      .add_option("gpus", "simulated devices (>1 uses the distributed engine, phase 1 only)",
+                  "1")
+      .add_option("output", "write 'vertex community' lines here", "")
+      .add_option("algorithm", "louvain|lpa", "louvain")
+      .add_option("json", "write a machine-readable run report here", "")
+      .add_flag("refine", "Leiden-style refinement before each aggregation")
+      .add_flag("follow", "vertex-following preprocessing (merge pendants)")
+      .add_flag("connected", "report whether every community is connected");
+  if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+
+  const graph::Graph g = load_graph(args.get("graph"));
+  std::printf("graph: %s\n", graph::summary(g).c_str());
+
+  std::vector<cid_t> assignment;
+  if (args.get("algorithm") == "lpa") {
+    baselines::LpaOptions opts;
+    const auto r = baselines::label_propagation(g, opts);
+    assignment = r.labels;
+    std::printf("label propagation: %u communities in %d iterations, modularity %.5f\n",
+                r.num_communities, r.iterations,
+                core::modularity(g, assignment, args.get_double("resolution")));
+  } else if (args.get_int("gpus") > 1) {
+    multigpu::DistributedConfig cfg;
+    cfg.num_gpus = static_cast<std::size_t>(args.get_int("gpus"));
+    cfg.pruning = parse_pruning(args.get("pruning"));
+    cfg.hashtable = parse_hashtable(args.get("hashtable"));
+    cfg.resolution = args.get_double("resolution");
+    cfg.theta = args.get_double("theta");
+    const auto r = multigpu::distributed_phase1(g, cfg);
+    assignment = r.community;
+    core::renumber_communities(assignment);
+    std::printf("distributed phase 1 on %zu devices: modularity %.5f, %d iterations, "
+                "%.3f modeled ms, %.3f s wall\n",
+                cfg.num_gpus, r.modularity, r.iterations, r.modeled_ms(), r.wall_seconds);
+  } else {
+    core::GalaConfig cfg;
+    cfg.bsp.pruning = parse_pruning(args.get("pruning"));
+    cfg.bsp.hashtable = parse_hashtable(args.get("hashtable"));
+    cfg.bsp.resolution = args.get_double("resolution");
+    cfg.bsp.theta = args.get_double("theta");
+    cfg.refine = args.has("refine");
+    cfg.vertex_following = args.has("follow");
+    const auto r = core::run_louvain(g, cfg);
+    assignment = r.assignment;
+    if (const std::string json = args.get("json"); !json.empty()) {
+      metrics::save_run_report(g, cfg, r, json);
+      std::printf("wrote run report to %s\n", json.c_str());
+    }
+    std::printf("GALA: %u communities, modularity %.5f, %zu levels, %.3f s wall, "
+                "%.3f modeled ms\n",
+                r.num_communities, r.modularity, r.levels.size(), r.wall_seconds, r.modeled_ms);
+    for (const auto& lv : r.levels) {
+      std::printf("  level: %u -> %u (Q=%.5f, %d iters)\n", lv.vertices, lv.communities,
+                  lv.modularity, lv.iterations);
+    }
+  }
+
+  const auto cs = graph::community_stats(g, assignment);
+  std::printf("sizes: largest=%u median=%.0f smallest=%u, coverage=%.1f%%\n", cs.largest,
+              cs.median_size, cs.smallest, 100.0 * cs.coverage);
+  if (args.has("connected")) {
+    std::printf("all communities connected: %s\n",
+                core::is_partition_connected(g, assignment) ? "yes" : "no");
+  }
+  if (const std::string out = args.get("output"); !out.empty()) {
+    std::ofstream f(out);
+    GALA_CHECK(f.is_open(), "cannot open " << out);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) f << v << ' ' << assignment[v] << '\n';
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, const char* const* argv) {
+  ArgParser args("gala stats", "Print graph statistics.");
+  args.add_positional("graph", "edge list / .bin / standin:ABBR[:scale]");
+  if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+  const graph::Graph g = load_graph(args.get("graph"));
+  std::printf("%s\n%s\n", graph::summary(g).c_str(),
+              graph::describe(graph::degree_stats(g)).c_str());
+  vid_t components = 0;
+  graph::connected_components(g, components);
+  std::printf("connected components: %u (largest %u vertices)\n", components,
+              graph::largest_component_size(g));
+  const auto ds = graph::degree_stats(g);
+  TextTable hist({"degree bucket", "vertices"});
+  for (std::size_t b = 0; b < ds.log2_histogram.size(); ++b) {
+    std::ostringstream label;
+    label << "[" << (b == 0 ? 0 : (1u << b)) << ", " << (1u << (b + 1)) << ")";
+    hist.row().cell(label.str()).cell(ds.log2_histogram[b]);
+  }
+  hist.print();
+  return 0;
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  ArgParser args("gala generate", "Synthesize a graph and write it to disk.");
+  args.add_positional("type", "planted|lfr|rmat|er|ring")
+      .add_option("out", "output path (.bin for binary)", "graph.txt")
+      .add_option("vertices", "vertex count", "10000")
+      .add_option("communities", "community count (planted)", "100")
+      .add_option("avg-degree", "average degree (planted)", "16")
+      .add_option("mixing", "inter-community mixing (planted/lfr)", "0.2")
+      .add_option("degree-exponent", "power-law exponent (planted skew / lfr)", "0")
+      .add_option("edges", "edge count (er)", "50000")
+      .add_option("scale", "log2 vertices (rmat)", "14")
+      .add_option("edge-factor", "edges per vertex (rmat)", "8")
+      .add_option("cliques", "clique count (ring)", "100")
+      .add_option("clique-size", "clique size (ring)", "10")
+      .add_option("seed", "random seed", "1")
+      .add_option("truth", "also write ground-truth communities here", "");
+  if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+
+  const std::string type = args.get("type");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  std::vector<cid_t> truth;
+  graph::Graph g;
+  if (type == "planted") {
+    graph::PlantedPartitionParams p;
+    p.num_vertices = static_cast<vid_t>(args.get_int("vertices"));
+    p.num_communities = static_cast<vid_t>(args.get_int("communities"));
+    p.avg_degree = args.get_double("avg-degree");
+    p.mixing = args.get_double("mixing");
+    p.degree_exponent = args.get_double("degree-exponent");
+    p.seed = seed;
+    g = graph::planted_partition(p, &truth);
+  } else if (type == "lfr") {
+    graph::LfrParams p;
+    p.num_vertices = static_cast<vid_t>(args.get_int("vertices"));
+    p.mixing = args.get_double("mixing");
+    if (args.get_double("degree-exponent") > 0) p.degree_exponent = args.get_double("degree-exponent");
+    p.seed = seed;
+    g = graph::lfr(p, truth);
+  } else if (type == "rmat") {
+    graph::RmatParams p;
+    p.scale = static_cast<int>(args.get_int("scale"));
+    p.edge_factor = args.get_double("edge-factor");
+    p.seed = seed;
+    g = graph::rmat(p);
+  } else if (type == "er") {
+    g = graph::erdos_renyi(static_cast<vid_t>(args.get_int("vertices")),
+                           static_cast<eid_t>(args.get_int("edges")), seed);
+  } else if (type == "ring") {
+    g = graph::ring_of_cliques(static_cast<vid_t>(args.get_int("cliques")),
+                               static_cast<vid_t>(args.get_int("clique-size")));
+  } else {
+    std::fprintf(stderr, "unknown type '%s'\n", type.c_str());
+    return 2;
+  }
+
+  const std::string out = args.get("out");
+  if (ends_with(out, ".bin")) {
+    graph::save_binary(g, out);
+  } else {
+    graph::save_edge_list(g, out);
+  }
+  std::printf("wrote %s: %s\n", out.c_str(), graph::summary(g).c_str());
+  if (const std::string tpath = args.get("truth"); !tpath.empty() && !truth.empty()) {
+    std::ofstream f(tpath);
+    GALA_CHECK(f.is_open(), "cannot open " << tpath);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) f << v << ' ' << truth[v] << '\n';
+    std::printf("wrote ground truth to %s\n", tpath.c_str());
+  }
+  return 0;
+}
+
+/// Loads a "vertex community" file (as written by detect --output).
+std::vector<cid_t> load_assignment(const std::string& path) {
+  std::ifstream in(path);
+  GALA_CHECK(in.is_open(), "cannot open assignment file: " << path);
+  std::vector<std::pair<vid_t, cid_t>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t v = 0, c = 0;
+    GALA_CHECK(static_cast<bool>(ls >> v >> c), "malformed assignment line: " << line);
+    rows.emplace_back(static_cast<vid_t>(v), static_cast<cid_t>(c));
+  }
+  vid_t n = 0;
+  for (const auto& [v, c] : rows) n = std::max(n, v + 1);
+  std::vector<cid_t> out(n, kInvalidCid);
+  for (const auto& [v, c] : rows) out[v] = c;
+  for (vid_t v = 0; v < n; ++v) {
+    GALA_CHECK(out[v] != kInvalidCid, "assignment missing vertex " << v);
+  }
+  return out;
+}
+
+int cmd_compare(int argc, const char* const* argv) {
+  ArgParser args("gala compare",
+                 "Compare two community assignments (NMI / ARI / sizes).");
+  args.add_positional("a", "first 'vertex community' file")
+      .add_positional("b", "second 'vertex community' file");
+  if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+  const auto a = load_assignment(args.get("a"));
+  const auto b = load_assignment(args.get("b"));
+  GALA_CHECK(a.size() == b.size(), "assignments cover different vertex counts: " << a.size()
+                                                                                 << " vs "
+                                                                                 << b.size());
+  std::printf("vertices: %zu\n", a.size());
+  std::printf("communities: %u vs %u\n", core::count_communities(a),
+              core::count_communities(b));
+  std::printf("NMI: %.5f\n", metrics::nmi(a, b));
+  std::printf("ARI: %.5f\n", metrics::adjusted_rand_index(a, b));
+  return 0;
+}
+
+int cmd_convert(int argc, const char* const* argv) {
+  ArgParser args("gala convert", "Convert between text edge lists and binary snapshots.");
+  args.add_positional("input", "source graph").add_positional("output", "destination");
+  if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
+  const graph::Graph g = load_graph(args.get("input"));
+  const std::string out = args.get("output");
+  if (ends_with(out, ".bin")) {
+    graph::save_binary(g, out);
+  } else if (ends_with(out, ".graph") || ends_with(out, ".metis")) {
+    graph::save_metis(g, out);
+  } else {
+    graph::save_edge_list(g, out);
+  }
+  std::printf("wrote %s: %s\n", out.c_str(), graph::summary(g).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: gala <command> [args]\n"
+                 "commands: detect, stats, generate, convert, compare\n"
+                 "run 'gala <command> --help' for details\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "detect") return cmd_detect(argc - 1, argv + 1);
+    if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
+    if (cmd == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (cmd == "convert") return cmd_convert(argc - 1, argv + 1);
+    if (cmd == "compare") return cmd_compare(argc - 1, argv + 1);
+    std::fprintf(stderr,
+                 "unknown command '%s' (detect|stats|generate|convert|compare)\n", cmd.c_str());
+    return 2;
+  } catch (const gala::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
