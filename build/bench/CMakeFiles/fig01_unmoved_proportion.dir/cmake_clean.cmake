@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_unmoved_proportion.dir/fig01_unmoved_proportion.cpp.o"
+  "CMakeFiles/fig01_unmoved_proportion.dir/fig01_unmoved_proportion.cpp.o.d"
+  "fig01_unmoved_proportion"
+  "fig01_unmoved_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_unmoved_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

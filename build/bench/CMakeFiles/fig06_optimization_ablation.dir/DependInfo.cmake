@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig06_optimization_ablation.cpp" "bench/CMakeFiles/fig06_optimization_ablation.dir/fig06_optimization_ablation.cpp.o" "gcc" "bench/CMakeFiles/fig06_optimization_ablation.dir/fig06_optimization_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gala/core/CMakeFiles/gala_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/graph/CMakeFiles/gala_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/gpusim/CMakeFiles/gala_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/common/CMakeFiles/gala_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/metrics/CMakeFiles/gala_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/baselines/CMakeFiles/gala_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/multigpu/CMakeFiles/gala_multigpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/metrics/CMakeFiles/gala_quality.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

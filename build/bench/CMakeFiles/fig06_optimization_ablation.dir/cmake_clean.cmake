@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_optimization_ablation.dir/fig06_optimization_ablation.cpp.o"
+  "CMakeFiles/fig06_optimization_ablation.dir/fig06_optimization_ablation.cpp.o.d"
+  "fig06_optimization_ablation"
+  "fig06_optimization_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_optimization_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

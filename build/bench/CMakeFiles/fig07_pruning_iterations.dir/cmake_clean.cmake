@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pruning_iterations.dir/fig07_pruning_iterations.cpp.o"
+  "CMakeFiles/fig07_pruning_iterations.dir/fig07_pruning_iterations.cpp.o.d"
+  "fig07_pruning_iterations"
+  "fig07_pruning_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pruning_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_two_stage_breakdown.dir/fig08_two_stage_breakdown.cpp.o"
+  "CMakeFiles/fig08_two_stage_breakdown.dir/fig08_two_stage_breakdown.cpp.o.d"
+  "fig08_two_stage_breakdown"
+  "fig08_two_stage_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_two_stage_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

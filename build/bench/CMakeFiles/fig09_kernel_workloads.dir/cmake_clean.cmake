@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_kernel_workloads.dir/fig09_kernel_workloads.cpp.o"
+  "CMakeFiles/fig09_kernel_workloads.dir/fig09_kernel_workloads.cpp.o.d"
+  "fig09_kernel_workloads"
+  "fig09_kernel_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_kernel_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gpusim.dir/micro_gpusim.cpp.o"
+  "CMakeFiles/micro_gpusim.dir/micro_gpusim.cpp.o.d"
+  "micro_gpusim"
+  "micro_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

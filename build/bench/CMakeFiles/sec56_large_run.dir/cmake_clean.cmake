@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_large_run.dir/sec56_large_run.cpp.o"
+  "CMakeFiles/sec56_large_run.dir/sec56_large_run.cpp.o.d"
+  "sec56_large_run"
+  "sec56_large_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_large_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec56_large_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fnr_fpr.dir/table1_fnr_fpr.cpp.o"
+  "CMakeFiles/table1_fnr_fpr.dir/table1_fnr_fpr.cpp.o.d"
+  "table1_fnr_fpr"
+  "table1_fnr_fpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fnr_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

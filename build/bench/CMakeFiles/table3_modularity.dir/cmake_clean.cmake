@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_modularity.dir/table3_modularity.cpp.o"
+  "CMakeFiles/table3_modularity.dir/table3_modularity.cpp.o.d"
+  "table3_modularity"
+  "table3_modularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_modularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_nmi.dir/table4_nmi.cpp.o"
+  "CMakeFiles/table4_nmi.dir/table4_nmi.cpp.o.d"
+  "table4_nmi"
+  "table4_nmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_nmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

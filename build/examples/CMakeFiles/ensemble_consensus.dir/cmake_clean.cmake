@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_consensus.dir/ensemble_consensus.cpp.o"
+  "CMakeFiles/ensemble_consensus.dir/ensemble_consensus.cpp.o.d"
+  "ensemble_consensus"
+  "ensemble_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_hierarchy.dir/web_hierarchy.cpp.o"
+  "CMakeFiles/web_hierarchy.dir/web_hierarchy.cpp.o.d"
+  "web_hierarchy"
+  "web_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

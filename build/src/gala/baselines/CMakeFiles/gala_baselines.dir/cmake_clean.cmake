@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_baselines.dir/baseline.cpp.o"
+  "CMakeFiles/gala_baselines.dir/baseline.cpp.o.d"
+  "CMakeFiles/gala_baselines.dir/label_propagation.cpp.o"
+  "CMakeFiles/gala_baselines.dir/label_propagation.cpp.o.d"
+  "libgala_baselines.a"
+  "libgala_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gala_common.dir/thread_pool.cpp.o.d"
+  "libgala_common.a"
+  "libgala_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgala_common.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gala/core/aggregation.cpp" "src/gala/core/CMakeFiles/gala_core.dir/aggregation.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/aggregation.cpp.o.d"
+  "/root/repo/src/gala/core/bsp_louvain.cpp" "src/gala/core/CMakeFiles/gala_core.dir/bsp_louvain.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/bsp_louvain.cpp.o.d"
+  "/root/repo/src/gala/core/consensus.cpp" "src/gala/core/CMakeFiles/gala_core.dir/consensus.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/consensus.cpp.o.d"
+  "/root/repo/src/gala/core/dendrogram.cpp" "src/gala/core/CMakeFiles/gala_core.dir/dendrogram.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/dendrogram.cpp.o.d"
+  "/root/repo/src/gala/core/gala.cpp" "src/gala/core/CMakeFiles/gala_core.dir/gala.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/gala.cpp.o.d"
+  "/root/repo/src/gala/core/hashtables.cpp" "src/gala/core/CMakeFiles/gala_core.dir/hashtables.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/hashtables.cpp.o.d"
+  "/root/repo/src/gala/core/incremental.cpp" "src/gala/core/CMakeFiles/gala_core.dir/incremental.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/gala/core/kernels.cpp" "src/gala/core/CMakeFiles/gala_core.dir/kernels.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/gala/core/modularity.cpp" "src/gala/core/CMakeFiles/gala_core.dir/modularity.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/modularity.cpp.o.d"
+  "/root/repo/src/gala/core/pruning.cpp" "src/gala/core/CMakeFiles/gala_core.dir/pruning.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/gala/core/refinement.cpp" "src/gala/core/CMakeFiles/gala_core.dir/refinement.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/refinement.cpp.o.d"
+  "/root/repo/src/gala/core/sequential_louvain.cpp" "src/gala/core/CMakeFiles/gala_core.dir/sequential_louvain.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/sequential_louvain.cpp.o.d"
+  "/root/repo/src/gala/core/vertex_following.cpp" "src/gala/core/CMakeFiles/gala_core.dir/vertex_following.cpp.o" "gcc" "src/gala/core/CMakeFiles/gala_core.dir/vertex_following.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gala/common/CMakeFiles/gala_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/graph/CMakeFiles/gala_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/gpusim/CMakeFiles/gala_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/metrics/CMakeFiles/gala_quality.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

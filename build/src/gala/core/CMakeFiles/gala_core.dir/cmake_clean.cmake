@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_core.dir/aggregation.cpp.o"
+  "CMakeFiles/gala_core.dir/aggregation.cpp.o.d"
+  "CMakeFiles/gala_core.dir/bsp_louvain.cpp.o"
+  "CMakeFiles/gala_core.dir/bsp_louvain.cpp.o.d"
+  "CMakeFiles/gala_core.dir/consensus.cpp.o"
+  "CMakeFiles/gala_core.dir/consensus.cpp.o.d"
+  "CMakeFiles/gala_core.dir/dendrogram.cpp.o"
+  "CMakeFiles/gala_core.dir/dendrogram.cpp.o.d"
+  "CMakeFiles/gala_core.dir/gala.cpp.o"
+  "CMakeFiles/gala_core.dir/gala.cpp.o.d"
+  "CMakeFiles/gala_core.dir/hashtables.cpp.o"
+  "CMakeFiles/gala_core.dir/hashtables.cpp.o.d"
+  "CMakeFiles/gala_core.dir/incremental.cpp.o"
+  "CMakeFiles/gala_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/gala_core.dir/kernels.cpp.o"
+  "CMakeFiles/gala_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/gala_core.dir/modularity.cpp.o"
+  "CMakeFiles/gala_core.dir/modularity.cpp.o.d"
+  "CMakeFiles/gala_core.dir/pruning.cpp.o"
+  "CMakeFiles/gala_core.dir/pruning.cpp.o.d"
+  "CMakeFiles/gala_core.dir/refinement.cpp.o"
+  "CMakeFiles/gala_core.dir/refinement.cpp.o.d"
+  "CMakeFiles/gala_core.dir/sequential_louvain.cpp.o"
+  "CMakeFiles/gala_core.dir/sequential_louvain.cpp.o.d"
+  "CMakeFiles/gala_core.dir/vertex_following.cpp.o"
+  "CMakeFiles/gala_core.dir/vertex_following.cpp.o.d"
+  "libgala_core.a"
+  "libgala_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

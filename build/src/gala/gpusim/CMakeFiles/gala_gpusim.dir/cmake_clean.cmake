@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_gpusim.dir/device.cpp.o"
+  "CMakeFiles/gala_gpusim.dir/device.cpp.o.d"
+  "libgala_gpusim.a"
+  "libgala_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gala/graph/csr.cpp" "src/gala/graph/CMakeFiles/gala_graph.dir/csr.cpp.o" "gcc" "src/gala/graph/CMakeFiles/gala_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/gala/graph/formats.cpp" "src/gala/graph/CMakeFiles/gala_graph.dir/formats.cpp.o" "gcc" "src/gala/graph/CMakeFiles/gala_graph.dir/formats.cpp.o.d"
+  "/root/repo/src/gala/graph/generators.cpp" "src/gala/graph/CMakeFiles/gala_graph.dir/generators.cpp.o" "gcc" "src/gala/graph/CMakeFiles/gala_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/gala/graph/io.cpp" "src/gala/graph/CMakeFiles/gala_graph.dir/io.cpp.o" "gcc" "src/gala/graph/CMakeFiles/gala_graph.dir/io.cpp.o.d"
+  "/root/repo/src/gala/graph/partition.cpp" "src/gala/graph/CMakeFiles/gala_graph.dir/partition.cpp.o" "gcc" "src/gala/graph/CMakeFiles/gala_graph.dir/partition.cpp.o.d"
+  "/root/repo/src/gala/graph/reorder.cpp" "src/gala/graph/CMakeFiles/gala_graph.dir/reorder.cpp.o" "gcc" "src/gala/graph/CMakeFiles/gala_graph.dir/reorder.cpp.o.d"
+  "/root/repo/src/gala/graph/standin.cpp" "src/gala/graph/CMakeFiles/gala_graph.dir/standin.cpp.o" "gcc" "src/gala/graph/CMakeFiles/gala_graph.dir/standin.cpp.o.d"
+  "/root/repo/src/gala/graph/stats.cpp" "src/gala/graph/CMakeFiles/gala_graph.dir/stats.cpp.o" "gcc" "src/gala/graph/CMakeFiles/gala_graph.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gala/common/CMakeFiles/gala_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

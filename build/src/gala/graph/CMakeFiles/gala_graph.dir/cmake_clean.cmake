@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_graph.dir/csr.cpp.o"
+  "CMakeFiles/gala_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/gala_graph.dir/formats.cpp.o"
+  "CMakeFiles/gala_graph.dir/formats.cpp.o.d"
+  "CMakeFiles/gala_graph.dir/generators.cpp.o"
+  "CMakeFiles/gala_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/gala_graph.dir/io.cpp.o"
+  "CMakeFiles/gala_graph.dir/io.cpp.o.d"
+  "CMakeFiles/gala_graph.dir/partition.cpp.o"
+  "CMakeFiles/gala_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/gala_graph.dir/reorder.cpp.o"
+  "CMakeFiles/gala_graph.dir/reorder.cpp.o.d"
+  "CMakeFiles/gala_graph.dir/standin.cpp.o"
+  "CMakeFiles/gala_graph.dir/standin.cpp.o.d"
+  "CMakeFiles/gala_graph.dir/stats.cpp.o"
+  "CMakeFiles/gala_graph.dir/stats.cpp.o.d"
+  "libgala_graph.a"
+  "libgala_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

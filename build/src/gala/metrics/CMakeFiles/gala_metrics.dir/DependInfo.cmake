@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gala/metrics/confusion.cpp" "src/gala/metrics/CMakeFiles/gala_metrics.dir/confusion.cpp.o" "gcc" "src/gala/metrics/CMakeFiles/gala_metrics.dir/confusion.cpp.o.d"
+  "/root/repo/src/gala/metrics/report.cpp" "src/gala/metrics/CMakeFiles/gala_metrics.dir/report.cpp.o" "gcc" "src/gala/metrics/CMakeFiles/gala_metrics.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gala/metrics/CMakeFiles/gala_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/core/CMakeFiles/gala_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/graph/CMakeFiles/gala_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/gpusim/CMakeFiles/gala_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gala/common/CMakeFiles/gala_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

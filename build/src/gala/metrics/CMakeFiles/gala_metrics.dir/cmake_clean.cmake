@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_metrics.dir/confusion.cpp.o"
+  "CMakeFiles/gala_metrics.dir/confusion.cpp.o.d"
+  "CMakeFiles/gala_metrics.dir/report.cpp.o"
+  "CMakeFiles/gala_metrics.dir/report.cpp.o.d"
+  "libgala_metrics.a"
+  "libgala_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gala/metrics/ari.cpp" "src/gala/metrics/CMakeFiles/gala_quality.dir/ari.cpp.o" "gcc" "src/gala/metrics/CMakeFiles/gala_quality.dir/ari.cpp.o.d"
+  "/root/repo/src/gala/metrics/nmi.cpp" "src/gala/metrics/CMakeFiles/gala_quality.dir/nmi.cpp.o" "gcc" "src/gala/metrics/CMakeFiles/gala_quality.dir/nmi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gala/common/CMakeFiles/gala_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

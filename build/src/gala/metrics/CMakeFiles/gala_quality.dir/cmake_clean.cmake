@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_quality.dir/ari.cpp.o"
+  "CMakeFiles/gala_quality.dir/ari.cpp.o.d"
+  "CMakeFiles/gala_quality.dir/nmi.cpp.o"
+  "CMakeFiles/gala_quality.dir/nmi.cpp.o.d"
+  "libgala_quality.a"
+  "libgala_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

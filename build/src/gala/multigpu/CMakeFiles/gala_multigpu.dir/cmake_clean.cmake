@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_multigpu.dir/collectives.cpp.o"
+  "CMakeFiles/gala_multigpu.dir/collectives.cpp.o.d"
+  "CMakeFiles/gala_multigpu.dir/dist_louvain.cpp.o"
+  "CMakeFiles/gala_multigpu.dir/dist_louvain.cpp.o.d"
+  "libgala_multigpu.a"
+  "libgala_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

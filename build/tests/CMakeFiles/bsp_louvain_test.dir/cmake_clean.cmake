@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_louvain_test.dir/bsp_louvain_test.cpp.o"
+  "CMakeFiles/bsp_louvain_test.dir/bsp_louvain_test.cpp.o.d"
+  "bsp_louvain_test"
+  "bsp_louvain_test.pdb"
+  "bsp_louvain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_louvain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

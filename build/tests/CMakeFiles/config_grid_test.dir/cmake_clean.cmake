@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_grid_test.dir/config_grid_test.cpp.o"
+  "CMakeFiles/config_grid_test.dir/config_grid_test.cpp.o.d"
+  "config_grid_test"
+  "config_grid_test.pdb"
+  "config_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dendrogram_test.dir/dendrogram_test.cpp.o"
+  "CMakeFiles/dendrogram_test.dir/dendrogram_test.cpp.o.d"
+  "dendrogram_test"
+  "dendrogram_test.pdb"
+  "dendrogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dendrogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

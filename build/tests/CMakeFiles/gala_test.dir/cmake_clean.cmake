@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala_test.dir/gala_test.cpp.o"
+  "CMakeFiles/gala_test.dir/gala_test.cpp.o.d"
+  "gala_test"
+  "gala_test.pdb"
+  "gala_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmi_test.dir/nmi_test.cpp.o"
+  "CMakeFiles/nmi_test.dir/nmi_test.cpp.o.d"
+  "nmi_test"
+  "nmi_test.pdb"
+  "nmi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_following_test.dir/vertex_following_test.cpp.o"
+  "CMakeFiles/vertex_following_test.dir/vertex_following_test.cpp.o.d"
+  "vertex_following_test"
+  "vertex_following_test.pdb"
+  "vertex_following_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_following_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gala.dir/gala_cli.cpp.o"
+  "CMakeFiles/gala.dir/gala_cli.cpp.o.d"
+  "gala"
+  "gala.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gala.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
