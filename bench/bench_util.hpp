@@ -10,9 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "gala/common/json.hpp"
 #include "gala/common/table.hpp"
 #include "gala/common/timer.hpp"
 #include "gala/graph/standin.hpp"
+#include "gala/telemetry/telemetry.hpp"
 
 namespace gala::bench {
 
@@ -46,5 +48,85 @@ inline void print_header(const std::string& title, const std::string& paper_ref,
   std::printf("Reproduces: %s | stand-in scale %.2f (GALA_BENCH_SCALE)\n\n", paper_ref.c_str(),
               scale);
 }
+
+/// Machine-readable sidecar for a bench binary: collects flat key/value rows
+/// and writes BENCH_<name>.json next to the stdout table, so per-PR bench
+/// trajectories can be tracked by tooling instead of scraped from text.
+///
+/// Enabled when GALA_BENCH_JSON_DIR names a writable directory (unset =
+/// disabled, every call is a no-op). Usage:
+///   bench::JsonRecord rec("fig08", scale);
+///   rec.row().field("graph", "LJ").field("decide_ms", 12.5);
+///   ...
+///   rec.save();
+class JsonRecord {
+ public:
+  JsonRecord(std::string name, double scale) : name_(std::move(name)) {
+    const char* dir = std::getenv("GALA_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    enabled_ = true;
+    path_ = std::string(dir) + "/BENCH_" + name_ + ".json";
+    w_.begin_object();
+    w_.key("bench").value(name_);
+    w_.key("scale").value(scale);
+    w_.key("rows").begin_array();
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Begins a new row (closing any open one).
+  JsonRecord& row() {
+    if (!enabled_) return *this;
+    close_row();
+    w_.begin_object();
+    row_open_ = true;
+    return *this;
+  }
+
+  JsonRecord& field(const std::string& key, const std::string& value) {
+    if (enabled_) w_.key(key).value(value);
+    return *this;
+  }
+  JsonRecord& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonRecord& field(const std::string& key, double value) {
+    if (enabled_) w_.key(key).value(value);
+    return *this;
+  }
+  JsonRecord& field(const std::string& key, std::uint64_t value) {
+    if (enabled_) w_.key(key).value(value);
+    return *this;
+  }
+
+  /// Closes the document and writes the file. Idempotent; ~JsonRecord calls
+  /// it as a safety net.
+  void save() {
+    if (!enabled_ || saved_) return;
+    close_row();
+    w_.end_array();
+    w_.end_object();
+    telemetry::write_file(path_, w_.str());
+    std::printf("wrote %s\n", path_.c_str());
+    saved_ = true;
+  }
+
+  ~JsonRecord() { save(); }
+
+ private:
+  void close_row() {
+    if (row_open_) {
+      w_.end_object();
+      row_open_ = false;
+    }
+  }
+
+  std::string name_;
+  std::string path_;
+  JsonWriter w_;
+  bool enabled_ = false;
+  bool row_open_ = false;
+  bool saved_ = false;
+};
 
 }  // namespace gala::bench

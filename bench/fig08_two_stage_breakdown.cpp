@@ -16,6 +16,7 @@ int main() {
 
   TextTable table({"Graph", "stage", "decide ms", "update ms", "other ms", "total ms",
                    "decide%", "update%"});
+  bench::JsonRecord rec("fig08_two_stage_breakdown", scale);
   double p1_update_sum = 0, p2_update_sum = 0;
 
   for (const auto& [abbr, g] : suite) {
@@ -44,6 +45,13 @@ int main() {
           .cell(total, 3)
           .cell(100.0 * r.decide_modeled_ms / total, 1)
           .cell(100.0 * r.update_modeled_ms / total, 1);
+      rec.row()
+          .field("graph", abbr)
+          .field("stage", st.name)
+          .field("decide_ms", r.decide_modeled_ms)
+          .field("update_ms", r.update_modeled_ms)
+          .field("other_ms", r.other_modeled_ms)
+          .field("total_ms", total);
       if (st.name[1] == '1') p1_update_sum += r.update_modeled_ms;
       if (st.name[1] == '2') p2_update_sum += r.update_modeled_ms;
     }

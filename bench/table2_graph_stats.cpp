@@ -25,6 +25,7 @@ int main() {
 
   TextTable table({"Abbr", "Dataset (paper)", "paper V", "paper E", "stand-in V", "stand-in E",
                    "max deg", "mean deg", "Q (full run)"});
+  bench::JsonRecord rec("table2_graph_stats", scale);
   for (const auto& row : paper) {
     const auto g = graph::make_standin(row.abbr, scale);
     const auto ds = graph::degree_stats(g);
@@ -39,6 +40,15 @@ int main() {
         .cell(ds.max)
         .cell(ds.mean, 1)
         .cell(result.modularity, 3);
+    rec.row()
+        .field("graph", row.abbr)
+        .field("vertices", static_cast<std::uint64_t>(g.num_vertices()))
+        .field("edges", static_cast<std::uint64_t>(g.num_edges()))
+        .field("max_degree", static_cast<std::uint64_t>(ds.max))
+        .field("mean_degree", ds.mean)
+        .field("modularity", result.modularity)
+        .field("modeled_ms", result.modeled_ms)
+        .field("wall_seconds", result.wall_seconds);
   }
   table.print();
   std::printf("\npaper modularity levels (Table 3): FR 0.63, LJ 0.75, OR 0.66, TW 0.47, UK 0.99, "

@@ -1,0 +1,376 @@
+// Minimal JSON support: a streaming writer and a small DOM parser.
+//
+// No external dependency. The writer produces compact JSON with correct
+// escaping and comma management; the parser is the validation counterpart
+// used by tests and tools to read back what the writer (or the telemetry
+// exporters) emitted. Neither aims to be a general-purpose JSON library —
+// they cover exactly the documents this repo produces.
+#pragma once
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gala/common/error.hpp"
+
+namespace gala {
+
+/// Streaming JSON writer with correct escaping and comma management.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("LJ");
+///   w.key("sizes").begin_array().value(1).value(2).end_array();
+///   w.end_object();
+///   std::string json = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    prefix();
+    out_ << '{';
+    stack_.push_back(State::FirstInObject);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    pop(State::FirstInObject, State::InObject);
+    out_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    prefix();
+    out_ << '[';
+    stack_.push_back(State::FirstInArray);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    pop(State::FirstInArray, State::InArray);
+    out_ << ']';
+    return *this;
+  }
+  JsonWriter& key(const std::string& k) {
+    prefix();
+    write_string(k);
+    out_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) {
+    prefix();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v) {
+    prefix();
+    // Shortest round-trip-exact form, so readers recover the precise value
+    // (the telemetry contract: exported modeled-ms figures equal the
+    // in-memory ones bit for bit).
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out_.write(buf, res.ptr - buf);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) {
+    prefix();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    prefix();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  enum class State { FirstInObject, InObject, FirstInArray, InArray };
+
+  void prefix() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value directly after a key: no comma
+    }
+    if (stack_.empty()) return;
+    State& s = stack_.back();
+    if (s == State::FirstInObject) {
+      s = State::InObject;
+    } else if (s == State::FirstInArray) {
+      s = State::InArray;
+    } else {
+      out_ << ',';
+    }
+  }
+
+  void pop(State first, State rest) {
+    GALA_CHECK(!stack_.empty() && (stack_.back() == first || stack_.back() == rest),
+               "mismatched JSON begin/end");
+    stack_.pop_back();
+  }
+
+  void write_string(const std::string& s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostringstream out_;
+  std::vector<State> stack_;
+  bool pending_value_ = false;
+};
+
+/// Parsed JSON document node. Object members preserve insertion order.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (type != Type::Object) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Object member that must exist.
+  const JsonValue& at(std::string_view key) const {
+    const JsonValue* v = find(key);
+    GALA_CHECK(v != nullptr, "JSON object has no member '" << std::string(key) << "'");
+    return *v;
+  }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    GALA_CHECK(pos_ == text_.size(), "trailing characters after JSON value at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    GALA_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    GALA_CHECK(peek() == c, "expected '" << c << "' at offset " << pos_ << ", found '"
+                                         << text_[pos_] << "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    JsonValue v;
+    switch (peek()) {
+      case '{': {
+        v.type = JsonValue::Type::Object;
+        ++pos_;
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          GALA_CHECK(peek() == '"', "expected object key at offset " << pos_);
+          std::string key = parse_string_body();
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type = JsonValue::Type::Array;
+        ++pos_;
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          v.array.push_back(parse_value());
+          if (peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.type = JsonValue::Type::String;
+        v.string = parse_string_body();
+        return v;
+      case 't':
+        GALA_CHECK(consume_literal("true"), "malformed literal at offset " << pos_);
+        v.type = JsonValue::Type::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        GALA_CHECK(consume_literal("false"), "malformed literal at offset " << pos_);
+        v.type = JsonValue::Type::Bool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        GALA_CHECK(consume_literal("null"), "malformed literal at offset " << pos_);
+        v.type = JsonValue::Type::Null;
+        return v;
+      default:
+        v.type = JsonValue::Type::Number;
+        v.number = parse_number();
+        return v;
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(text_[pos_]));
+      ++pos_;
+    }
+    GALA_CHECK(digits, "malformed number at offset " << start);
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    GALA_CHECK(end != nullptr && *end == '\0', "malformed number '" << token << "'");
+    return d;
+  }
+
+  /// Parses a string starting at the opening quote; returns the decoded body.
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      GALA_CHECK(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      GALA_CHECK(pos_ < text_.size(), "unterminated escape in JSON string");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          GALA_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else GALA_CHECK(false, "bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair handling — the writer never
+          // emits escapes outside the BMP control range).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          GALA_CHECK(false, "unknown escape '\\" << esc << "' in JSON string");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses a complete JSON document; throws gala::Error on malformed input.
+inline JsonValue parse_json(std::string_view text) {
+  return detail::JsonParser(text).parse_document();
+}
+
+}  // namespace gala

@@ -28,7 +28,14 @@ class Timer {
 /// Accumulating timer for repeated phases (start/stop pairs).
 class PhaseTimer {
  public:
-  void start() { timer_.reset(); running_ = true; }
+  /// Begins an interval. Calling start() while already running counts as an
+  /// implicit stop(): the in-flight interval is folded into the total rather
+  /// than silently discarded.
+  void start() {
+    if (running_) stop();
+    timer_.reset();
+    running_ = true;
+  }
 
   void stop() {
     if (running_) {
@@ -52,6 +59,20 @@ class PhaseTimer {
   double total_ = 0;
   std::uint64_t count_ = 0;
   bool running_ = false;
+};
+
+/// RAII interval on a PhaseTimer: start() on construction, stop() on
+/// destruction. Exception-safe replacement for manual start/stop pairs.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer& timer) : timer_(timer) { timer_.start(); }
+  ~ScopedPhase() { timer_.stop(); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& timer_;
 };
 
 }  // namespace gala

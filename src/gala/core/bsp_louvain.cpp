@@ -6,6 +6,7 @@
 #include "gala/common/error.hpp"
 #include "gala/common/timer.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/telemetry/telemetry.hpp"
 
 namespace gala::core {
 
@@ -136,22 +137,30 @@ void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
         hash_decide(input, v, config_.hashtable, *ctx.shared, global_scratch, salt_, *ctx.stats);
   };
 
-  const auto launch = [&](std::size_t blocks, const auto& body) {
-    return config_.parallel ? device_.launch(blocks, body)
-                            : device_.launch_sequential(blocks, body);
+  const auto launch = [&](std::size_t blocks, const auto& body, std::string_view name) {
+    return config_.parallel ? device_.launch(blocks, body, name)
+                            : device_.launch_sequential(blocks, body, name);
   };
 
+  telemetry::ScopedSpan span(telemetry::Tracer::global(), "decide", "phase1");
   gpusim::LaunchStats total;
   if (!shuffle_list.empty()) {
-    total += launch((shuffle_list.size() + kWarpsPerBlock - 1) / kWarpsPerBlock, run_shuffle);
+    total += launch((shuffle_list.size() + kWarpsPerBlock - 1) / kWarpsPerBlock, run_shuffle,
+                    "decide_shuffle");
   }
   if (!hash_list.empty()) {
-    total += launch(hash_list.size(), run_hash);
+    total += launch(hash_list.size(), run_hash, "decide_hash");
   }
   iter_stats.decide_traffic += total.traffic;
   iter_stats.decide_wall += total.wall_seconds;
   iter_stats.ht_maintenance_rate = total.traffic.maintenance_rate();
   iter_stats.ht_access_rate = total.traffic.access_rate();
+  if (span.active()) {
+    span.arg("shuffle_vertices", static_cast<double>(shuffle_list.size()));
+    span.arg("hash_vertices", static_cast<double>(hash_list.size()));
+    span.arg("modeled_ms", config_.device.modeled_ms(total.traffic));
+    gpusim::attach_traffic(span, total.traffic);
+  }
 }
 
 void BspLouvainEngine::oracle_pass(std::span<const std::uint8_t> active,
@@ -189,6 +198,7 @@ void BspLouvainEngine::weight_update_phase(std::span<const std::uint8_t> moved,
   // Updates weight_[v] = e_{v, next_C[v]} given comm_ (old) and next_comm_
   // (new). Traffic is charged as the corresponding GPU kernel would.
   const vid_t n = g_.num_vertices();
+  telemetry::ScopedSpan span(telemetry::Tracer::global(), "weight-update", "phase1");
   Timer timer;
   gpusim::MemoryStats traffic;
   ThreadPool* pool = config_.parallel ? &ThreadPool::global() : nullptr;
@@ -283,11 +293,17 @@ void BspLouvainEngine::weight_update_phase(std::span<const std::uint8_t> moved,
   }
   iter_stats.update_traffic += traffic;
   iter_stats.update_wall += timer.seconds();
+  if (span.active()) {
+    span.arg("mode", config_.weight_update == WeightUpdateMode::Delta ? 1.0 : 0.0);
+    span.arg("modeled_ms", config_.device.modeled_ms(traffic));
+    gpusim::attach_traffic(span, traffic);
+  }
 }
 
 Phase1Result BspLouvainEngine::run() {
   const vid_t n = g_.num_vertices();
   Phase1Result result;
+  telemetry::ScopedSpan phase_span(telemetry::Tracer::global(), "phase1", "pipeline");
   Timer total_timer;
 
   std::vector<std::uint8_t> active(n, 1);
@@ -299,16 +315,24 @@ Phase1Result BspLouvainEngine::run() {
   wt_t min_total = min_nonempty_total();
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    telemetry::ScopedSpan iter_span(telemetry::Tracer::global(), "iteration", "phase1");
     IterationStats stats;
     Timer other_timer;
 
     // 1. Pruning (§3).
-    const PruningContext prune_ctx{&g_,    comm_,        weight_,       comm_total_,
-                                   min_total, g_.two_m(), prev_moved_,  comm_changed_,
-                                   iter,      config_.resolution};
-    compute_active(config_.pruning, prune_ctx, config_.pm_alpha, rng_, active,
-                   config_.parallel ? &ThreadPool::global() : nullptr);
-    for (vid_t v = 0; v < n; ++v) stats.active += active[v];
+    {
+      telemetry::ScopedSpan prune_span(telemetry::Tracer::global(), "pruning", "phase1");
+      const PruningContext prune_ctx{&g_,    comm_,        weight_,       comm_total_,
+                                     min_total, g_.two_m(), prev_moved_,  comm_changed_,
+                                     iter,      config_.resolution};
+      compute_active(config_.pruning, prune_ctx, config_.pm_alpha, rng_, active,
+                     config_.parallel ? &ThreadPool::global() : nullptr);
+      for (vid_t v = 0; v < n; ++v) stats.active += active[v];
+      if (prune_span.active()) {
+        prune_span.arg("active", static_cast<double>(stats.active));
+        prune_span.arg("pruned", static_cast<double>(n - stats.active));
+      }
+    }
     stats.other_wall += other_timer.seconds();
 
     // 2. DecideAndMove for the active set.
@@ -343,32 +367,50 @@ Phase1Result BspLouvainEngine::run() {
     weight_update_phase(moved, stats);
 
     other_timer.reset();
-    // 5. Bookkeeping: totals, sizes, changed flags (Alg. 1 lines 5-11).
-    std::fill(comm_changed_.begin(), comm_changed_.end(), 0);
-    for (vid_t v = 0; v < n; ++v) {
-      if (!moved[v]) continue;
-      const cid_t old_c = comm_[v];
-      const cid_t new_c = next_comm_[v];
-      comm_total_[old_c] -= g_.degree(v);
-      comm_total_[new_c] += g_.degree(v);
-      GALA_ASSERT(comm_size_[old_c] > 0);
-      --comm_size_[old_c];
-      ++comm_size_[new_c];
-      comm_changed_[old_c] = 1;
-      comm_changed_[new_c] = 1;
-      stats.bookkeeping_traffic.global_atomics += 4;
-    }
-    comm_.swap(next_comm_);
-    prev_moved_.assign(moved.begin(), moved.end());
-    min_total = min_nonempty_total();
-    stats.bookkeeping_traffic.global_reads += n;  // totals/size scan
+    {
+      // 5. Bookkeeping: totals, sizes, changed flags (Alg. 1 lines 5-11).
+      telemetry::ScopedSpan bk_span(telemetry::Tracer::global(), "bookkeeping", "phase1");
+      std::fill(comm_changed_.begin(), comm_changed_.end(), 0);
+      for (vid_t v = 0; v < n; ++v) {
+        if (!moved[v]) continue;
+        const cid_t old_c = comm_[v];
+        const cid_t new_c = next_comm_[v];
+        comm_total_[old_c] -= g_.degree(v);
+        comm_total_[new_c] += g_.degree(v);
+        GALA_ASSERT(comm_size_[old_c] > 0);
+        --comm_size_[old_c];
+        ++comm_size_[new_c];
+        comm_changed_[old_c] = 1;
+        comm_changed_[new_c] = 1;
+        stats.bookkeeping_traffic.global_atomics += 4;
+      }
+      comm_.swap(next_comm_);
+      prev_moved_.assign(moved.begin(), moved.end());
+      min_total = min_nonempty_total();
+      stats.bookkeeping_traffic.global_reads += n;  // totals/size scan
 
-    const wt_t next_q = state_modularity();
-    stats.bookkeeping_traffic.global_reads += n;  // modularity reduction
-    stats.modularity = next_q;
-    stats.delta_q = next_q - q;
-    q = next_q;
+      const wt_t next_q = state_modularity();
+      stats.bookkeeping_traffic.global_reads += n;  // modularity reduction
+      stats.modularity = next_q;
+      stats.delta_q = next_q - q;
+      q = next_q;
+      if (bk_span.active()) {
+        bk_span.arg("modeled_ms", config_.device.modeled_ms(stats.bookkeeping_traffic));
+      }
+    }
     stats.other_wall += other_timer.seconds();
+
+    if (iter_span.active()) {
+      iter_span.arg("iteration", static_cast<double>(iter));
+      iter_span.arg("active", static_cast<double>(stats.active));
+      iter_span.arg("moved", static_cast<double>(stats.moved));
+      iter_span.arg("modularity", stats.modularity);
+      iter_span.arg("delta_q", stats.delta_q);
+      auto& registry = telemetry::Registry::global();
+      registry.counter("phase1.iterations").add(1);
+      registry.counter("phase1.moved").add(stats.moved);
+      registry.histogram("phase1.active_per_iteration").observe(stats.active);
+    }
 
     result.iterations.push_back(stats);
     if (observer_) observer_(iter, stats, active, moved);
@@ -387,6 +429,14 @@ Phase1Result BspLouvainEngine::run() {
     result.decide_modeled_ms += config_.device.modeled_ms(it.decide_traffic);
     result.update_modeled_ms += config_.device.modeled_ms(it.update_traffic);
     result.other_modeled_ms += config_.device.modeled_ms(it.bookkeeping_traffic);
+  }
+  if (phase_span.active()) {
+    phase_span.arg("iterations", static_cast<double>(result.iterations.size()));
+    phase_span.arg("communities", static_cast<double>(result.num_communities));
+    phase_span.arg("modularity", result.modularity);
+    phase_span.arg("decide_modeled_ms", result.decide_modeled_ms);
+    phase_span.arg("update_modeled_ms", result.update_modeled_ms);
+    phase_span.arg("other_modeled_ms", result.other_modeled_ms);
   }
   return result;
 }

@@ -5,6 +5,7 @@
 #include "gala/core/modularity.hpp"
 #include "gala/core/refinement.hpp"
 #include "gala/core/vertex_following.hpp"
+#include "gala/telemetry/telemetry.hpp"
 
 namespace gala::core {
 
@@ -13,7 +14,15 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
     // Preprocess: merge pendant vertices, solve the reduced instance, and
     // expand. Contraction preserves modularity exactly (see
     // vertex_following.hpp), so the reported Q transfers unchanged.
-    const VertexFollowingResult vf = follow_vertices(g);
+    VertexFollowingResult vf;
+    {
+      telemetry::ScopedSpan vf_span(telemetry::Tracer::global(), "vertex-following", "pipeline");
+      vf = follow_vertices(g);
+      if (vf_span.active()) {
+        vf_span.arg("vertices", static_cast<double>(g.num_vertices()));
+        vf_span.arg("reduced_vertices", static_cast<double>(vf.reduced.num_vertices()));
+      }
+    }
     GalaConfig inner = config;
     inner.vertex_following = false;
     GalaResult result = run_louvain(vf.reduced, inner);
@@ -34,9 +43,16 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
   wt_t prev_q = -1;  // any first level is an improvement
 
   for (int level = 0; level < config.max_levels; ++level) {
+    telemetry::ScopedSpan level_span(telemetry::Tracer::global(), "level", "pipeline");
     Timer level_timer;
     Phase1Result phase1 = bsp_phase1(*current, config.bsp);
     if (level == 0 && config.keep_first_round) result.first_round = phase1;
+    if (level_span.active()) {
+      level_span.arg("level", static_cast<double>(level));
+      level_span.arg("vertices", static_cast<double>(current->num_vertices()));
+      level_span.arg("communities", static_cast<double>(phase1.num_communities));
+      level_span.arg("modularity", phase1.modularity);
+    }
 
     GalaLevel lv;
     lv.vertices = current->num_vertices();
@@ -60,10 +76,16 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
 
     AggregationResult agg;
     if (config.refine) {
-      const RefinementResult refined = refine_partition(
-          *current, phase1.community, config.bsp.resolution, config.bsp.seed ^ (level + 1));
+      RefinementResult refined;
+      {
+        telemetry::ScopedSpan refine_span(telemetry::Tracer::global(), "refine", "phase2");
+        refined = refine_partition(*current, phase1.community, config.bsp.resolution,
+                                   config.bsp.seed ^ (level + 1));
+      }
+      telemetry::ScopedSpan agg_span(telemetry::Tracer::global(), "aggregate", "phase2");
       agg = aggregate(*current, refined.refined);
     } else {
+      telemetry::ScopedSpan agg_span(telemetry::Tracer::global(), "aggregate", "phase2");
       agg = aggregate(*current, phase1.community);
     }
     result.assignment = compose_assignment(result.assignment, agg.fine_to_coarse);

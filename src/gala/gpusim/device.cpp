@@ -6,8 +6,55 @@ namespace gala::gpusim {
 
 Device::Device(const DeviceConfig& config) : config_(config), pool_(&ThreadPool::global()) {}
 
+void attach_traffic(telemetry::ScopedSpan& span, const MemoryStats& stats,
+                    const CostModel* model) {
+  if (!span.active()) return;
+  span.arg("global_reads", static_cast<double>(stats.global_reads));
+  span.arg("global_writes", static_cast<double>(stats.global_writes));
+  span.arg("global_atomics", static_cast<double>(stats.global_atomics));
+  span.arg("shared_reads", static_cast<double>(stats.shared_reads));
+  span.arg("shared_writes", static_cast<double>(stats.shared_writes));
+  span.arg("shared_atomics", static_cast<double>(stats.shared_atomics));
+  span.arg("register_ops", static_cast<double>(stats.register_ops));
+  span.arg("shuffle_ops", static_cast<double>(stats.shuffle_ops));
+  if (stats.ht_maintain_shared + stats.ht_maintain_global > 0) {
+    span.arg("ht_maintenance_rate", stats.maintenance_rate());
+    span.arg("ht_access_rate", stats.access_rate());
+  }
+  if (stats.gather_requests > 0) {
+    span.arg("transactions_per_gather", stats.transactions_per_gather());
+  }
+  if (model != nullptr) {
+    const CostBreakdown b = model->breakdown(stats);
+    span.arg("cycles_global", b.global);
+    span.arg("cycles_shared", b.shared);
+    span.arg("cycles_registers", b.registers);
+    span.arg("cycles_shuffle", b.shuffle);
+    span.arg("cycles_atomics", b.atomics);
+    span.arg("modeled_cycles", b.total());
+  }
+}
+
+namespace {
+
+/// Finalises a launch: modeled cycles, span payload, launch counter.
+void finish_launch(LaunchStats& result, const DeviceConfig& config, std::size_t num_blocks,
+                   telemetry::ScopedSpan& span) {
+  result.modeled_cycles = config.cost_model.cycles(result.traffic);
+  if (span.active()) {
+    span.arg("num_blocks", static_cast<double>(num_blocks));
+    attach_traffic(span, result.traffic, &config.cost_model);
+    telemetry::Registry::global().counter("gpusim.launches").add(1);
+    telemetry::Registry::global().histogram("gpusim.blocks_per_launch").observe(num_blocks);
+  }
+}
+
+}  // namespace
+
 LaunchStats Device::launch(std::size_t num_blocks,
-                           const std::function<void(BlockContext&)>& body) const {
+                           const std::function<void(BlockContext&)>& body,
+                           std::string_view name) const {
+  telemetry::ScopedSpan span(telemetry::Tracer::global(), name, "kernel");
   LaunchStats result;
   Timer timer;
   std::mutex merge_mutex;
@@ -27,12 +74,14 @@ LaunchStats Device::launch(std::size_t num_blocks,
       },
       /*grain=*/16);
   result.wall_seconds = timer.seconds();
-  result.modeled_cycles = config_.cost_model.cycles(result.traffic);
+  finish_launch(result, config_, num_blocks, span);
   return result;
 }
 
 LaunchStats Device::launch_sequential(std::size_t num_blocks,
-                                      const std::function<void(BlockContext&)>& body) const {
+                                      const std::function<void(BlockContext&)>& body,
+                                      std::string_view name) const {
+  telemetry::ScopedSpan span(telemetry::Tracer::global(), name, "kernel");
   LaunchStats result;
   Timer timer;
   SharedMemoryArena arena(config_.shared_bytes_per_block);
@@ -45,7 +94,7 @@ LaunchStats Device::launch_sequential(std::size_t num_blocks,
   }
   result.traffic = stats;
   result.wall_seconds = timer.seconds();
-  result.modeled_cycles = config_.cost_model.cycles(result.traffic);
+  finish_launch(result, config_, num_blocks, span);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "gala/common/timer.hpp"
 #include "gala/gpusim/memory.hpp"
 #include "gala/gpusim/shared_memory.hpp"
+#include "gala/telemetry/telemetry.hpp"
 
 namespace gala::gpusim {
 
@@ -66,18 +67,27 @@ class Device {
 
   /// Launches `num_blocks` blocks of `body`. Blocks are distributed over the
   /// pool; each worker reuses one arena (reset between blocks). Returns the
-  /// aggregated traffic/cost of the launch.
-  LaunchStats launch(std::size_t num_blocks,
-                     const std::function<void(BlockContext&)>& body) const;
+  /// aggregated traffic/cost of the launch. When the global tracer is
+  /// enabled, emits one "kernel" span named `name` carrying the launch's
+  /// MemoryStats snapshot and modeled-cycle breakdown.
+  LaunchStats launch(std::size_t num_blocks, const std::function<void(BlockContext&)>& body,
+                     std::string_view name = "kernel") const;
 
   /// Sequential launch on the calling thread (deterministic debugging and
   /// per-iteration accounting without pool scheduling noise).
   LaunchStats launch_sequential(std::size_t num_blocks,
-                                const std::function<void(BlockContext&)>& body) const;
+                                const std::function<void(BlockContext&)>& body,
+                                std::string_view name = "kernel") const;
 
  private:
   DeviceConfig config_;
   ThreadPool* pool_;  // not owned; the process-global pool
 };
+
+/// Attaches a MemoryStats snapshot to an open span, and — when `model` is
+/// given — the per-level modeled-cycle breakdown (CostModel::breakdown).
+/// No-op when the span is inactive.
+void attach_traffic(telemetry::ScopedSpan& span, const MemoryStats& stats,
+                    const CostModel* model = nullptr);
 
 }  // namespace gala::gpusim

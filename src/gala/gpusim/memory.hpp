@@ -78,6 +78,18 @@ struct MemoryStats {
   }
 };
 
+/// Per-level decomposition of a kernel's modeled cycles (CostModel::breakdown).
+/// Atomics are kept separate from plain traffic of their level so contention
+/// cost is visible on its own.
+struct CostBreakdown {
+  double global = 0;     ///< plain global reads+writes
+  double shared = 0;     ///< plain shared reads+writes
+  double registers = 0;  ///< register/ALU ops
+  double shuffle = 0;    ///< warp collectives
+  double atomics = 0;    ///< global + shared atomics
+  double total() const { return global + shared + registers + shuffle + atomics; }
+};
+
 /// Latency model converting traffic into modeled cycles.
 struct CostModel {
   double register_cycles = 4;
@@ -87,14 +99,19 @@ struct CostModel {
   double global_atomic_cycles = 800;
   double shuffle_cycles = 8;
 
-  double cycles(const MemoryStats& s) const {
-    return static_cast<double>(s.global_reads + s.global_writes) * global_cycles +
-           static_cast<double>(s.global_atomics) * global_atomic_cycles +
-           static_cast<double>(s.shared_reads + s.shared_writes) * shared_cycles +
-           static_cast<double>(s.shared_atomics) * shared_atomic_cycles +
-           static_cast<double>(s.register_ops) * register_cycles +
-           static_cast<double>(s.shuffle_ops) * shuffle_cycles;
+  /// Per-level cycle contributions; breakdown(s).total() == cycles(s).
+  CostBreakdown breakdown(const MemoryStats& s) const {
+    CostBreakdown b;
+    b.global = static_cast<double>(s.global_reads + s.global_writes) * global_cycles;
+    b.shared = static_cast<double>(s.shared_reads + s.shared_writes) * shared_cycles;
+    b.registers = static_cast<double>(s.register_ops) * register_cycles;
+    b.shuffle = static_cast<double>(s.shuffle_ops) * shuffle_cycles;
+    b.atomics = static_cast<double>(s.global_atomics) * global_atomic_cycles +
+                static_cast<double>(s.shared_atomics) * shared_atomic_cycles;
+    return b;
   }
+
+  double cycles(const MemoryStats& s) const { return breakdown(s).total(); }
 
   /// Modeled milliseconds assuming work spread over `parallel_lanes`
   /// concurrently-active lanes at `clock_ghz`.

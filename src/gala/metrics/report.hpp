@@ -1,146 +1,19 @@
 // Machine-readable run reports.
 //
-// A minimal JSON writer (objects, arrays, numbers, escaped strings — no
-// external dependency) plus builders that serialise detection runs so
-// downstream tooling (dashboards, regression trackers) can consume bench
-// and CLI output.
+// Builders that serialise detection runs (via the shared gala::JsonWriter,
+// see common/json.hpp) so downstream tooling (dashboards, regression
+// trackers) can consume bench and CLI output.
 #pragma once
 
-#include <sstream>
 #include <string>
-#include <vector>
 
+#include "gala/common/json.hpp"
 #include "gala/core/gala.hpp"
 #include "gala/graph/csr.hpp"
 
 namespace gala::metrics {
 
-/// Streaming JSON writer with correct escaping and comma management.
-/// Usage:
-///   JsonWriter w;
-///   w.begin_object();
-///   w.key("name").value("LJ");
-///   w.key("sizes").begin_array().value(1).value(2).end_array();
-///   w.end_object();
-///   std::string json = w.str();
-class JsonWriter {
- public:
-  JsonWriter& begin_object() {
-    prefix();
-    out_ << '{';
-    stack_.push_back(State::FirstInObject);
-    return *this;
-  }
-  JsonWriter& end_object() {
-    pop(State::FirstInObject, State::InObject);
-    out_ << '}';
-    return *this;
-  }
-  JsonWriter& begin_array() {
-    prefix();
-    out_ << '[';
-    stack_.push_back(State::FirstInArray);
-    return *this;
-  }
-  JsonWriter& end_array() {
-    pop(State::FirstInArray, State::InArray);
-    out_ << ']';
-    return *this;
-  }
-  JsonWriter& key(const std::string& k) {
-    prefix();
-    write_string(k);
-    out_ << ':';
-    pending_value_ = true;
-    return *this;
-  }
-  JsonWriter& value(const std::string& v) {
-    prefix();
-    write_string(v);
-    return *this;
-  }
-  JsonWriter& value(const char* v) { return value(std::string(v)); }
-  JsonWriter& value(double v) {
-    prefix();
-    out_ << v;
-    return *this;
-  }
-  JsonWriter& value(std::uint64_t v) {
-    prefix();
-    out_ << v;
-    return *this;
-  }
-  JsonWriter& value(int v) {
-    prefix();
-    out_ << v;
-    return *this;
-  }
-  JsonWriter& value(bool v) {
-    prefix();
-    out_ << (v ? "true" : "false");
-    return *this;
-  }
-
-  std::string str() const { return out_.str(); }
-
- private:
-  enum class State { FirstInObject, InObject, FirstInArray, InArray };
-
-  void prefix() {
-    if (pending_value_) {
-      pending_value_ = false;
-      return;  // value directly after a key: no comma
-    }
-    if (stack_.empty()) return;
-    State& s = stack_.back();
-    if (s == State::FirstInObject) {
-      s = State::InObject;
-    } else if (s == State::FirstInArray) {
-      s = State::InArray;
-    } else {
-      out_ << ',';
-    }
-  }
-
-  void pop(State first, State rest) {
-    GALA_CHECK(!stack_.empty() && (stack_.back() == first || stack_.back() == rest),
-               "mismatched JSON begin/end");
-    stack_.pop_back();
-  }
-
-  void write_string(const std::string& s) {
-    out_ << '"';
-    for (const char c : s) {
-      switch (c) {
-        case '"':
-          out_ << "\\\"";
-          break;
-        case '\\':
-          out_ << "\\\\";
-          break;
-        case '\n':
-          out_ << "\\n";
-          break;
-        case '\t':
-          out_ << "\\t";
-          break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out_ << buf;
-          } else {
-            out_ << c;
-          }
-      }
-    }
-    out_ << '"';
-  }
-
-  std::ostringstream out_;
-  std::vector<State> stack_;
-  bool pending_value_ = false;
-};
+using ::gala::JsonWriter;  // writer lived here historically; keep the alias
 
 /// Serialises a detection run (graph summary, config highlights, per-level
 /// stats, final quality) as a JSON document.

@@ -7,6 +7,7 @@
 #include "gala/common/timer.hpp"
 #include "gala/core/aggregation.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/telemetry/telemetry.hpp"
 
 namespace gala::multigpu {
 namespace {
@@ -128,6 +129,7 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       // --- 2. DecideAndMove for owned active vertices. ------------------
       const core::DecideInput input{&g, st.comm, st.comm_total, g.two_m(), config.resolution};
       {
+        telemetry::ScopedSpan decide_span(telemetry::Tracer::global(), "decide", "multigpu");
         gpusim::MemoryStats stats;
         for (vid_t v = st.range.begin; v < st.range.end; ++v) {
           if (!st.active[v]) continue;
@@ -141,6 +143,11 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
                   : core::hash_decide(input, v, config.hashtable, arena, hash_scratch, salt, stats);
         }
         st.timeline.traffic += stats;
+        if (decide_span.active()) {
+          decide_span.arg("rank", static_cast<double>(rank));
+          decide_span.arg("iteration", static_cast<double>(iter));
+          gpusim::attach_traffic(decide_span, stats, &config.device.cost_model);
+        }
       }
 
       // Owned moves under the shared guard.
@@ -166,19 +173,35 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
                               (config.sync == SyncMode::Adaptive && sparse_bytes < dense_bytes);
 
       std::copy(st.comm.begin(), st.comm.end(), st.next_comm.begin());
-      if (use_sparse) {
-        const auto all_moves = comm_world.all_gather_v<MoveRecord>(
-            rank, std::span<const MoveRecord>(local_moves), st.timeline.comm);
-        for (const MoveRecord& m : all_moves) st.next_comm[m.vertex] = m.community;
-      } else {
-        // Dense: every rank ships its whole owned slice of next_comm.
-        for (const MoveRecord& m : local_moves) st.next_comm[m.vertex] = m.community;
-        const auto slices = comm_world.all_gather_v<cid_t>(
-            rank,
-            std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()),
-            st.timeline.comm);
-        GALA_ASSERT(slices.size() == n);
-        std::copy(slices.begin(), slices.end(), st.next_comm.begin());
+      {
+        // Bytes this rank ships into the all-gather (sum over ranks = wire
+        // total, matching the iteration log's sparse/dense payload figures).
+        const std::uint64_t shipped_bytes =
+            use_sparse ? local_moves.size() * sizeof(MoveRecord)
+                       : st.range.size() * sizeof(cid_t);
+        telemetry::ScopedSpan sync_span(telemetry::Tracer::global(),
+                                        use_sparse ? "sync_sparse" : "sync_dense", "multigpu");
+        if (use_sparse) {
+          const auto all_moves = comm_world.all_gather_v<MoveRecord>(
+              rank, std::span<const MoveRecord>(local_moves), st.timeline.comm);
+          for (const MoveRecord& m : all_moves) st.next_comm[m.vertex] = m.community;
+        } else {
+          // Dense: every rank ships its whole owned slice of next_comm.
+          for (const MoveRecord& m : local_moves) st.next_comm[m.vertex] = m.community;
+          const auto slices = comm_world.all_gather_v<cid_t>(
+              rank,
+              std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()),
+              st.timeline.comm);
+          GALA_ASSERT(slices.size() == n);
+          std::copy(slices.begin(), slices.end(), st.next_comm.begin());
+        }
+        if (sync_span.active()) {
+          sync_span.arg("rank", static_cast<double>(rank));
+          sync_span.arg("iteration", static_cast<double>(iter));
+          sync_span.arg("bytes", static_cast<double>(shipped_bytes));
+          sync_span.arg("moved_total", moved_total_d);
+          telemetry::Registry::global().counter("multigpu.sync_bytes").add(shipped_bytes);
+        }
       }
 
       vid_t moved_check = 0;
@@ -220,14 +243,24 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
         }
         st.timeline.traffic += stats;
       }
-      const auto all_msgs =
-          comm_world.all_gather_v<WeightMsg>(rank, std::span<const WeightMsg>(out_msgs),
-                                             st.timeline.comm);
-      for (const WeightMsg& msg : all_msgs) {
-        if (msg.target >= st.range.begin && msg.target < st.range.end && !st.moved[msg.target]) {
-          st.weight[msg.target] += msg.delta;
-          st.timeline.traffic.global_reads += 1;
-          st.timeline.traffic.global_writes += 1;
+      {
+        telemetry::ScopedSpan wsync_span(telemetry::Tracer::global(), "sync_weights", "multigpu");
+        const auto all_msgs =
+            comm_world.all_gather_v<WeightMsg>(rank, std::span<const WeightMsg>(out_msgs),
+                                               st.timeline.comm);
+        for (const WeightMsg& msg : all_msgs) {
+          if (msg.target >= st.range.begin && msg.target < st.range.end && !st.moved[msg.target]) {
+            st.weight[msg.target] += msg.delta;
+            st.timeline.traffic.global_reads += 1;
+            st.timeline.traffic.global_writes += 1;
+          }
+        }
+        if (wsync_span.active()) {
+          const std::uint64_t shipped = out_msgs.size() * sizeof(WeightMsg);
+          wsync_span.arg("rank", static_cast<double>(rank));
+          wsync_span.arg("iteration", static_cast<double>(iter));
+          wsync_span.arg("bytes", static_cast<double>(shipped));
+          telemetry::Registry::global().counter("multigpu.weight_sync_bytes").add(shipped);
         }
       }
 

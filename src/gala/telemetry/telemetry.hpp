@@ -1,0 +1,325 @@
+// Unified telemetry: span tracing, a counter/gauge/histogram registry, and
+// machine-readable exporters.
+//
+// The tracer records nested begin/end spans (wall-clock microseconds plus
+// arbitrary numeric payloads such as modeled cycles or memory traffic) from
+// any thread. Spans export as Chrome `chrome://tracing` / Perfetto JSON, as
+// a flat per-span JSON dump, or as an aggregated summary. The registry
+// subsumes ad-hoc tallies: named monotonic counters, gauges, and log-2
+// bucketed histograms (degree / occupancy distributions), all thread-safe.
+//
+// Cost discipline: everything is off by default. When the tracer is
+// disabled, ScopedSpan's constructor is a single relaxed atomic load and no
+// strings are built — instrumented hot paths pay one predictable branch.
+//
+// Usage:
+//   auto& tracer = telemetry::Tracer::global();
+//   tracer.add_sink(std::make_shared<telemetry::ChromeTraceSink>("trace.json"));
+//   {
+//     telemetry::ScopedSpan span(tracer, "decide", "phase1");
+//     span.arg("modeled_cycles", cycles);
+//     ...
+//   }
+//   tracer.flush_sinks();
+#pragma once
+
+#include "gala/common/json.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gala::telemetry {
+
+/// Numeric span payload: (key, value) pairs, e.g. {"global_reads", 1234}.
+using Args = std::vector<std::pair<std::string, double>>;
+
+/// One completed span. Timestamps are microseconds relative to the owning
+/// tracer's epoch (its construction, or the last reset()).
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  double start_us = 0;
+  double dur_us = 0;
+  std::uint32_t tid = 0;   ///< dense per-thread id (not the OS tid)
+  std::uint32_t depth = 0; ///< nesting depth within the thread at begin
+  std::uint64_t seq = 0;   ///< global begin order
+  Args args;
+};
+
+/// Receives completed spans as they end. Implementations must tolerate
+/// concurrent on_span calls (the tracer serialises them under its lock, but
+/// flush() may race with a manual flush — keep sinks internally locked or
+/// flush only after tracing stops).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_span(const SpanRecord& span) = 0;
+  /// Writes any buffered output. Called by Tracer::flush_sinks and on tracer
+  /// shutdown; must be idempotent.
+  virtual void flush() {}
+};
+
+/// Human-readable streaming sink: one line per span, indented by depth.
+class TextSink : public Sink {
+ public:
+  explicit TextSink(std::FILE* out = stderr) : out_(out) {}
+  void on_span(const SpanRecord& span) override;
+
+ private:
+  std::FILE* out_;
+};
+
+/// Buffers spans and writes a flat JSON dump {"spans":[...]} on flush().
+class JsonSink : public Sink {
+ public:
+  explicit JsonSink(std::string path) : path_(std::move(path)) {}
+  // Best-effort: write failures surface from an explicit flush(), never from
+  // a destructor (which may run during static teardown after main exited).
+  ~JsonSink() override {
+    try {
+      flush();
+    } catch (...) {
+    }
+  }
+  void on_span(const SpanRecord& span) override;
+  void flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::string path_;
+  std::vector<SpanRecord> spans_;
+  bool dirty_ = false;
+};
+
+/// Buffers spans and writes Chrome-trace/Perfetto JSON on flush(). Open the
+/// file via chrome://tracing or https://ui.perfetto.dev.
+class ChromeTraceSink : public Sink {
+ public:
+  explicit ChromeTraceSink(std::string path) : path_(std::move(path)) {}
+  ~ChromeTraceSink() override {
+    try {
+      flush();
+    } catch (...) {
+    }
+  }
+  void on_span(const SpanRecord& span) override;
+  void flush() override;
+
+ private:
+  std::mutex mutex_;
+  std::string path_;
+  std::vector<SpanRecord> spans_;
+  bool dirty_ = false;
+};
+
+/// Thread-safe span tracer. Disabled (null-sink) by default: recording costs
+/// one relaxed load until a sink is attached or set_enabled(true) is called.
+class Tracer {
+ public:
+  Tracer();
+
+  /// The process-wide tracer that the GALA pipeline instrumentation uses.
+  static Tracer& global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Attaches a sink and enables the tracer.
+  void add_sink(std::shared_ptr<Sink> sink);
+  /// Flushes buffered sink output (e.g. before reading an exported file).
+  void flush_sinks();
+  /// Drops all sinks (the tracer stays enabled if set_enabled(true) held).
+  void clear_sinks();
+
+  /// Records a completed span (normally via ScopedSpan, not directly).
+  void record(SpanRecord&& span);
+
+  /// Copies out all retained spans, in completion order.
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t span_count() const;
+  /// Spans dropped after the retention cap was hit.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Forgets retained spans and restarts the clock epoch. Sinks and the
+  /// enabled flag are untouched.
+  void reset();
+
+  /// Microseconds since the tracer epoch.
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_).count();
+  }
+
+  std::uint64_t next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Chrome-trace JSON ({"traceEvents":[...]}) of the retained spans.
+  std::string chrome_trace_json() const;
+  /// Aggregated per-(category,name) summary of the retained spans: counts,
+  /// wall totals, and summed args.
+  std::string summary_json() const;
+  /// Writes the summary's "spans" member into an open JSON object.
+  void append_summary(JsonWriter& w) const;
+
+  void write_chrome_trace(const std::string& path) const;
+
+  /// Retention cap (default 1M spans); exceeding it increments dropped().
+  void set_max_spans(std::size_t cap) { max_spans_ = cap; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  Clock::time_point epoch_;
+  std::size_t max_spans_ = 1u << 20;
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::shared_ptr<Sink>> sinks_;
+};
+
+/// RAII span: begins on construction (if the tracer is enabled), ends and
+/// records on destruction. arg() attaches numeric payloads while open.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::string_view name, std::string_view category = "phase");
+  explicit ScopedSpan(std::string_view name, std::string_view category = "phase")
+      : ScopedSpan(Tracer::global(), name, category) {}
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when the tracer was enabled at construction (payload work can be
+  /// skipped otherwise).
+  bool active() const { return tracer_ != nullptr; }
+
+  void arg(std::string_view key, double value) {
+    if (tracer_ != nullptr) rec_.args.emplace_back(key, value);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when tracing was disabled at construction
+  SpanRecord rec_;
+};
+
+// ---------------------------------------------------------------------------
+// Counter / gauge / histogram registry.
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Histogram over unsigned values with fixed log-2 buckets: bucket 0 holds
+/// exact zeros, bucket i>=1 holds [2^(i-1), 2^i). Suited to degree and
+/// occupancy distributions.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;  // 0 for 0, else bit_width(v) in [1, 64]
+  }
+
+  /// Inclusive lower bound of bucket i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_lo(std::size_t i) {
+    return i == 0 ? 0 : (i == 1 ? 1 : (std::uint64_t{1} << (i - 1)));
+  }
+
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Named instrument registry. Lookup is mutex-protected; returned references
+/// are stable for the registry's lifetime, so hot paths should look up once
+/// and cache the reference.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zeroes every instrument (names stay registered).
+  void reset();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — histograms list
+  /// only non-empty buckets as {"lo":..,"count":..}.
+  std::string json() const;
+  /// Writes the counters/gauges/histograms members into an open JSON object.
+  void append_json(JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Combined metrics document: the tracer's aggregated span summary plus the
+/// registry's instruments (the CLI's --metrics-out payload).
+std::string metrics_json(const Tracer& tracer, const Registry& registry);
+
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace gala::telemetry

@@ -6,7 +6,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
+
+#include "gala/common/json.hpp"  // header-only; used to parse emitted telemetry
 
 namespace {
 
@@ -113,6 +116,46 @@ TEST_F(CliE2e, CompareCommand) {
   ASSERT_EQ(run("compare " + path("cmp_comm.txt") + " " + path("cmp_truth.txt"), &out), 0) << out;
   EXPECT_NE(out.find("NMI:"), std::string::npos);
   EXPECT_NE(out.find("ARI:"), std::string::npos);
+}
+
+TEST_F(CliE2e, DetectEmitsTraceAndMetrics) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --trace-out " + path("run.trace.json") +
+                    " --metrics-out " + path("run.metrics.json"),
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("wrote trace to"), std::string::npos);
+
+  const auto slurp = [this](const std::string& name) {
+    std::ifstream in(path(name));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  // The trace is valid Chrome-trace JSON containing the pipeline phases.
+  const gala::JsonValue trace = gala::parse_json(slurp("run.trace.json"));
+  const gala::JsonValue& events = trace.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_FALSE(events.array.empty());
+  std::set<std::string> names;
+  for (const auto& e : events.array) {
+    names.insert(e.at("name").string);
+    EXPECT_EQ(e.at("ph").string, "X");
+  }
+  for (const char* expected :
+       {"load-graph", "phase1", "iteration", "decide", "weight-update", "pruning", "level"}) {
+    EXPECT_TRUE(names.count(expected)) << "trace missing phase: " << expected;
+  }
+
+  // The metrics document carries the aggregated spans and the registry.
+  const gala::JsonValue metrics = gala::parse_json(slurp("run.metrics.json"));
+  EXPECT_NE(metrics.at("spans").find("phase1/decide"), nullptr);
+  EXPECT_NE(metrics.at("spans").find("pipeline/phase1"), nullptr);
+  EXPECT_GT(metrics.at("counters").at("gpusim.launches").number, 0);
+  EXPECT_GT(metrics.at("counters").at("phase1.iterations").number, 0);
+  EXPECT_NE(metrics.at("histograms").find("gpusim.blocks_per_launch"), nullptr);
 }
 
 TEST_F(CliE2e, ErrorPathsReturnNonZero) {

@@ -169,5 +169,27 @@ TEST(PhaseTimer, AccumulatesAcrossStartStop) {
   EXPECT_EQ(t.count(), 0u);
 }
 
+TEST(PhaseTimer, DoubleStartClosesOpenInterval) {
+  PhaseTimer t;
+  t.start();
+  t.start();  // must bank the first interval, not discard it
+  t.stop();
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(PhaseTimer, ScopedPhaseStartsAndStops) {
+  PhaseTimer t;
+  {
+    ScopedPhase phase(t);
+    EXPECT_EQ(t.count(), 0u);  // interval still open
+  }
+  EXPECT_EQ(t.count(), 1u);
+  {
+    ScopedPhase phase(t);
+  }
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_GE(t.total_seconds(), 0.0);
+}
+
 }  // namespace
 }  // namespace gala

@@ -1,0 +1,428 @@
+// gala::telemetry: span tracing, the counter/gauge/histogram registry, the
+// sinks, JSON export validity (parsed back with gala::parse_json), and the
+// pipeline instrumentation contract (span payloads match Phase1Result).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gala/common/json.hpp"
+#include "gala/core/bsp_louvain.hpp"
+#include "gala/graph/generators.hpp"
+#include "gala/telemetry/telemetry.hpp"
+
+namespace gala {
+namespace {
+
+namespace fs = std::filesystem;
+using telemetry::Registry;
+using telemetry::ScopedSpan;
+using telemetry::SpanRecord;
+using telemetry::Tracer;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (common/json.hpp).
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("a \"quoted\" string\nwith newline");
+  w.key("n").value(std::uint64_t{42});
+  w.key("x").value(2.5);
+  w.key("flag").value(true);
+  w.key("list").begin_array().value(1).value(2).value(3).end_array();
+  w.key("nested").begin_object().key("empty").begin_array().end_array().end_object();
+  w.end_object();
+
+  const JsonValue doc = parse_json(w.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").string, "a \"quoted\" string\nwith newline");
+  EXPECT_EQ(doc.at("n").number, 42);
+  EXPECT_EQ(doc.at("x").number, 2.5);
+  EXPECT_TRUE(doc.at("flag").boolean);
+  ASSERT_EQ(doc.at("list").array.size(), 3u);
+  EXPECT_EQ(doc.at("list").array[2].number, 3);
+  EXPECT_TRUE(doc.at("nested").at("empty").is_array());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParser, AcceptsEscapesAndNegativeExponents) {
+  const JsonValue doc = parse_json(R"({"u":"A\t","neg":-1.5e-3,"null":null})");
+  EXPECT_EQ(doc.at("u").string, "A\t");
+  EXPECT_DOUBLE_EQ(doc.at("neg").number, -1.5e-3);
+  EXPECT_TRUE(doc.at("null").is_null());
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("{\"a\":}"), Error);
+  EXPECT_THROW(parse_json("[1,2,]extra"), Error);
+  EXPECT_THROW(parse_json("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(parse_json("nope"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Span recording.
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer;  // null-sink default: disabled
+  ASSERT_FALSE(tracer.enabled());
+  {
+    ScopedSpan span(tracer, "outer");
+    span.arg("x", 1.0);
+    EXPECT_FALSE(span.active());
+    ScopedSpan inner(tracer, "inner");
+  }
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(Tracer, RecordsNestedSpansWithDepthAndOrder) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan outer(tracer, "outer", "test");
+    {
+      ScopedSpan mid(tracer, "mid", "test");
+      ScopedSpan leaf(tracer, "leaf", "test");
+    }
+    ScopedSpan sibling(tracer, "sibling", "test");
+  }
+
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Completion order: innermost first.
+  EXPECT_EQ(spans[0].name, "leaf");
+  EXPECT_EQ(spans[1].name, "mid");
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[3].name, "outer");
+
+  const auto find = [&](const std::string& name) {
+    for (const auto& s : spans) {
+      if (s.name == name) return s;
+    }
+    ADD_FAILURE() << "span " << name << " missing";
+    return SpanRecord{};
+  };
+  const SpanRecord outer = find("outer"), mid = find("mid"), leaf = find("leaf"),
+                   sibling = find("sibling");
+  // Begin order via seq, nesting via depth, containment via timestamps.
+  EXPECT_LT(outer.seq, mid.seq);
+  EXPECT_LT(mid.seq, leaf.seq);
+  EXPECT_LT(leaf.seq, sibling.seq);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(mid.depth, 1u);
+  EXPECT_EQ(leaf.depth, 2u);
+  EXPECT_EQ(sibling.depth, 1u);
+  EXPECT_LE(outer.start_us, mid.start_us);
+  EXPECT_LE(mid.start_us + mid.dur_us, outer.start_us + outer.dur_us + 1e3);
+  EXPECT_GE(outer.dur_us, leaf.dur_us);
+}
+
+TEST(Tracer, SpanArgsAreAttached) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span(tracer, "k", "kernel");
+    EXPECT_TRUE(span.active());
+    span.arg("global_reads", 128);
+    span.arg("modeled_cycles", 51200);
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].args.size(), 2u);
+  EXPECT_EQ(spans[0].args[0].first, "global_reads");
+  EXPECT_EQ(spans[0].args[0].second, 128);
+}
+
+TEST(Tracer, ConcurrentSpansFromManyThreads) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 8, kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(tracer, "work", "mt");
+        ScopedSpan inner(tracer, "inner", "mt");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.span_count(), static_cast<std::size_t>(kThreads * kSpansPerThread * 2));
+  // The trace must still be valid JSON.
+  const JsonValue doc = parse_json(tracer.chrome_trace_json());
+  EXPECT_EQ(doc.at("traceEvents").array.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread * 2));
+}
+
+TEST(Tracer, RetentionCapCountsDrops) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_max_spans(3);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span(tracer, "s");
+  }
+  EXPECT_EQ(tracer.span_count(), 3u);
+  EXPECT_EQ(tracer.dropped(), 7u);
+  tracer.reset();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Exports.
+
+TEST(Tracer, ChromeTraceJsonIsValidAndOrdered) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan a(tracer, "first", "phase");
+    ScopedSpan b(tracer, "second", "kernel");
+    b.arg("bytes", 64);
+  }
+  const JsonValue doc = parse_json(tracer.chrome_trace_json());
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.array.size(), 2u);
+  // Sorted by begin order despite completion-order recording.
+  EXPECT_EQ(events.array[0].at("name").string, "first");
+  EXPECT_EQ(events.array[1].at("name").string, "second");
+  for (const auto& e : events.array) {
+    EXPECT_EQ(e.at("ph").string, "X");
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_TRUE(e.at("args").is_object());
+  }
+  EXPECT_EQ(events.array[1].at("args").at("bytes").number, 64);
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+}
+
+TEST(Tracer, SummaryAggregatesByCategoryAndName) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span(tracer, "decide", "phase1");
+    span.arg("modeled_ms", 2.0);
+  }
+  {
+    ScopedSpan span(tracer, "decide", "kernel");  // same name, other category
+  }
+  const JsonValue doc = parse_json(tracer.summary_json());
+  const JsonValue& agg = doc.at("spans").at("phase1/decide");
+  EXPECT_EQ(agg.at("count").number, 3);
+  EXPECT_DOUBLE_EQ(agg.at("args").at("modeled_ms").number, 6.0);
+  EXPECT_EQ(doc.at("spans").at("kernel/decide").at("count").number, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Sinks.
+
+TEST(Sinks, ChromeTraceSinkWritesParseableFile) {
+  const fs::path path = fs::temp_directory_path() / "gala_sink_chrome.json";
+  Tracer tracer;
+  tracer.add_sink(std::make_shared<telemetry::ChromeTraceSink>(path.string()));
+  EXPECT_TRUE(tracer.enabled());  // add_sink enables
+  {
+    ScopedSpan span(tracer, "synced", "test");
+  }
+  tracer.flush_sinks();
+  const JsonValue doc = parse_json(read_file(path.string()));
+  ASSERT_EQ(doc.at("traceEvents").array.size(), 1u);
+  EXPECT_EQ(doc.at("traceEvents").array[0].at("name").string, "synced");
+  fs::remove(path);
+}
+
+TEST(Sinks, JsonSinkWritesFlatSpanDump) {
+  const fs::path path = fs::temp_directory_path() / "gala_sink_flat.json";
+  Tracer tracer;
+  tracer.add_sink(std::make_shared<telemetry::JsonSink>(path.string()));
+  {
+    ScopedSpan outer(tracer, "outer", "test");
+    ScopedSpan inner(tracer, "inner", "test");
+    inner.arg("v", 7);
+  }
+  tracer.flush_sinks();
+  const JsonValue doc = parse_json(read_file(path.string()));
+  ASSERT_EQ(doc.at("spans").array.size(), 2u);
+  const JsonValue& inner = doc.at("spans").array[0];
+  EXPECT_EQ(inner.at("name").string, "inner");
+  EXPECT_EQ(inner.at("depth").number, 1);
+  EXPECT_EQ(inner.at("args").at("v").number, 7);
+  fs::remove(path);
+}
+
+TEST(Sinks, TextSinkWritesOneLinePerSpan) {
+  const fs::path path = fs::temp_directory_path() / "gala_sink_text.txt";
+  {
+    std::FILE* f = std::fopen(path.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    Tracer tracer;
+    tracer.add_sink(std::make_shared<telemetry::TextSink>(f));
+    {
+      ScopedSpan span(tracer, "hello", "test");
+      span.arg("n", 3);
+    }
+    std::fclose(f);
+  }
+  const std::string text = read_file(path.string());
+  EXPECT_NE(text.find("test/hello"), std::string::npos);
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(Registry, CountersAggregateAcrossThreads) {
+  Registry registry;
+  constexpr int kThreads = 8, kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      auto& counter = registry.counter("work.items");  // cached lookup per thread
+      for (int i = 0; i < kAdds; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("work.items").value(),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Registry, HistogramLog2BucketsAndThreadedObserve) {
+  using telemetry::Histogram;
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lo(11), 1024u);
+
+  Registry registry;
+  constexpr int kThreads = 4, kObs = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      auto& h = registry.histogram("degrees");
+      for (int i = 0; i < kObs; ++i) h.observe(static_cast<std::uint64_t>(i % 8));
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto& h = registry.histogram("degrees");
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kObs);
+  // i%8 hits 0 once per 8, 1 once, [2,4) twice, [4,8) four times.
+  EXPECT_EQ(h.bucket_count(0), static_cast<std::uint64_t>(kThreads) * kObs / 8);
+  EXPECT_EQ(h.bucket_count(2), static_cast<std::uint64_t>(kThreads) * kObs / 4);
+  EXPECT_EQ(h.bucket_count(3), static_cast<std::uint64_t>(kThreads) * kObs / 2);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  Registry registry;
+  registry.gauge("occupancy").set(0.5);
+  registry.gauge("occupancy").add(0.25);
+  EXPECT_DOUBLE_EQ(registry.gauge("occupancy").value(), 0.75);
+  registry.reset();
+  EXPECT_DOUBLE_EQ(registry.gauge("occupancy").value(), 0.0);
+}
+
+TEST(Registry, JsonExportListsInstruments) {
+  Registry registry;
+  registry.counter("a.count").add(5);
+  registry.gauge("b.gauge").set(1.5);
+  registry.histogram("c.hist").observe(9);
+  const JsonValue doc = parse_json(registry.json());
+  EXPECT_EQ(doc.at("counters").at("a.count").number, 5);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("b.gauge").number, 1.5);
+  const JsonValue& hist = doc.at("histograms").at("c.hist");
+  EXPECT_EQ(hist.at("count").number, 1);
+  EXPECT_EQ(hist.at("sum").number, 9);
+  ASSERT_EQ(hist.at("buckets").array.size(), 1u);
+  EXPECT_EQ(hist.at("buckets").array[0].at("lo").number, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline instrumentation contract.
+
+TEST(PipelineTelemetry, Phase1SpansMatchPhase1Result) {
+  auto& tracer = Tracer::global();
+  tracer.reset();
+  tracer.set_enabled(true);
+
+  graph::PlantedPartitionParams params;
+  params.num_vertices = 300;
+  params.num_communities = 6;
+  params.avg_degree = 12;
+  params.mixing = 0.1;
+  params.seed = 5;
+  const graph::Graph g = graph::planted_partition(params, nullptr);
+
+  core::BspConfig cfg;
+  cfg.parallel = false;  // deterministic sequential launches
+  const core::Phase1Result result = core::bsp_phase1(g, cfg);
+  tracer.set_enabled(false);
+
+  const JsonValue doc = parse_json(tracer.summary_json());
+  const JsonValue& spans = doc.at("spans");
+
+  // One span per iteration for each phase.
+  const double iters = static_cast<double>(result.iterations.size());
+  EXPECT_EQ(spans.at("phase1/iteration").at("count").number, iters);
+  EXPECT_EQ(spans.at("phase1/pruning").at("count").number, iters);
+  EXPECT_EQ(spans.at("phase1/decide").at("count").number, iters);
+  EXPECT_EQ(spans.at("phase1/weight-update").at("count").number, iters);
+  EXPECT_EQ(spans.at("phase1/bookkeeping").at("count").number, iters);
+
+  // Modeled-cycle payloads must sum to exactly the Phase1Result figures.
+  EXPECT_NEAR(spans.at("phase1/decide").at("args").at("modeled_ms").number,
+              result.decide_modeled_ms, 1e-12);
+  EXPECT_NEAR(spans.at("phase1/weight-update").at("args").at("modeled_ms").number,
+              result.update_modeled_ms, 1e-12);
+  EXPECT_NEAR(spans.at("phase1/bookkeeping").at("args").at("modeled_ms").number,
+              result.other_modeled_ms, 1e-12);
+
+  // Kernel launches carry their MemoryStats snapshot; summed kernel traffic
+  // equals the engine's decide traffic.
+  double kernel_reads = 0;
+  const JsonValue* shuffle = spans.find("kernel/decide_shuffle");
+  const JsonValue* hash = spans.find("kernel/decide_hash");
+  ASSERT_TRUE(shuffle != nullptr || hash != nullptr);
+  for (const JsonValue* k : {shuffle, hash}) {
+    if (k != nullptr) kernel_reads += k->at("args").at("global_reads").number;
+  }
+  std::uint64_t decide_reads = 0;
+  for (const auto& it : result.iterations) decide_reads += it.decide_traffic.global_reads;
+  EXPECT_EQ(kernel_reads, static_cast<double>(decide_reads));
+
+  tracer.reset();
+}
+
+TEST(PipelineTelemetry, MetricsJsonCombinesSpansAndRegistry) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span(tracer, "s", "c");
+  }
+  Registry registry;
+  registry.counter("n").add(2);
+  const JsonValue doc = parse_json(telemetry::metrics_json(tracer, registry));
+  EXPECT_EQ(doc.at("spans").at("c/s").at("count").number, 1);
+  EXPECT_EQ(doc.at("counters").at("n").number, 2);
+  EXPECT_TRUE(doc.at("histograms").is_object());
+}
+
+}  // namespace
+}  // namespace gala

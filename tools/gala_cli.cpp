@@ -15,6 +15,8 @@
 #include "gala/baselines/label_propagation.hpp"
 #include "gala/common/cli.hpp"
 #include "gala/common/table.hpp"
+#include "gala/common/timer.hpp"
+#include "gala/telemetry/telemetry.hpp"
 #include "gala/core/gala.hpp"
 #include "gala/core/refinement.hpp"
 #include "gala/graph/generators.hpp"
@@ -81,13 +83,36 @@ int cmd_detect(int argc, const char* const* argv) {
       .add_option("output", "write 'vertex community' lines here", "")
       .add_option("algorithm", "louvain|lpa", "louvain")
       .add_option("json", "write a machine-readable run report here", "")
+      .add_option("trace-out", "write a Chrome-trace/Perfetto JSON of the run here", "")
+      .add_option("metrics-out", "write aggregated telemetry (spans + counters) JSON here", "")
       .add_flag("refine", "Leiden-style refinement before each aggregation")
       .add_flag("follow", "vertex-following preprocessing (merge pendants)")
       .add_flag("connected", "report whether every community is connected");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
-  const graph::Graph g = load_graph(args.get("graph"));
-  std::printf("graph: %s\n", graph::summary(g).c_str());
+  // Telemetry: tracing is off (null sink) unless an export was requested.
+  auto& tracer = telemetry::Tracer::global();
+  auto& registry = telemetry::Registry::global();
+  const std::string trace_out = args.get("trace-out");
+  const std::string metrics_out = args.get("metrics-out");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    tracer.reset();
+    registry.reset();
+    tracer.set_enabled(true);
+    if (!trace_out.empty()) {
+      tracer.add_sink(std::make_shared<telemetry::ChromeTraceSink>(trace_out));
+    }
+  }
+
+  PhaseTimer load_timer;
+  graph::Graph g;
+  {
+    ScopedPhase load_phase(load_timer);
+    telemetry::ScopedSpan load_span(tracer, "load-graph", "cli");
+    g = load_graph(args.get("graph"));
+  }
+  std::printf("graph: %s (loaded in %.3f s)\n", graph::summary(g).c_str(),
+              load_timer.total_seconds());
 
   std::vector<cid_t> assignment;
   if (args.get("algorithm") == "lpa") {
@@ -145,6 +170,15 @@ int cmd_detect(int argc, const char* const* argv) {
     GALA_CHECK(f.is_open(), "cannot open " << out);
     for (vid_t v = 0; v < g.num_vertices(); ++v) f << v << ' ' << assignment[v] << '\n';
     std::printf("wrote %s\n", out.c_str());
+  }
+  if (!trace_out.empty()) {
+    tracer.flush_sinks();
+    std::printf("wrote trace to %s (%zu spans; open in chrome://tracing or ui.perfetto.dev)\n",
+                trace_out.c_str(), tracer.span_count());
+  }
+  if (!metrics_out.empty()) {
+    telemetry::write_file(metrics_out, telemetry::metrics_json(tracer, registry));
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,133 @@
+// Validates telemetry JSON emitted by the gala CLI (and the bench JSON
+// sidecars): the file must parse, have the expected top-level shape, and —
+// optionally — contain required span names. Exits 0 on success, 1 on any
+// failure, so CI can gate on trace validity.
+//
+// Usage:
+//   trace_check <file.json> [--chrome] [--require NAME]...
+//
+//   --chrome        expect Chrome-trace shape ({"traceEvents":[...]});
+//                   default accepts either that or a metrics/summary
+//                   document ({"spans":{...}} or {"spans":[...]}).
+//   --require NAME  fail unless a span name containing NAME (substring)
+//                   is present. Repeatable.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gala/common/error.hpp"
+#include "gala/common/json.hpp"
+
+namespace {
+
+/// Collects the span names present in a telemetry document of any shape.
+std::set<std::string> collect_names(const gala::JsonValue& doc) {
+  std::set<std::string> names;
+  if (const gala::JsonValue* events = doc.find("traceEvents")) {
+    for (const auto& e : events->array) {
+      if (const gala::JsonValue* n = e.find("name")) names.insert(n->string);
+    }
+  }
+  if (const gala::JsonValue* spans = doc.find("spans")) {
+    if (spans->is_array()) {  // flat JsonSink dump
+      for (const auto& s : spans->array) {
+        if (const gala::JsonValue* n = s.find("name")) names.insert(n->string);
+      }
+    } else if (spans->is_object()) {  // aggregated summary: "category/name" keys
+      for (const auto& [key, value] : spans->object) names.insert(key);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  bool chrome = false;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--chrome") {
+      chrome = true;
+    } else if (arg == "--require") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "trace_check: --require needs a value\n");
+        return 1;
+      }
+      required.emplace_back(argv[i]);
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      std::fprintf(stderr, "trace_check: unexpected argument '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "usage: trace_check <file.json> [--chrome] [--require NAME]...\n");
+    return 1;
+  }
+
+  std::ifstream in(file);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  gala::JsonValue doc;
+  try {
+    doc = gala::parse_json(ss.str());
+  } catch (const gala::Error& e) {
+    std::fprintf(stderr, "trace_check: %s: invalid JSON: %s\n", file.c_str(), e.what());
+    return 1;
+  }
+  if (!doc.is_object()) {
+    std::fprintf(stderr, "trace_check: %s: top level is not an object\n", file.c_str());
+    return 1;
+  }
+
+  const gala::JsonValue* events = doc.find("traceEvents");
+  if (chrome) {
+    if (events == nullptr || !events->is_array()) {
+      std::fprintf(stderr, "trace_check: %s: no traceEvents array\n", file.c_str());
+      return 1;
+    }
+    for (const auto& e : events->array) {
+      if (e.find("name") == nullptr || e.find("ph") == nullptr || e.find("ts") == nullptr) {
+        std::fprintf(stderr, "trace_check: %s: malformed trace event\n", file.c_str());
+        return 1;
+      }
+    }
+  } else if (events == nullptr && doc.find("spans") == nullptr) {
+    std::fprintf(stderr, "trace_check: %s: neither traceEvents nor spans present\n",
+                 file.c_str());
+    return 1;
+  }
+
+  const std::set<std::string> names = collect_names(doc);
+  for (const auto& want : required) {
+    bool found = false;
+    for (const auto& name : names) {
+      if (name.find(want) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "trace_check: %s: required span '%s' not found\n", file.c_str(),
+                   want.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("trace_check: %s ok (%zu span name%s", file.c_str(), names.size(),
+              names.size() == 1 ? "" : "s");
+  if (events != nullptr) std::printf(", %zu events", events->array.size());
+  std::printf(")\n");
+  return 0;
+}
