@@ -14,6 +14,7 @@
 #include "gala/common/table.hpp"
 #include "gala/common/timer.hpp"
 #include "gala/graph/standin.hpp"
+#include "gala/profiler/profiler.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::bench {
@@ -66,6 +67,15 @@ class JsonRecord {
     if (dir == nullptr || *dir == '\0') return;
     enabled_ = true;
     path_ = std::string(dir) + "/BENCH_" + name_ + ".json";
+    // GALA_BENCH_PROFILE=1 additionally captures the per-kernel
+    // hardware-counter profile over the bench's lifetime and attaches it to
+    // the sidecar as a "profile" member (the perf-diff gate's input).
+    if (const char* p = std::getenv("GALA_BENCH_PROFILE"); p != nullptr && *p != '\0') {
+      profiling_ = true;
+      auto& prof = profiler::Profiler::global();
+      prof.reset();
+      prof.set_enabled(true);
+    }
     w_.begin_object();
     w_.key("bench").value(name_);
     w_.key("scale").value(scale);
@@ -105,6 +115,11 @@ class JsonRecord {
     if (!enabled_ || saved_) return;
     close_row();
     w_.end_array();
+    if (profiling_) {
+      w_.key("profile").begin_object();
+      profiler::Profiler::global().append_report(w_);
+      w_.end_object();
+    }
     w_.end_object();
     telemetry::write_file(path_, w_.str());
     std::printf("wrote %s\n", path_.c_str());
@@ -125,6 +140,7 @@ class JsonRecord {
   std::string path_;
   JsonWriter w_;
   bool enabled_ = false;
+  bool profiling_ = false;
   bool row_open_ = false;
   bool saved_ = false;
 };

@@ -1,0 +1,81 @@
+// Deterministic profiler baseline: small fixed graphs through phase 1 with
+// every hashtable policy, sequential launches, and the hardware-counter
+// profile attached to the JSON sidecar.
+//
+// All counters this bench emits are modeled (traffic, probe chains, modeled
+// cycles) and therefore bit-identical across machines — only the wall_*
+// fields vary, and gala_perf_diff ignores those. CI regenerates this bench's
+// sidecar and diffs it against the committed copy in bench/baseline/ (see
+// bench/baseline/README.md for the refresh procedure).
+//
+// Run with:
+//   GALA_BENCH_JSON_DIR=<dir> GALA_BENCH_PROFILE=1 ./perf_profile
+#include "bench_util.hpp"
+#include "gala/core/bsp_louvain.hpp"
+#include "gala/graph/generators.hpp"
+
+int main() {
+  using namespace gala;
+  bench::print_header("Deterministic per-kernel profile baseline",
+                      "perf-regression gate (no paper figure)", 1.0);
+  bench::JsonRecord rec("perf_profile", 1.0);
+
+  struct NamedGraph {
+    const char* name;
+    graph::Graph g;
+  };
+  graph::PlantedPartitionParams pp;
+  pp.num_vertices = 600;
+  pp.num_communities = 12;
+  pp.avg_degree = 14.0;
+  pp.mixing = 0.25;
+  pp.seed = 7;
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"ring_of_cliques", graph::ring_of_cliques(16, 8)});
+  graphs.push_back({"planted", graph::planted_partition(pp)});
+
+  const core::HashTablePolicy policies[] = {core::HashTablePolicy::GlobalOnly,
+                                            core::HashTablePolicy::Hierarchical};
+  for (const auto& [name, g] : graphs) {
+    for (const auto policy : policies) {
+      core::BspConfig cfg;
+      cfg.kernel = core::KernelMode::HashOnly;  // exercise the hashtable counters
+      cfg.hashtable = policy;
+      cfg.parallel = false;  // sequential launches: no pool scheduling noise
+      core::BspLouvainEngine engine(g, cfg);
+      const auto r = engine.run();
+      double modeled_ms = 0;
+      for (const auto& it : r.iterations) {
+        modeled_ms += cfg.device.modeled_ms(it.decide_traffic) +
+                      cfg.device.modeled_ms(it.update_traffic);
+      }
+      std::printf("%-16s %-13s Q=%.5f, %u communities, %.4f modeled ms\n", name,
+                  core::to_string(policy).c_str(), r.modularity, r.num_communities, modeled_ms);
+      rec.row()
+          .field("graph", name)
+          .field("policy", core::to_string(policy))
+          .field("modularity", r.modularity)
+          .field("communities", static_cast<std::uint64_t>(r.num_communities))
+          .field("iterations", static_cast<std::uint64_t>(r.iterations.size()))
+          .field("modeled_ms", modeled_ms);
+    }
+  }
+  // One shuffle-kernel pass so the profile also covers decide_shuffle.
+  {
+    core::BspConfig cfg;
+    cfg.kernel = core::KernelMode::ShuffleOnly;
+    cfg.parallel = false;
+    core::BspLouvainEngine engine(graphs[0].g, cfg);
+    const auto r = engine.run();
+    std::printf("%-16s %-13s Q=%.5f, %u communities\n", graphs[0].name, "shuffle",
+                r.modularity, r.num_communities);
+    rec.row()
+        .field("graph", graphs[0].name)
+        .field("policy", "shuffle")
+        .field("modularity", r.modularity)
+        .field("communities", static_cast<std::uint64_t>(r.num_communities))
+        .field("iterations", static_cast<std::uint64_t>(r.iterations.size()));
+  }
+  rec.save();
+  return 0;
+}

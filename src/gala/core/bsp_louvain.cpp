@@ -155,6 +155,7 @@ void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
   iter_stats.decide_wall += total.wall_seconds;
   iter_stats.ht_maintenance_rate = total.traffic.maintenance_rate();
   iter_stats.ht_access_rate = total.traffic.access_rate();
+  iter_stats.ht_mean_probe_length = total.traffic.mean_probe_length();
   if (span.active()) {
     span.arg("shuffle_vertices", static_cast<double>(shuffle_list.size()));
     span.arg("hash_vertices", static_cast<double>(hash_list.size()));

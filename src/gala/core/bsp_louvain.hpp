@@ -77,6 +77,9 @@ struct IterationStats {
   // Hashtable shared-memory rates for this iteration (Fig. 4).
   double ht_maintenance_rate = 0;
   double ht_access_rate = 0;
+  // Mean probe-chain length over the iteration's hash-kernel lookups
+  // (profiler diagnostic; 0 when no hash vertices ran).
+  double ht_mean_probe_length = 0;
 
   vid_t inactive() const { return tp + fp + tn + fn > 0 ? tn + fn : 0; }
 };

@@ -21,7 +21,8 @@ NeighborCommunityTable::NeighborCommunityTable(HashTablePolicy policy,
                                                std::vector<HashBucket>& global_scratch,
                                                vid_t capacity_hint, std::uint64_t salt,
                                                gpusim::MemoryStats& stats)
-    : policy_(policy), global_scratch_(global_scratch), salt_(salt), stats_(&stats) {
+    : policy_(policy), global_scratch_(global_scratch), salt_(salt), stats_(&stats),
+      bank_model_(stats) {
   GALA_CHECK(capacity_hint > 0, "empty table");
   // Capacity sizing: ~2x distinct-key upper bound, power of two for cheap
   // modulo, as GPU hashtable implementations conventionally do.
@@ -52,6 +53,20 @@ std::uint32_t NeighborCommunityTable::hash1(cid_t c) const {
 NeighborCommunityTable::Slot NeighborCommunityTable::locate(cid_t c) {
   const std::uint32_t s = static_cast<std::uint32_t>(shared_.size());
   const std::uint32_t g = global_count_;
+  constexpr std::uint64_t kBucketWords = sizeof(HashBucket) / 4;  // 4-byte bank words
+
+  // One probe = one bucket touch; shared-bucket probes additionally feed the
+  // warp-regrouped bank-conflict model (the probing lane's key-word access).
+  std::uint64_t probes = 0;
+  const auto probe = [&](Slot slot) {
+    ++probes;
+    charge_probe(slot);
+    if (slot.in_shared) bank_model_.observe_word(slot.index * kBucketWords);
+  };
+  const auto found = [&](Slot slot) {
+    stats_->record_probe_chain(probes);
+    return slot;
+  };
 
   switch (policy_) {
     case HashTablePolicy::GlobalOnly: {
@@ -59,9 +74,9 @@ NeighborCommunityTable::Slot NeighborCommunityTable::locate(cid_t c) {
       std::uint32_t idx = hash1(c) & (g - 1);
       for (;;) {
         Slot slot{false, idx};
-        charge_probe(slot);  // atomicCAS probe on the key
+        probe(slot);  // atomicCAS probe on the key
         const HashBucket& b = const_bucket(slot);
-        if (b.key == kInvalidCid || b.key == c) return slot;
+        if (b.key == kInvalidCid || b.key == c) return found(slot);
         idx = (idx + 1) & (g - 1);
       }
     }
@@ -71,9 +86,9 @@ NeighborCommunityTable::Slot NeighborCommunityTable::locate(cid_t c) {
       std::uint32_t idx = hash0(c) % total;
       for (;;) {
         Slot slot{idx < s, idx < s ? idx : idx - s};
-        charge_probe(slot);
+        probe(slot);
         const HashBucket& b = const_bucket(slot);
-        if (b.key == kInvalidCid || b.key == c) return slot;
+        if (b.key == kInvalidCid || b.key == c) return found(slot);
         idx = (idx + 1) % total;
       }
     }
@@ -82,16 +97,16 @@ NeighborCommunityTable::Slot NeighborCommunityTable::locate(cid_t c) {
       // via h1 with linear probing; see Example 2 in the paper).
       if (s > 0) {
         Slot slot{true, hash0(c) & (s - 1)};
-        charge_probe(slot);
+        probe(slot);
         const HashBucket& b = const_bucket(slot);
-        if (b.key == kInvalidCid || b.key == c) return slot;
+        if (b.key == kInvalidCid || b.key == c) return found(slot);
       }
       std::uint32_t idx = hash1(c) & (g - 1);
       for (;;) {
         Slot slot{false, idx};
-        charge_probe(slot);
+        probe(slot);
         const HashBucket& b = const_bucket(slot);
-        if (b.key == kInvalidCid || b.key == c) return slot;
+        if (b.key == kInvalidCid || b.key == c) return found(slot);
         idx = (idx + 1) & (g - 1);
       }
     }
@@ -100,6 +115,14 @@ NeighborCommunityTable::Slot NeighborCommunityTable::locate(cid_t c) {
 }
 
 void NeighborCommunityTable::reset() {
+  if (!retired_) {
+    // First reset ends the table's lifetime for the profiler: close the
+    // partially-filled warp of shared probes and sample the load factor.
+    retired_ = true;
+    bank_model_.flush();
+    stats_->record_table_occupancy(used_.size(),
+                                   shared_.size() + static_cast<std::size_t>(global_count_));
+  }
   for (const Slot slot : used_) bucket(slot) = HashBucket{};
   used_.clear();
 }

@@ -139,6 +139,11 @@ class NeighborCommunityTable {
   std::uint64_t salt_;
   gpusim::MemoryStats* stats_;
   std::vector<Slot> used_;
+  // Profiler diagnostics: shared-bucket probes regrouped into warp-wide
+  // requests for bank-conflict accounting, and a once-per-table occupancy
+  // sample recorded on the first reset().
+  gpusim::BankConflictModel bank_model_;
+  bool retired_ = false;
 };
 
 }  // namespace gala::core

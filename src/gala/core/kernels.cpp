@@ -102,14 +102,22 @@ Decision shuffle_decide(const DecideInput& in, vid_t v, gpusim::SharedMemoryAren
       }
     } else {
       // Chunk leaders spill their (community, partial sum) pair to shared
-      // memory for the cross-chunk merge.
+      // memory for the cross-chunk merge. The leaders' stores form one
+      // warp-wide shared request; consecutive spill slots keep it (mostly)
+      // conflict-free, which the bank model verifies.
+      constexpr std::uint64_t kSpillWords = sizeof(SpillEntry) / 4;
+      LaneMask leaders = 0;
+      WarpValues<std::uint64_t> spill_words{};
       for (int i = 0; i < kWarpSize; ++i) {
         if (!((active >> i) & 1u)) continue;
         if (gpusim::warp::leader_lane(masks[i]) != i) continue;
         GALA_ASSERT(spill_count < spill.size());
+        leaders |= (LaneMask{1} << i);
+        spill_words[i] = static_cast<std::uint64_t>(spill_count) * kSpillWords;
         spill[spill_count++] = {my_c[i], sums[i]};
         stats.shared_writes += 1;
       }
+      if (leaders != 0) gpusim::warp::shared_transactions(leaders, spill_words, stats);
     }
   }
 

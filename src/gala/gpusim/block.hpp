@@ -23,14 +23,27 @@ namespace gala::gpusim::block {
 /// the reduction's value in plain code.
 inline int charge_tree_reduction(std::size_t n, MemoryStats& stats) {
   if (n <= 1) return 0;
+  constexpr std::size_t kLanes = 32;
   const int rounds = std::bit_width(n - 1);  // ceil(log2 n)
   std::size_t active = n;
   for (int r = 0; r < rounds; ++r) {
     active = (active + 1) / 2;
     stats.shared_reads += 2 * active;  // each surviving thread reads a pair
     stats.shared_writes += active;     // and writes the partial result
+    // Sequential addressing keeps every warp request conflict-free; the
+    // shrinking tail still occupies full warps (divergence).
+    const std::size_t warps = (active + kLanes - 1) / kLanes;
+    stats.shared_requests += 3 * warps;
+    stats.shared_waves += 3 * warps;
+    stats.simt_lane_slots += 3 * warps * kLanes;
+    stats.simt_active_lanes += 3 * active;
   }
   stats.shared_reads += n;  // broadcast of the final value
+  const std::size_t bcast_warps = (n + kLanes - 1) / kLanes;
+  stats.shared_requests += bcast_warps;
+  stats.shared_waves += bcast_warps;  // same-word broadcast: one wave each
+  stats.simt_lane_slots += bcast_warps * kLanes;
+  stats.simt_active_lanes += n;
   return rounds;
 }
 

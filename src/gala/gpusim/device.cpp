@@ -1,6 +1,9 @@
 #include "gala/gpusim/device.hpp"
 
+#include <span>
 #include <vector>
+
+#include "gala/profiler/profiler.hpp"
 
 namespace gala::gpusim {
 
@@ -23,6 +26,16 @@ void attach_traffic(telemetry::ScopedSpan& span, const MemoryStats& stats,
   }
   if (stats.gather_requests > 0) {
     span.arg("transactions_per_gather", stats.transactions_per_gather());
+    span.arg("coalescing_efficiency", stats.coalescing_efficiency());
+  }
+  if (stats.simt_lane_slots > 0) {
+    span.arg("divergence_efficiency", stats.divergence_efficiency());
+  }
+  if (stats.shared_requests > 0) {
+    span.arg("bank_conflict_factor", stats.bank_conflict_factor());
+  }
+  if (stats.ht_lookups > 0) {
+    span.arg("ht_mean_probe_length", stats.mean_probe_length());
   }
   if (model != nullptr) {
     const CostBreakdown b = model->breakdown(stats);
@@ -37,15 +50,22 @@ void attach_traffic(telemetry::ScopedSpan& span, const MemoryStats& stats,
 
 namespace {
 
-/// Finalises a launch: modeled cycles, span payload, launch counter.
+/// Finalises a launch: modeled cycles, span payload, launch counter, and the
+/// per-kernel profile when the profiler is enabled.
 void finish_launch(LaunchStats& result, const DeviceConfig& config, std::size_t num_blocks,
-                   telemetry::ScopedSpan& span) {
+                   telemetry::ScopedSpan& span, std::string_view name,
+                   std::span<const double> block_cycles) {
   result.modeled_cycles = config.cost_model.cycles(result.traffic);
   if (span.active()) {
     span.arg("num_blocks", static_cast<double>(num_blocks));
     attach_traffic(span, result.traffic, &config.cost_model);
     telemetry::Registry::global().counter("gpusim.launches").add(1);
     telemetry::Registry::global().histogram("gpusim.blocks_per_launch").observe(num_blocks);
+  }
+  auto& profiler = profiler::Profiler::global();
+  if (profiler.enabled()) {
+    profiler.record_launch(name, num_blocks, result.traffic, result.modeled_cycles,
+                           config.modeled_ms(result.traffic), result.wall_seconds, block_cycles);
   }
 }
 
@@ -57,6 +77,10 @@ LaunchStats Device::launch(std::size_t num_blocks,
   telemetry::ScopedSpan span(telemetry::Tracer::global(), name, "kernel");
   LaunchStats result;
   Timer timer;
+  // Per-block modeled cycles feed the profiler's load-imbalance statistics.
+  // Indexed writes by block id: no synchronisation needed between workers.
+  const bool profiling = profiler::Profiler::global().enabled();
+  std::vector<double> block_cycles(profiling ? num_blocks : 0, 0.0);
   std::mutex merge_mutex;
   pool_->parallel_for_chunked(
       0, num_blocks,
@@ -64,17 +88,23 @@ LaunchStats Device::launch(std::size_t num_blocks,
         SharedMemoryArena arena(config_.shared_bytes_per_block);
         MemoryStats stats;
         BlockContext ctx{0, &arena, &stats};
+        double cycles_before = 0;
         for (std::size_t b = lo; b < hi; ++b) {
           ctx.block_id = b;
           arena.reset();
           body(ctx);
+          if (profiling) {
+            const double cycles_after = config_.cost_model.cycles(stats);
+            block_cycles[b] = cycles_after - cycles_before;
+            cycles_before = cycles_after;
+          }
         }
         std::lock_guard lock(merge_mutex);
         result.traffic += stats;
       },
       /*grain=*/16);
   result.wall_seconds = timer.seconds();
-  finish_launch(result, config_, num_blocks, span);
+  finish_launch(result, config_, num_blocks, span, name, block_cycles);
   return result;
 }
 
@@ -84,17 +114,25 @@ LaunchStats Device::launch_sequential(std::size_t num_blocks,
   telemetry::ScopedSpan span(telemetry::Tracer::global(), name, "kernel");
   LaunchStats result;
   Timer timer;
+  const bool profiling = profiler::Profiler::global().enabled();
+  std::vector<double> block_cycles(profiling ? num_blocks : 0, 0.0);
   SharedMemoryArena arena(config_.shared_bytes_per_block);
   MemoryStats stats;
   BlockContext ctx{0, &arena, &stats};
+  double cycles_before = 0;
   for (std::size_t b = 0; b < num_blocks; ++b) {
     ctx.block_id = b;
     arena.reset();
     body(ctx);
+    if (profiling) {
+      const double cycles_after = config_.cost_model.cycles(stats);
+      block_cycles[b] = cycles_after - cycles_before;
+      cycles_before = cycles_after;
+    }
   }
   result.traffic = stats;
   result.wall_seconds = timer.seconds();
-  finish_launch(result, config_, num_blocks, span);
+  finish_launch(result, config_, num_blocks, span, name, block_cycles);
   return result;
 }
 

@@ -6,13 +6,76 @@
 // condition that forces hashtable buckets into global memory (§4.2).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "gala/common/error.hpp"
+#include "gala/gpusim/memory.hpp"
 
 namespace gala::gpusim {
+
+/// Number of shared-memory banks (4 bytes wide each, as on every
+/// sm_70+ part).
+inline constexpr int kSharedBanks = 32;
+
+/// Bank-conflict accumulator for sequentially-simulated block threads.
+///
+/// Kernels that stride a block's threads over data (the hash kernel's
+/// per-neighbour upserts) execute lanes one after another in the simulator,
+/// but on hardware each group of 32 consecutive strided elements is one
+/// warp's simultaneous shared access. This accumulator regroups the
+/// sequential accesses into those warps: observe one 4-byte word index per
+/// simulated lane access and every 32 observations (or on flush) it replays
+/// the group as one warp-wide request — same-word accesses broadcast,
+/// distinct words in one bank serialise into extra waves.
+class BankConflictModel {
+ public:
+  explicit BankConflictModel(MemoryStats& stats) : stats_(&stats) {}
+  ~BankConflictModel() { flush(); }
+
+  BankConflictModel(const BankConflictModel&) = delete;
+  BankConflictModel& operator=(const BankConflictModel&) = delete;
+
+  /// Records one lane's shared access of the 4-byte word at `word_index`
+  /// (byte offset / 4).
+  void observe_word(std::uint64_t word_index) {
+    pending_[count_++] = word_index;
+    if (count_ == kSharedBanks) flush();
+  }
+
+  /// Closes the currently-open partial warp (end of the strided loop).
+  void flush() {
+    if (count_ == 0) return;
+    int per_bank[kSharedBanks] = {};
+    int waves = 0;
+    int distinct = 0;
+    for (int i = 0; i < count_; ++i) {
+      bool seen = false;
+      for (int j = 0; j < distinct; ++j) {
+        if (pending_[j] == pending_[i]) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;  // broadcast
+      std::swap(pending_[distinct], pending_[i]);
+      const int bank = static_cast<int>(pending_[distinct] % kSharedBanks);
+      ++distinct;
+      waves = std::max(waves, ++per_bank[bank]);
+    }
+    stats_->shared_requests += 1;
+    stats_->shared_waves += static_cast<std::uint64_t>(std::max(waves, 1));
+    count_ = 0;
+  }
+
+ private:
+  MemoryStats* stats_;
+  std::uint64_t pending_[kSharedBanks];
+  int count_ = 0;
+};
 
 class SharedMemoryArena {
  public:

@@ -38,6 +38,14 @@ using WarpMasks = std::array<LaneMask, kWarpSize>;
 
 namespace warp {
 
+/// Divergence accounting for one warp-wide issue: 32 lane slots are
+/// occupied, popcount(active) of them do useful work. Every collective and
+/// gather below charges this alongside its own traffic.
+inline void charge_simt_issue(LaneMask active, MemoryStats& stats) {
+  stats.simt_lane_slots += kWarpSize;
+  stats.simt_active_lanes += static_cast<std::uint64_t>(std::popcount(active));
+}
+
 /// __match_any_sync for every active lane at once. Inactive lanes receive 0.
 template <typename T>
 std::array<LaneMask, kWarpSize> match_any(LaneMask active, const WarpValues<T>& values,
@@ -53,6 +61,7 @@ std::array<LaneMask, kWarpSize> match_any(LaneMask active, const WarpValues<T>& 
   }
   stats.shuffle_ops += 1;
   stats.register_ops += static_cast<std::uint64_t>(std::popcount(active));
+  charge_simt_issue(active, stats);
   return result;
 }
 
@@ -81,6 +90,7 @@ WarpValues<T> segmented_reduce_add(LaneMask active, const std::array<LaneMask, k
   }
   stats.shuffle_ops += static_cast<std::uint64_t>(groups);
   stats.register_ops += static_cast<std::uint64_t>(std::popcount(active));
+  charge_simt_issue(active, stats);
   return result;
 }
 
@@ -100,6 +110,7 @@ T reduce_max(LaneMask active, const WarpValues<T>& values, MemoryStats& stats) {
   }
   stats.shuffle_ops += 1;
   stats.register_ops += static_cast<std::uint64_t>(std::popcount(active));
+  charge_simt_issue(active, stats);
   return best;
 }
 
@@ -111,6 +122,7 @@ T reduce_add(LaneMask active, const WarpValues<T>& values, MemoryStats& stats) {
   }
   stats.shuffle_ops += 1;
   stats.register_ops += static_cast<std::uint64_t>(std::popcount(active));
+  charge_simt_issue(active, stats);
   return sum;
 }
 
@@ -121,6 +133,7 @@ inline LaneMask ballot(LaneMask active, const WarpValues<bool>& preds, MemorySta
     if (((active >> i) & 1u) && preds[i]) m |= (1u << i);
   }
   stats.shuffle_ops += 1;
+  charge_simt_issue(active, stats);
   return m;
 }
 
@@ -129,8 +142,8 @@ template <typename T>
 T shfl(LaneMask active, const WarpValues<T>& values, int src_lane, MemoryStats& stats) {
   GALA_ASSERT(src_lane >= 0 && src_lane < kWarpSize);
   GALA_ASSERT((active >> src_lane) & 1u);
-  (void)active;  // only consulted by the debug assertion above
   stats.shuffle_ops += 1;
+  charge_simt_issue(active, stats);
   return values[src_lane];
 }
 
@@ -157,7 +170,43 @@ int gather_transactions(LaneMask active, const WarpValues<Addr>& addresses, Memo
   }
   stats.gather_requests += 1;
   stats.gather_transactions += static_cast<std::uint64_t>(count);
+  charge_simt_issue(active, stats);
   return count;
+}
+
+/// Models the bank conflicts of one warp-wide shared-memory access. Shared
+/// memory has 32 banks, 4 bytes wide; `word_addrs` are per-lane 4-byte word
+/// indices (byte offset / 4). Lanes reading the *same* word broadcast in one
+/// wave; distinct words mapping to the same bank serialise. Returns the wave
+/// count (1 = conflict-free, 32 = full 32-way conflict) and records it in the
+/// stats diagnostics. The per-access latency is charged separately by the
+/// caller via shared_reads/shared_writes.
+template <typename Addr>
+int shared_transactions(LaneMask active, const WarpValues<Addr>& word_addrs, MemoryStats& stats) {
+  std::uint64_t words_seen[kWarpSize];
+  int distinct = 0;
+  int per_bank[kWarpSize] = {};
+  int waves = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!((active >> i) & 1u)) continue;
+    const std::uint64_t word = static_cast<std::uint64_t>(word_addrs[i]);
+    bool seen = false;
+    for (int j = 0; j < distinct; ++j) {
+      if (words_seen[j] == word) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;  // same-word access broadcasts
+    words_seen[distinct++] = word;
+    const int bank = static_cast<int>(word % kWarpSize);
+    waves = std::max(waves, ++per_bank[bank]);
+  }
+  if (active == 0) return 0;
+  stats.shared_requests += 1;
+  stats.shared_waves += static_cast<std::uint64_t>(waves);
+  charge_simt_issue(active, stats);
+  return waves;
 }
 
 /// Lowest set lane of a mask (leader election), -1 for empty.

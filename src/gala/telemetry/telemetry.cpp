@@ -306,6 +306,9 @@ void Registry::append_json(JsonWriter& w) const {
     w.key(name).begin_object();
     w.key("count").value(h->count());
     w.key("sum").value(h->sum());
+    w.key("p50").value(h->percentile(0.50));
+    w.key("p95").value(h->percentile(0.95));
+    w.key("p99").value(h->percentile(0.99));
     w.key("buckets").begin_array();
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
       const std::uint64_t n = h->bucket_count(b);

@@ -255,6 +255,33 @@ class Histogram {
     sum_.fetch_add(v, std::memory_order_relaxed);
   }
 
+  /// Records `n` observations of value `v` in one shot (bulk ingest from
+  /// pre-aggregated sources such as the profiler's probe-length counts).
+  void observe_n(std::uint64_t v, std::uint64_t n) {
+    if (n == 0) return;
+    buckets_[bucket_index(v)].fetch_add(n, std::memory_order_relaxed);
+    sum_.fetch_add(v * n, std::memory_order_relaxed);
+  }
+
+  /// Approximate quantile (q in [0, 1]): the inclusive lower bound of the
+  /// bucket holding the ceil(q * count)-th observation. Exact for
+  /// distributions concentrated on bucket boundaries; otherwise a lower
+  /// bound within one power of two. Returns 0 for an empty histogram.
+  std::uint64_t percentile(double q) const {
+    const std::uint64_t total = count();
+    if (total == 0) return 0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (rank < q * static_cast<double>(total)) ++rank;  // ceil
+    if (rank == 0) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cumulative += bucket_count(i);
+      if (cumulative >= rank) return bucket_lo(i);
+    }
+    return bucket_lo(kBuckets - 1);
+  }
+
   static std::size_t bucket_index(std::uint64_t v) {
     std::size_t b = 0;
     while (v != 0) {

@@ -158,6 +158,32 @@ TEST_F(CliE2e, DetectEmitsTraceAndMetrics) {
   EXPECT_NE(metrics.at("histograms").find("gpusim.blocks_per_launch"), nullptr);
 }
 
+TEST_F(CliE2e, DetectEmitsKernelProfile) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --profile-out " + path("run.profile.json"), &out), 0)
+      << out;
+  EXPECT_NE(out.find("wrote kernel profile to"), std::string::npos);
+
+  std::ifstream in(path("run.profile.json"));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const gala::JsonValue profile = gala::parse_json(ss.str());
+  EXPECT_EQ(profile.at("profile_schema").number, 1);
+  EXPECT_GT(profile.at("ceilings").at("dram_gbps").number, 0);
+
+  const gala::JsonValue& kernels = profile.at("kernels");
+  ASSERT_TRUE(kernels.is_array());
+  ASSERT_FALSE(kernels.array.empty());
+  for (const auto& k : kernels.array) {
+    EXPECT_GT(k.at("launches").number, 0);
+    const double coalescing = k.at("coalescing_efficiency").number;
+    EXPECT_GE(coalescing, 0.0);
+    EXPECT_LE(coalescing, 1.0);
+    EXPECT_GE(k.at("bank_conflict_factor").number, 1.0);
+    EXPECT_NE(k.find("roofline"), nullptr);
+  }
+}
+
 TEST_F(CliE2e, ErrorPathsReturnNonZero) {
   std::string out;
   EXPECT_NE(run("detect /nonexistent/path.txt", &out), 0);

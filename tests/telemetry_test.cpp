@@ -330,6 +330,44 @@ TEST(Registry, HistogramLog2BucketsAndThreadedObserve) {
   EXPECT_EQ(h.bucket_count(3), static_cast<std::uint64_t>(kThreads) * kObs / 2);
 }
 
+TEST(Registry, HistogramBulkObserveAndPercentiles) {
+  using telemetry::Histogram;
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty histogram
+  h.observe_n(1, 90);
+  h.observe_n(1024, 10);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 90u + 10u * 1024u);
+  // Ranks 1..90 live in the value-1 bucket; ranks 91..100 in [1024, 2048).
+  EXPECT_EQ(h.percentile(0.50), 1u);
+  EXPECT_EQ(h.percentile(0.90), 1u);
+  EXPECT_EQ(h.percentile(0.95), 1024u);
+  EXPECT_EQ(h.percentile(0.99), 1024u);
+  EXPECT_EQ(h.percentile(1.0), 1024u);
+  EXPECT_EQ(h.percentile(0.0), 1u);  // clamps to the first observation
+  h.observe_n(5, 0);                 // zero-count bulk observe is a no-op
+  EXPECT_EQ(h.count(), 100u);
+}
+
+TEST(Registry, PercentilesAreBucketLowerBounds) {
+  telemetry::Histogram h;
+  for (int i = 0; i < 10; ++i) h.observe(6);  // bucket [4, 8)
+  EXPECT_EQ(h.percentile(0.5), 4u);
+  EXPECT_EQ(h.percentile(0.99), 4u);
+}
+
+TEST(Registry, JsonExportCarriesPercentileSummaries) {
+  Registry registry;
+  auto& h = registry.histogram("probe.len");
+  h.observe_n(1, 90);
+  h.observe_n(16, 10);
+  const JsonValue doc = parse_json(registry.json());
+  const JsonValue& hist = doc.at("histograms").at("probe.len");
+  EXPECT_EQ(hist.at("p50").number, 1);
+  EXPECT_EQ(hist.at("p95").number, 16);
+  EXPECT_EQ(hist.at("p99").number, 16);
+}
+
 TEST(Registry, GaugeSetAndAdd) {
   Registry registry;
   registry.gauge("occupancy").set(0.5);

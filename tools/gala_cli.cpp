@@ -28,6 +28,7 @@
 #include "gala/metrics/nmi.hpp"
 #include "gala/metrics/report.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
+#include "gala/profiler/profiler.hpp"
 
 namespace {
 
@@ -85,6 +86,7 @@ int cmd_detect(int argc, const char* const* argv) {
       .add_option("json", "write a machine-readable run report here", "")
       .add_option("trace-out", "write a Chrome-trace/Perfetto JSON of the run here", "")
       .add_option("metrics-out", "write aggregated telemetry (spans + counters) JSON here", "")
+      .add_option("profile-out", "write the per-kernel hardware-counter profile JSON here", "")
       .add_flag("refine", "Leiden-style refinement before each aggregation")
       .add_flag("follow", "vertex-following preprocessing (merge pendants)")
       .add_flag("connected", "report whether every community is connected");
@@ -102,6 +104,12 @@ int cmd_detect(int argc, const char* const* argv) {
     if (!trace_out.empty()) {
       tracer.add_sink(std::make_shared<telemetry::ChromeTraceSink>(trace_out));
     }
+  }
+  const std::string profile_out = args.get("profile-out");
+  auto& prof = profiler::Profiler::global();
+  if (!profile_out.empty()) {
+    prof.reset();
+    prof.set_enabled(true);
   }
 
   PhaseTimer load_timer;
@@ -179,6 +187,11 @@ int cmd_detect(int argc, const char* const* argv) {
   if (!metrics_out.empty()) {
     telemetry::write_file(metrics_out, telemetry::metrics_json(tracer, registry));
     std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (!profile_out.empty()) {
+    telemetry::write_file(profile_out, prof.report_json());
+    std::printf("wrote kernel profile to %s (%zu kernels)\n", profile_out.c_str(),
+                prof.snapshot().size());
   }
   return 0;
 }

@@ -1,0 +1,243 @@
+// Compares two performance sidecar files (or directories of them) and fails
+// when modeled counters drift beyond tolerance — the CI perf-regression gate.
+//
+// Usage:
+//   gala_perf_diff <baseline> <current> [--tolerance T] [--ms-tolerance M]
+//
+// <baseline>/<current> are JSON files, or directories compared pairwise by
+// file name (every baseline file must exist on the current side). Documents
+// are walked recursively and numeric leaves compared by relative delta:
+//
+//   - keys starting with "wall" are skipped (host wall-clock is
+//     nondeterministic; modeled counters are the contract),
+//   - keys ending in "_efficiency" are higher-better: only a drop beyond
+//     --tolerance is a regression,
+//   - "modeled_ms" / "modeled_cycles" are lower-better: only growth beyond
+//     --ms-tolerance is a regression,
+//   - every other number must match within --tolerance in either direction
+//     (the emulated counters are deterministic, so any drift is a change
+//     worth explaining — refresh the baseline deliberately, see
+//     bench/baseline/README.md).
+//
+// Array elements align by their "name" member when present, else by index.
+// Exit codes: 0 = within tolerance, 1 = regression/drift, 2 = usage or I/O.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gala/common/error.hpp"
+#include "gala/common/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  double tolerance = 0.02;     // symmetric counter drift
+  double ms_tolerance = 0.10;  // modeled-ms / modeled-cycles growth
+};
+
+struct DiffState {
+  const Options* opts = nullptr;
+  int regressions = 0;
+
+  void report(const std::string& path, double base, double cur, const char* what) {
+    ++regressions;
+    std::fprintf(stderr, "perf_diff: %s: %s (baseline %.6g, current %.6g, %+.2f%%)\n",
+                 path.c_str(), what, base, cur,
+                 base != 0 ? 100.0 * (cur - base) / std::fabs(base) : 0.0);
+  }
+};
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// The final key of a JSON path like "kernels/decide_hash/modeled_ms".
+std::string leaf_key(const std::string& path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+void diff_value(const gala::JsonValue& base, const gala::JsonValue& cur, const std::string& path,
+                DiffState& state);
+
+void diff_number(double base, double cur, const std::string& path, DiffState& state) {
+  const std::string key = leaf_key(path);
+  if (starts_with(key, "wall")) return;  // nondeterministic by design
+  const double denom = std::max(std::fabs(base), 1e-12);
+  const double rel = (cur - base) / denom;
+  if (ends_with(key, "_efficiency")) {
+    if (rel < -state.opts->tolerance) state.report(path, base, cur, "efficiency regressed");
+  } else if (key == "modeled_ms" || key == "modeled_cycles") {
+    if (rel > state.opts->ms_tolerance) state.report(path, base, cur, "modeled time regressed");
+  } else {
+    if (std::fabs(rel) > state.opts->tolerance) state.report(path, base, cur, "counter drifted");
+  }
+}
+
+void diff_array(const gala::JsonValue& base, const gala::JsonValue& cur, const std::string& path,
+                DiffState& state) {
+  // Align by "name" when every element carries one (the kernels array);
+  // fall back to positional comparison (histogram buckets).
+  const auto named = [](const gala::JsonValue& arr) {
+    if (arr.array.empty()) return false;
+    for (const auto& e : arr.array) {
+      const gala::JsonValue* n = e.find("name");
+      if (n == nullptr || !n->is_string()) return false;
+    }
+    return true;
+  };
+  if (named(base) && named(cur)) {
+    std::map<std::string, const gala::JsonValue*> cur_by_name;
+    for (const auto& e : cur.array) cur_by_name[e.at("name").string] = &e;
+    for (const auto& e : base.array) {
+      const std::string name = e.at("name").string;
+      const auto it = cur_by_name.find(name);
+      if (it == cur_by_name.end()) {
+        state.report(path + "/" + name, 1, 0, "element missing from current");
+        continue;
+      }
+      diff_value(e, *it->second, path + "/" + name, state);
+    }
+    return;
+  }
+  if (base.array.size() != cur.array.size()) {
+    state.report(path, static_cast<double>(base.array.size()),
+                 static_cast<double>(cur.array.size()), "array length changed");
+    return;
+  }
+  for (std::size_t i = 0; i < base.array.size(); ++i) {
+    diff_value(base.array[i], cur.array[i], path + "/" + std::to_string(i), state);
+  }
+}
+
+void diff_value(const gala::JsonValue& base, const gala::JsonValue& cur, const std::string& path,
+                DiffState& state) {
+  if (base.type != cur.type) {
+    state.report(path, 0, 0, "value type changed");
+    return;
+  }
+  switch (base.type) {
+    case gala::JsonValue::Type::Number:
+      diff_number(base.number, cur.number, path, state);
+      return;
+    case gala::JsonValue::Type::Object:
+      for (const auto& [key, value] : base.object) {
+        if (starts_with(key, "wall")) continue;
+        const gala::JsonValue* other = cur.find(key);
+        if (other == nullptr) {
+          state.report(path + "/" + key, 1, 0, "member missing from current");
+          continue;
+        }
+        diff_value(value, *other, path + "/" + key, state);
+      }
+      return;
+    case gala::JsonValue::Type::Array:
+      diff_array(base, cur, path, state);
+      return;
+    default:
+      return;  // strings/bools/nulls are labels, not measurements
+  }
+}
+
+gala::JsonValue load(const fs::path& file) {
+  std::ifstream in(file);
+  GALA_CHECK(in.is_open(), "cannot open " << file.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return gala::parse_json(ss.str());
+}
+
+int diff_files(const fs::path& base, const fs::path& cur, const Options& opts) {
+  DiffState state;
+  state.opts = &opts;
+  diff_value(load(base), load(cur), base.filename().string(), state);
+  if (state.regressions > 0) {
+    std::fprintf(stderr, "perf_diff: %s vs %s: %d regression%s\n", base.string().c_str(),
+                 cur.string().c_str(), state.regressions, state.regressions == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("perf_diff: %s ok\n", base.filename().string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_double = [&](double& out) {
+      if (++i >= argc) {
+        std::fprintf(stderr, "perf_diff: %s needs a value\n", arg.c_str());
+        return false;
+      }
+      out = std::strtod(argv[i], nullptr);
+      return true;
+    };
+    if (arg == "--tolerance") {
+      if (!next_double(opts.tolerance)) return 2;
+    } else if (arg == "--ms-tolerance") {
+      if (!next_double(opts.ms_tolerance)) return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: gala_perf_diff <baseline> <current> [--tolerance T] "
+                 "[--ms-tolerance M]\n");
+    return 2;
+  }
+
+  const fs::path base(positional[0]), cur(positional[1]);
+  try {
+    if (fs::is_directory(base)) {
+      if (!fs::is_directory(cur)) {
+        std::fprintf(stderr, "perf_diff: %s is a directory but %s is not\n",
+                     base.string().c_str(), cur.string().c_str());
+        return 2;
+      }
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(base)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".json") {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      if (files.empty()) {
+        std::fprintf(stderr, "perf_diff: no .json files in %s\n", base.string().c_str());
+        return 2;
+      }
+      int worst = 0;
+      for (const auto& file : files) {
+        const fs::path other = cur / file.filename();
+        if (!fs::exists(other)) {
+          std::fprintf(stderr, "perf_diff: %s missing from %s\n",
+                       file.filename().string().c_str(), cur.string().c_str());
+          worst = std::max(worst, 1);
+          continue;
+        }
+        worst = std::max(worst, diff_files(file, other, opts));
+      }
+      return worst;
+    }
+    return diff_files(base, cur, opts);
+  } catch (const gala::Error& e) {
+    std::fprintf(stderr, "perf_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -4,13 +4,21 @@
 // failure, so CI can gate on trace validity.
 //
 // Usage:
-//   trace_check <file.json> [--chrome] [--require NAME]...
+//   trace_check <file.json> [--chrome|--metrics|--profile] [--require NAME]...
 //
 //   --chrome        expect Chrome-trace shape ({"traceEvents":[...]});
 //                   default accepts either that or a metrics/summary
 //                   document ({"spans":{...}} or {"spans":[...]}).
-//   --require NAME  fail unless a span name containing NAME (substring)
-//                   is present. Repeatable.
+//   --metrics       additionally validate the --metrics-out payload:
+//                   counters non-negative, histogram buckets with strictly
+//                   increasing lower bounds and positive counts, and
+//                   p50 <= p95 <= p99.
+//   --profile       validate a --profile-out payload: profile_schema,
+//                   ceilings, a kernels array with non-negative counters,
+//                   efficiencies in [0, 1], bank_conflict_factor >= 1, and
+//                   monotone probe-histogram lengths.
+//   --require NAME  fail unless a span name (or, with --profile, a kernel
+//                   name) containing NAME (substring) is present. Repeatable.
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -40,7 +48,162 @@ std::set<std::string> collect_names(const gala::JsonValue& doc) {
       for (const auto& [key, value] : spans->object) names.insert(key);
     }
   }
+  if (const gala::JsonValue* kernels = doc.find("kernels")) {
+    for (const auto& k : kernels->array) {
+      if (const gala::JsonValue* n = k.find("name")) names.insert(n->string);
+    }
+  }
   return names;
+}
+
+bool fail(const std::string& file, const std::string& message) {
+  std::fprintf(stderr, "trace_check: %s: %s\n", file.c_str(), message.c_str());
+  return false;
+}
+
+/// A member that, when present, must be a non-negative number.
+bool check_nonneg(const gala::JsonValue& obj, const char* key, const std::string& file,
+                  const std::string& where) {
+  const gala::JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || v->number < 0) {
+    return fail(file, where + ": '" + key + "' is not a non-negative number");
+  }
+  return true;
+}
+
+/// --metrics: registry shape — counters/gauges numeric, histogram buckets
+/// monotone in lo with positive counts, percentiles ordered.
+bool check_metrics(const gala::JsonValue& doc, const std::string& file) {
+  const gala::JsonValue* counters = doc.find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return fail(file, "no counters object (not a --metrics-out payload?)");
+  }
+  for (const auto& [name, v] : counters->object) {
+    if (!v.is_number() || v.number < 0) {
+      return fail(file, "counter '" + name + "' is not a non-negative number");
+    }
+  }
+  const gala::JsonValue* histograms = doc.find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    return fail(file, "no histograms object");
+  }
+  for (const auto& [name, h] : histograms->object) {
+    const std::string where = "histogram '" + name + "'";
+    const gala::JsonValue* buckets = h.find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) {
+      return fail(file, where + ": no buckets array");
+    }
+    double prev_lo = -1;
+    double bucket_total = 0;
+    for (const auto& b : buckets->array) {
+      const gala::JsonValue* lo = b.find("lo");
+      const gala::JsonValue* count = b.find("count");
+      if (lo == nullptr || count == nullptr || !lo->is_number() || !count->is_number()) {
+        return fail(file, where + ": malformed bucket");
+      }
+      if (lo->number <= prev_lo) {
+        return fail(file, where + ": bucket lower bounds are not strictly increasing");
+      }
+      if (count->number <= 0) {
+        return fail(file, where + ": exported bucket with non-positive count");
+      }
+      prev_lo = lo->number;
+      bucket_total += count->number;
+    }
+    const gala::JsonValue* count = h.find("count");
+    if (count == nullptr || !count->is_number() || count->number != bucket_total) {
+      return fail(file, where + ": count does not equal the bucket-count total");
+    }
+    const gala::JsonValue* p50 = h.find("p50");
+    const gala::JsonValue* p95 = h.find("p95");
+    const gala::JsonValue* p99 = h.find("p99");
+    if (p50 == nullptr || p95 == nullptr || p99 == nullptr) {
+      return fail(file, where + ": missing percentile summaries");
+    }
+    if (!(p50->number <= p95->number && p95->number <= p99->number)) {
+      return fail(file, where + ": percentiles are not ordered (p50 <= p95 <= p99)");
+    }
+  }
+  return true;
+}
+
+/// --profile: per-kernel profile shape and counter sanity.
+bool check_profile(const gala::JsonValue& doc, const std::string& file) {
+  const gala::JsonValue* schema = doc.find("profile_schema");
+  if (schema == nullptr || !schema->is_number()) {
+    return fail(file, "no profile_schema (not a --profile-out payload?)");
+  }
+  const gala::JsonValue* ceilings = doc.find("ceilings");
+  if (ceilings == nullptr || !ceilings->is_object()) return fail(file, "no ceilings object");
+  if (!check_nonneg(*ceilings, "dram_gbps", file, "ceilings") ||
+      !check_nonneg(*ceilings, "peak_gops", file, "ceilings")) {
+    return false;
+  }
+  const gala::JsonValue* kernels = doc.find("kernels");
+  if (kernels == nullptr || !kernels->is_array()) return fail(file, "no kernels array");
+  for (const auto& k : kernels->array) {
+    const gala::JsonValue* name = k.find("name");
+    if (name == nullptr || !name->is_string()) return fail(file, "kernel without a name");
+    const std::string where = "kernel '" + name->string + "'";
+    for (const char* key : {"launches", "blocks", "modeled_cycles", "modeled_ms"}) {
+      const gala::JsonValue* v = k.find(key);
+      if (v == nullptr) return fail(file, where + ": missing '" + key + "'");
+      if (!v->is_number() || v->number < 0) {
+        return fail(file, where + ": '" + key + "' is not a non-negative number");
+      }
+    }
+    const gala::JsonValue* counters = k.find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      return fail(file, where + ": no counters object");
+    }
+    for (const auto& [cname, v] : counters->object) {
+      if (!v.is_number() || v.number < 0) {
+        return fail(file, where + ": counter '" + cname + "' is not a non-negative number");
+      }
+    }
+    for (const char* key : {"coalescing_efficiency", "divergence_efficiency"}) {
+      const gala::JsonValue* v = k.find(key);
+      if (v == nullptr || !v->is_number() || v->number < 0 || v->number > 1.0) {
+        return fail(file, where + ": '" + key + "' is not in [0, 1]");
+      }
+    }
+    const gala::JsonValue* bcf = k.find("bank_conflict_factor");
+    if (bcf == nullptr || !bcf->is_number() || bcf->number < 1.0) {
+      return fail(file, where + ": bank_conflict_factor below 1");
+    }
+    if (const gala::JsonValue* ht = k.find("hashtable")) {
+      const gala::JsonValue* hist = ht->find("probe_hist");
+      if (hist == nullptr || !hist->is_array()) {
+        return fail(file, where + ": hashtable without probe_hist");
+      }
+      double prev_len = 0;
+      for (const auto& b : hist->array) {
+        const gala::JsonValue* len = b.find("len");
+        const gala::JsonValue* count = b.find("count");
+        if (len == nullptr || count == nullptr || !len->is_number() || !count->is_number()) {
+          return fail(file, where + ": malformed probe_hist bucket");
+        }
+        if (len->number <= prev_len) {
+          return fail(file, where + ": probe_hist lengths are not strictly increasing");
+        }
+        if (count->number <= 0) {
+          return fail(file, where + ": probe_hist bucket with non-positive count");
+        }
+        prev_len = len->number;
+      }
+    }
+    const gala::JsonValue* roofline = k.find("roofline");
+    if (roofline == nullptr || !roofline->is_object()) {
+      return fail(file, where + ": no roofline object");
+    }
+    if (!check_nonneg(*roofline, "dram_bytes", file, where) ||
+        !check_nonneg(*roofline, "arithmetic_intensity", file, where) ||
+        !check_nonneg(*roofline, "achieved_gops", file, where)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -48,11 +211,17 @@ std::set<std::string> collect_names(const gala::JsonValue& doc) {
 int main(int argc, char** argv) {
   std::string file;
   bool chrome = false;
+  bool metrics = false;
+  bool profile = false;
   std::vector<std::string> required;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--chrome") {
       chrome = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--require") {
       if (++i >= argc) {
         std::fprintf(stderr, "trace_check: --require needs a value\n");
@@ -66,8 +235,10 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (file.empty()) {
-    std::fprintf(stderr, "usage: trace_check <file.json> [--chrome] [--require NAME]...\n");
+  if (file.empty() || (chrome + metrics + profile) > 1) {
+    std::fprintf(stderr,
+                 "usage: trace_check <file.json> [--chrome|--metrics|--profile] "
+                 "[--require NAME]...\n");
     return 1;
   }
 
@@ -103,6 +274,10 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  } else if (metrics) {
+    if (!check_metrics(doc, file)) return 1;
+  } else if (profile) {
+    if (!check_profile(doc, file)) return 1;
   } else if (events == nullptr && doc.find("spans") == nullptr) {
     std::fprintf(stderr, "trace_check: %s: neither traceEvents nor spans present\n",
                  file.c_str());
