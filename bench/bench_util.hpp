@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -70,7 +71,8 @@ class JsonRecord {
     // GALA_BENCH_PROFILE=1 additionally captures the per-kernel
     // hardware-counter profile over the bench's lifetime and attaches it to
     // the sidecar as a "profile" member (the perf-diff gate's input).
-    if (const char* p = std::getenv("GALA_BENCH_PROFILE"); p != nullptr && *p != '\0') {
+    if (const char* p = std::getenv("GALA_BENCH_PROFILE");
+        p != nullptr && *p != '\0' && std::strcmp(p, "0") != 0) {
       profiling_ = true;
       auto& prof = profiler::Profiler::global();
       prof.reset();

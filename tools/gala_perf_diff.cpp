@@ -185,7 +185,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "perf_diff: %s needs a value\n", arg.c_str());
         return false;
       }
-      out = std::strtod(argv[i], nullptr);
+      char* end = nullptr;
+      const double v = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || !(v >= 0.0)) {
+        std::fprintf(stderr, "perf_diff: %s needs a non-negative number, got '%s'\n",
+                     arg.c_str(), argv[i]);
+        return false;
+      }
+      out = v;
       return true;
     };
     if (arg == "--tolerance") {
