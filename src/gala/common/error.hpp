@@ -18,7 +18,22 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A bounded resource ran out (shared-memory arena, hashtable scratch).
+/// Distinguished from plain Error so degradation paths can catch exhaustion
+/// specifically and fall back to a placement that needs less of the resource.
+class ResourceExhausted : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
+
+template <typename E>
+[[noreturn]] inline void throw_with_location(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (" << file << ':' << line << ')';
+  throw E(os.str());
+}
 
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
                                              const std::string& msg) {
@@ -30,6 +45,17 @@ namespace detail {
 
 }  // namespace detail
 }  // namespace gala
+
+/// Throws exception type `E` (a gala::Error subclass) with a streamed
+/// message and file:line context, e.g.
+///   GALA_THROW(ResourceExhausted, "need " << bytes << "B");
+#define GALA_THROW(E, msg)                                                       \
+  do {                                                                           \
+    std::ostringstream gala_throw_os_;                                           \
+    gala_throw_os_ << msg; /* NOLINT */                                          \
+    ::gala::detail::throw_with_location<E>(__FILE__, __LINE__,                   \
+                                           gala_throw_os_.str());                \
+  } while (0)
 
 /// Always-on precondition check. `msg` is streamed, e.g.
 ///   GALA_CHECK(u < n, "vertex " << u << " out of range");

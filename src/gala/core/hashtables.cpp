@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "gala/resilience/fault_injection.hpp"
+
 namespace gala::core {
 
 std::string to_string(HashTablePolicy policy) {
@@ -37,7 +39,10 @@ NeighborCommunityTable::NeighborCommunityTable(HashTablePolicy policy,
   }
   // The global part must be able to absorb everything that misses shared.
   global_count_ = want;
-  if (global_scratch_.size() < global_count_) global_scratch_.resize(global_count_);
+  if (global_scratch_.size() < global_count_) {
+    resilience::maybe_inject(resilience::FaultSite::ScratchGrow, to_string(policy));
+    global_scratch_.resize(global_count_);
+  }
   used_.reserve(capacity_hint);
 }
 

@@ -5,6 +5,7 @@
 
 #include "gala/common/error.hpp"
 #include "gala/gpusim/block.hpp"
+#include "gala/telemetry/telemetry.hpp"
 
 namespace gala::core {
 namespace {
@@ -167,9 +168,12 @@ Decision shuffle_decide(const DecideInput& in, vid_t v, gpusim::SharedMemoryAren
   return result;
 }
 
-Decision hash_decide(const DecideInput& in, vid_t v, HashTablePolicy policy,
-                     gpusim::SharedMemoryArena& arena, std::vector<HashBucket>& global_scratch,
-                     std::uint64_t salt, MemoryStats& stats) {
+namespace {
+
+Decision hash_decide_impl(const DecideInput& in, vid_t v, HashTablePolicy policy,
+                          gpusim::SharedMemoryArena& arena,
+                          std::vector<HashBucket>& global_scratch, std::uint64_t salt,
+                          MemoryStats& stats) {
   const graph::Graph& g = *in.g;
   const cid_t curr = in.comm[v];
   const wt_t dv = g.degree(v);
@@ -223,6 +227,29 @@ Decision hash_decide(const DecideInput& in, vid_t v, HashTablePolicy policy,
     result.best_score = tracker.score;
   }
   return result;
+}
+
+}  // namespace
+
+Decision hash_decide(const DecideInput& in, vid_t v, HashTablePolicy policy,
+                     gpusim::SharedMemoryArena& arena, std::vector<HashBucket>& global_scratch,
+                     std::uint64_t salt, MemoryStats& stats) {
+  if (policy == HashTablePolicy::GlobalOnly) {
+    return hash_decide_impl(in, v, policy, arena, global_scratch, salt, stats);
+  }
+  try {
+    return hash_decide_impl(in, v, policy, arena, global_scratch, salt, stats);
+  } catch (const ResourceExhausted&) {
+    // Degradation ladder (§4.2 read backwards): shared-memory pressure —
+    // arena exhaustion, real or injected — retries this vertex with every
+    // bucket in global memory. Exhaustion can only be thrown from the table
+    // constructor, before any traffic is charged, so the retry accounts
+    // cleanly. Decisions are policy-independent: same result, more global
+    // traffic.
+    telemetry::Registry::global().counter("resilience.hashtable_fallbacks").add(1);
+    return hash_decide_impl(in, v, HashTablePolicy::GlobalOnly, arena, global_scratch, salt,
+                            stats);
+  }
 }
 
 cid_t apply_move_guard(const Decision& d, cid_t curr, std::span<const vid_t> comm_size) {

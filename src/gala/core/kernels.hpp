@@ -54,6 +54,10 @@ Decision shuffle_decide(const DecideInput& in, vid_t v, gpusim::SharedMemoryAren
 
 /// Block-level hash-based kernel under the given hashtable policy.
 /// `global_scratch` is the reusable global-memory bucket slab.
+/// Shared-memory exhaustion (gala::ResourceExhausted from the arena, real or
+/// fault-injected) degrades the vertex to GlobalOnly placement and retries —
+/// decisions are policy-independent, so the result is unchanged. Counted in
+/// the `resilience.hashtable_fallbacks` telemetry counter.
 Decision hash_decide(const DecideInput& in, vid_t v, HashTablePolicy policy,
                      gpusim::SharedMemoryArena& arena, std::vector<HashBucket>& global_scratch,
                      std::uint64_t salt, gpusim::MemoryStats& stats);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gala/profiler/profiler.hpp"
+#include "gala/resilience/fault_injection.hpp"
 
 namespace gala::gpusim {
 
@@ -74,6 +75,7 @@ void finish_launch(LaunchStats& result, const DeviceConfig& config, std::size_t 
 LaunchStats Device::launch(std::size_t num_blocks,
                            const std::function<void(BlockContext&)>& body,
                            std::string_view name) const {
+  resilience::maybe_inject(resilience::FaultSite::KernelLaunch, name);
   telemetry::ScopedSpan span(telemetry::Tracer::global(), name, "kernel");
   LaunchStats result;
   Timer timer;
@@ -111,6 +113,7 @@ LaunchStats Device::launch(std::size_t num_blocks,
 LaunchStats Device::launch_sequential(std::size_t num_blocks,
                                       const std::function<void(BlockContext&)>& body,
                                       std::string_view name) const {
+  resilience::maybe_inject(resilience::FaultSite::KernelLaunch, name);
   telemetry::ScopedSpan span(telemetry::Tracer::global(), name, "kernel");
   LaunchStats result;
   Timer timer;

@@ -14,6 +14,7 @@
 
 #include "gala/common/error.hpp"
 #include "gala/gpusim/memory.hpp"
+#include "gala/resilience/fault_injection.hpp"
 
 namespace gala::gpusim {
 
@@ -92,17 +93,21 @@ class SharedMemoryArena {
     return aligned_used(alignof(T)) + count * sizeof(T) <= capacity_;
   }
 
-  /// Allocates `count` default-initialised elements of T. Throws gala::Error
-  /// when the block's shared-memory budget is exceeded — callers that can
-  /// overflow must check fits() first (as a CUDA kernel must at compile
-  /// time / launch time).
+  /// Allocates `count` default-initialised elements of T. Throws
+  /// gala::ResourceExhausted when the block's shared-memory budget is
+  /// exceeded — callers that can overflow must either check fits() first (as
+  /// a CUDA kernel must at compile time / launch time) or catch the
+  /// exhaustion and degrade (hashtables.cpp / the supervisor ladder).
   template <typename T>
   std::span<T> allocate(std::size_t count) {
+    resilience::maybe_inject(resilience::FaultSite::SharedAlloc, "shared-arena");
     const std::size_t start = aligned_used(alignof(T));
     const std::size_t bytes = count * sizeof(T);
-    GALA_CHECK(start + bytes <= capacity_,
-               "shared memory overflow: need " << bytes << "B at offset " << start
-                                               << ", capacity " << capacity_ << "B");
+    if (start + bytes > capacity_) {
+      GALA_THROW(ResourceExhausted, "shared memory overflow: need "
+                                        << bytes << "B at offset " << start << ", capacity "
+                                        << capacity_ << "B");
+    }
     used_ = start + bytes;
     T* ptr = reinterpret_cast<T*>(storage_.data() + start);
     for (std::size_t i = 0; i < count; ++i) ptr[i] = T{};

@@ -34,6 +34,18 @@ T read_pod(std::ifstream& in) {
 template <typename T>
 std::vector<T> read_vec(std::ifstream& in) {
   const auto size = read_pod<std::uint64_t>(in);
+  // Bound the announced element count by the bytes actually left in the
+  // file: a corrupted/adversarial size field must become a structured
+  // error, not a multi-gigabyte allocation (std::bad_alloc) below.
+  const auto pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  const std::uint64_t remaining =
+      end >= pos ? static_cast<std::uint64_t>(end - pos) : 0;
+  GALA_CHECK(size <= remaining / sizeof(T),
+             "corrupt binary graph: array claims " << size << " elements ("
+                 << size * sizeof(T) << "B) but only " << remaining << "B remain");
   std::vector<T> v(size);
   in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(size * sizeof(T)));
   GALA_CHECK(in.good(), "truncated binary graph file");
@@ -114,11 +126,18 @@ Graph load_binary(const std::string& path) {
   const auto offsets = read_vec<eid_t>(in);
   const auto adj = read_vec<vid_t>(in);
   const auto w = read_vec<wt_t>(in);
-  GALA_CHECK(!offsets.empty() && adj.size() == w.size(), "inconsistent binary graph");
+  GALA_CHECK(!offsets.empty() && adj.size() == w.size(), "inconsistent binary graph " << path);
+  GALA_CHECK(offsets.front() == 0 && offsets.back() == adj.size(),
+             "corrupt offsets in " << path << ": [" << offsets.front() << ", " << offsets.back()
+                                   << "] for " << adj.size() << " adjacency entries");
   const vid_t n = static_cast<vid_t>(offsets.size() - 1);
   GraphBuilder builder(n);
   for (vid_t v = 0; v < n; ++v) {
+    GALA_CHECK(offsets[v] <= offsets[v + 1],
+               "non-monotone offsets at vertex " << v << " in " << path);
     for (eid_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      GALA_CHECK(adj[e] < n,
+                 "neighbour id " << adj[e] << " out of range [0, " << n << ") in " << path);
       if (adj[e] >= v) builder.add_edge(v, adj[e], w[e]);
     }
   }

@@ -12,7 +12,71 @@ Communicator::Communicator(std::size_t num_ranks, CommCostModel cost)
   scalar_buffer_.resize(num_ranks);
 }
 
+void Communicator::inject_gather_faults(std::size_t rank, Chunk& chunk) {
+  auto& injector = resilience::FaultInjector::global();
+  const int r = static_cast<int>(rank);
+  if (injector.should_fire(resilience::FaultSite::CollectiveDrop, "all_gather_v", r)) {
+    chunk.bytes.clear();
+    chunk.status = ChunkStatus::Dropped;
+    return;
+  }
+  if (injector.should_fire(resilience::FaultSite::CollectiveTimeout, "all_gather_v", r)) {
+    chunk.status = ChunkStatus::TimedOut;
+    return;
+  }
+  if (injector.should_fire(resilience::FaultSite::CollectiveCorrupt, "all_gather_v", r) &&
+      !chunk.bytes.empty()) {
+    // Flip one payload byte *after* the checksum was computed: exactly the
+    // on-the-wire corruption the integrity check exists to catch.
+    chunk.bytes[chunk.bytes.size() / 2] ^= std::byte{0x40};
+  }
+}
+
+void Communicator::verify_round(const char* op) {
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    const Chunk& c = staging_[r];
+    if (c.status == ChunkStatus::Dropped) {
+      GALA_THROW(CollectiveFault,
+                 op << ": rank " << r << " dropped its contribution [collective-drop]");
+    }
+    if (c.status == ChunkStatus::TimedOut) {
+      GALA_THROW(CollectiveFault,
+                 op << ": rank " << r << " timed out [collective-timeout]");
+    }
+    if (fnv1a(c.bytes) != c.checksum) {
+      GALA_THROW(CollectiveFault, op << ": rank " << r
+                                     << " payload failed checksum [collective-corrupt]");
+    }
+  }
+}
+
+void Communicator::check_abort(const char* op) {
+  if (!aborted()) return;
+  std::string reason;
+  {
+    std::lock_guard lock(mutex_);
+    reason = abort_reason_;
+  }
+  GALA_THROW(CollectiveFault, op << ": communicator aborted — " << reason);
+}
+
+void Communicator::abort(const std::string& reason) {
+  {
+    std::lock_guard lock(mutex_);
+    if (abort_reason_.empty()) abort_reason_ = reason;
+  }
+  aborted_.store(true, std::memory_order_release);
+  // Each aborting rank permanently leaves the barrier: its arrival completes
+  // the current phase (releasing waiters) and shrinks the expected count for
+  // every later phase, so the surviving ranks can always make progress to
+  // their next check_abort.
+  barrier_.arrive_and_drop();
+}
+
 void Communicator::all_reduce_sum(std::size_t rank, std::span<double> data, CommStats& stats) {
+  GALA_CHECK(rank < num_ranks_,
+             "all_reduce_sum: rank " << rank << " out of range [0, " << num_ranks_ << ")");
+  check_abort("all_reduce_sum");
   {
     std::lock_guard lock(mutex_);
     if (reduce_buffer_.size() < data.size()) reduce_buffer_.assign(data.size(), 0.0);
@@ -37,6 +101,9 @@ void Communicator::all_reduce_sum(std::size_t rank, std::span<double> data, Comm
 }
 
 double Communicator::all_reduce_min(std::size_t rank, double value, CommStats& stats) {
+  GALA_CHECK(rank < num_ranks_,
+             "all_reduce_min: rank " << rank << " out of range [0, " << num_ranks_ << ")");
+  check_abort("all_reduce_min");
   scalar_buffer_[rank] = value;
   barrier_.arrive_and_wait();
   const double result = *std::min_element(scalar_buffer_.begin(), scalar_buffer_.end());

@@ -9,19 +9,44 @@
 // counts follow NCCL ring-collective conventions: AllGather and AllReduce
 // move ~(P-1)/P of the full payload per device per direction; we charge the
 // canonical full-payload volume for clarity (documented in DESIGN.md).
+//
+// Fault semantics (gala::resilience): every all_gather_v contribution
+// carries an out-of-band FNV-1a checksum and a status flag. An armed fault
+// plan can drop a rank's chunk, stall it past the collective deadline, or
+// corrupt its payload (caught by the checksum). Detection is symmetric: all
+// ranks inspect the same staged state after the exchange barrier and throw
+// an identical CollectiveFault, so retry loops above stay barrier-aligned.
+// Checksums and flags ride outside the modeled wire format — CommStats byte
+// accounting is unchanged.
+//
+// A rank that dies outside a collective calls abort(): it marks the
+// communicator failed and drops out of the barrier (arrive_and_drop), so
+// every rank still waiting is released and fails fast at its next
+// collective entry instead of deadlocking.
 #pragma once
 
+#include <atomic>
 #include <barrier>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "gala/common/error.hpp"
 #include "gala/common/types.hpp"
+#include "gala/resilience/fault_injection.hpp"
 
 namespace gala::multigpu {
+
+/// A collective failed (injected drop/timeout/corruption, or a peer rank
+/// aborted). Retryable: the supervisor and the distributed engine's sync
+/// fallback catch it.
+class CollectiveFault : public resilience::TransientFault {
+ public:
+  using TransientFault::TransientFault;
+};
 
 struct CommCostModel {
   double alpha_us = 5.0;       ///< per-collective latency, microseconds
@@ -46,6 +71,16 @@ struct CommStats {
   }
 };
 
+/// FNV-1a over a byte span — the sync-message integrity check.
+inline std::uint64_t fnv1a(std::span<const std::byte> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 /// One communicator shared by all participants (like an ncclComm_t set).
 /// Methods are *collective*: every rank must call them in the same order.
 class Communicator {
@@ -56,26 +91,34 @@ class Communicator {
 
   /// ncclAllGather of variable-size per-rank contributions. Each rank passes
   /// its local chunk; returns the concatenation in rank order (identical on
-  /// every rank).
+  /// every rank). Throws CollectiveFault — identically on all ranks — when
+  /// any contribution was dropped, timed out, or fails its checksum.
   template <typename T>
   std::vector<T> all_gather_v(std::size_t rank, std::span<const T> local, CommStats& stats) {
-    auto bytes_of = [](std::size_t count) { return count * sizeof(T); };
-    // Stage the contribution.
+    GALA_CHECK(rank < num_ranks_,
+               "all_gather_v: rank " << rank << " out of range [0, " << num_ranks_ << ")");
+    check_abort("all_gather_v");
     {
       std::lock_guard lock(mutex_);
-      if (staging_.size() != num_ranks_) staging_.resize(num_ranks_);
-      staging_[rank].assign(reinterpret_cast<const std::byte*>(local.data()),
-                            reinterpret_cast<const std::byte*>(local.data()) + bytes_of(local.size()));
+      Chunk& c = staging_[rank];
+      c.bytes.assign(reinterpret_cast<const std::byte*>(local.data()),
+                     reinterpret_cast<const std::byte*>(local.data()) + local.size() * sizeof(T));
+      c.status = ChunkStatus::Ok;
+      c.checksum = fnv1a(c.bytes);
+      if (resilience::FaultInjector::armed()) inject_gather_faults(rank, c);
     }
     barrier_.arrive_and_wait();
+    // All staged writes happened-before this point; verification reads the
+    // same state on every rank and throws the same fault on every rank.
+    verify_round("all_gather_v");
     std::vector<T> out;
     std::size_t total_bytes = 0;
-    for (const auto& chunk : staging_) total_bytes += chunk.size();
+    for (const Chunk& c : staging_) total_bytes += c.bytes.size();
     out.resize(total_bytes / sizeof(T));
     std::size_t off = 0;
-    for (const auto& chunk : staging_) {
-      std::memcpy(reinterpret_cast<std::byte*>(out.data()) + off, chunk.data(), chunk.size());
-      off += chunk.size();
+    for (const Chunk& c : staging_) {
+      std::memcpy(reinterpret_cast<std::byte*>(out.data()) + off, c.bytes.data(), c.bytes.size());
+      off += c.bytes.size();
     }
     stats.collectives += 1;
     stats.bytes += total_bytes;
@@ -93,14 +136,45 @@ class Communicator {
   /// Plain barrier (used around iteration boundaries).
   void barrier() { barrier_.arrive_and_wait(); }
 
+  /// Marks the communicator failed and drops this rank out of the barrier,
+  /// releasing any rank still waiting. Call from a rank's exception handler
+  /// before unwinding; every surviving rank throws CollectiveFault at its
+  /// next collective entry.
+  void abort(const std::string& reason);
+
+  /// True once any rank aborted.
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
  private:
+  enum class ChunkStatus : std::uint8_t { Ok, Dropped, TimedOut };
+
+  /// One rank's staged contribution plus out-of-band integrity metadata
+  /// (not part of the modeled wire bytes).
+  struct Chunk {
+    std::vector<std::byte> bytes;
+    std::uint64_t checksum = 0;
+    ChunkStatus status = ChunkStatus::Ok;
+  };
+
+  /// Applies armed collective fault rules to this rank's staged chunk.
+  void inject_gather_faults(std::size_t rank, Chunk& chunk);
+
+  /// Post-exchange integrity scan; throws CollectiveFault on the first bad
+  /// chunk (deterministic rank order, identical on every rank).
+  void verify_round(const char* op);
+
+  /// Throws CollectiveFault when a peer aborted the communicator.
+  void check_abort(const char* op);
+
   std::size_t num_ranks_;
   CommCostModel cost_;
   std::barrier<> barrier_;
   std::mutex mutex_;
-  std::vector<std::vector<std::byte>> staging_;
+  std::vector<Chunk> staging_;
   std::vector<double> reduce_buffer_;
   std::vector<double> scalar_buffer_;
+  std::atomic<bool> aborted_{false};
+  std::string abort_reason_;
 };
 
 }  // namespace gala::multigpu

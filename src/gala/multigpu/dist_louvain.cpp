@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
+#include <string_view>
 #include <thread>
 
 #include "gala/common/timer.hpp"
@@ -127,8 +129,14 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       }
 
       // --- 2. DecideAndMove for owned active vertices. ------------------
+      // A fault here (injected scratch exhaustion after the in-kernel
+      // fallback, or any other error) is rank-local, so it cannot throw
+      // directly without deadlocking peers at the next barrier. Instead it
+      // is captured and piggybacked on the moved-count reduction below, so
+      // every rank learns of it at the same collective and throws together.
+      std::string decide_error;
       const core::DecideInput input{&g, st.comm, st.comm_total, g.two_m(), config.resolution};
-      {
+      try {
         telemetry::ScopedSpan decide_span(telemetry::Tracer::global(), "decide", "multigpu");
         gpusim::MemoryStats stats;
         for (vid_t v = st.range.begin; v < st.range.end; ++v) {
@@ -148,23 +156,36 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
           decide_span.arg("iteration", static_cast<double>(iter));
           gpusim::attach_traffic(decide_span, stats, &config.device.cost_model);
         }
+      } catch (const Error& e) {
+        decide_error = e.what();
       }
 
       // Owned moves under the shared guard.
       std::vector<MoveRecord> local_moves;
-      for (vid_t v = st.range.begin; v < st.range.end; ++v) {
-        const cid_t next =
-            st.active[v] ? core::apply_move_guard(st.decisions[v], st.comm[v], st.comm_size)
-                         : st.comm[v];
-        if (next != st.comm[v]) local_moves.push_back({v, next});
+      if (decide_error.empty()) {
+        for (vid_t v = st.range.begin; v < st.range.end; ++v) {
+          const cid_t next =
+              st.active[v] ? core::apply_move_guard(st.decisions[v], st.comm[v], st.comm_size)
+                           : st.comm[v];
+          if (next != st.comm[v]) local_moves.push_back({v, next});
+        }
       }
 
       // --- 3. Community sync: dense vs sparse (§4.3). -------------------
       double moved_total_d = static_cast<double>(local_moves.size());
       {
-        double buf[1] = {moved_total_d};
-        comm_world.all_reduce_sum(rank, std::span<double>(buf, 1), st.timeline.comm);
+        double buf[2] = {moved_total_d, decide_error.empty() ? 0.0 : 1.0};
+        comm_world.all_reduce_sum(rank, std::span<double>(buf, 2), st.timeline.comm);
         moved_total_d = buf[0];
+        if (buf[1] > 0) {
+          // Symmetric fail-closed: every rank throws after the same
+          // collective, so nobody is left waiting at a barrier.
+          if (!decide_error.empty()) {
+            GALA_THROW(CollectiveFault,
+                       "decide phase failed on rank " << rank << ": " << decide_error);
+          }
+          GALA_THROW(CollectiveFault, "decide phase failed on a peer rank");
+        }
       }
       const auto moved_total = static_cast<vid_t>(moved_total_d);
       const std::uint64_t sparse_bytes = static_cast<std::uint64_t>(moved_total) * sizeof(MoveRecord);
@@ -172,35 +193,54 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       const bool use_sparse = config.sync == SyncMode::Sparse ||
                               (config.sync == SyncMode::Adaptive && sparse_bytes < dense_bytes);
 
-      std::copy(st.comm.begin(), st.comm.end(), st.next_comm.begin());
-      {
-        // Bytes this rank ships into the all-gather (sum over ranks = wire
-        // total, matching the iteration log's sparse/dense payload figures).
-        const std::uint64_t shipped_bytes =
-            use_sparse ? local_moves.size() * sizeof(MoveRecord)
-                       : st.range.size() * sizeof(cid_t);
-        telemetry::ScopedSpan sync_span(telemetry::Tracer::global(),
-                                        use_sparse ? "sync_sparse" : "sync_dense", "multigpu");
-        if (use_sparse) {
-          const auto all_moves = comm_world.all_gather_v<MoveRecord>(
-              rank, std::span<const MoveRecord>(local_moves), st.timeline.comm);
-          for (const MoveRecord& m : all_moves) st.next_comm[m.vertex] = m.community;
-        } else {
-          // Dense: every rank ships its whole owned slice of next_comm.
-          for (const MoveRecord& m : local_moves) st.next_comm[m.vertex] = m.community;
-          const auto slices = comm_world.all_gather_v<cid_t>(
-              rank,
-              std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()),
-              st.timeline.comm);
-          GALA_ASSERT(slices.size() == n);
-          std::copy(slices.begin(), slices.end(), st.next_comm.begin());
-        }
-        if (sync_span.active()) {
-          sync_span.arg("rank", static_cast<double>(rank));
-          sync_span.arg("iteration", static_cast<double>(iter));
-          sync_span.arg("bytes", static_cast<double>(shipped_bytes));
-          sync_span.arg("moved_total", moved_total_d);
-          telemetry::Registry::global().counter("multigpu.sync_bytes").add(shipped_bytes);
+      // Retry loop around the sync: a CollectiveFault is thrown identically
+      // on every rank, so all ranks take the same branch below and stay
+      // barrier-aligned. A failed sparse sync degrades to dense for the
+      // retry; a failed dense sync retries as-is. Retries exhausted → the
+      // fault propagates (fail closed).
+      bool sparse_now = use_sparse;
+      bool recovered_dense = false;
+      for (int sync_attempt = 0;; ++sync_attempt) {
+        try {
+          std::copy(st.comm.begin(), st.comm.end(), st.next_comm.begin());
+          // Bytes this rank ships into the all-gather (sum over ranks = wire
+          // total, matching the iteration log's sparse/dense payload figures).
+          const std::uint64_t shipped_bytes =
+              sparse_now ? local_moves.size() * sizeof(MoveRecord)
+                         : st.range.size() * sizeof(cid_t);
+          telemetry::ScopedSpan sync_span(telemetry::Tracer::global(),
+                                          sparse_now ? "sync_sparse" : "sync_dense", "multigpu");
+          if (sparse_now) {
+            const auto all_moves = comm_world.all_gather_v<MoveRecord>(
+                rank, std::span<const MoveRecord>(local_moves), st.timeline.comm);
+            for (const MoveRecord& m : all_moves) st.next_comm[m.vertex] = m.community;
+          } else {
+            // Dense: every rank ships its whole owned slice of next_comm.
+            for (const MoveRecord& m : local_moves) st.next_comm[m.vertex] = m.community;
+            const auto slices = comm_world.all_gather_v<cid_t>(
+                rank,
+                std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()),
+                st.timeline.comm);
+            GALA_ASSERT(slices.size() == n);
+            std::copy(slices.begin(), slices.end(), st.next_comm.begin());
+          }
+          if (sync_span.active()) {
+            sync_span.arg("rank", static_cast<double>(rank));
+            sync_span.arg("iteration", static_cast<double>(iter));
+            sync_span.arg("bytes", static_cast<double>(shipped_bytes));
+            sync_span.arg("moved_total", moved_total_d);
+            telemetry::Registry::global().counter("multigpu.sync_bytes").add(shipped_bytes);
+          }
+          break;
+        } catch (const CollectiveFault&) {
+          if (sync_attempt >= config.max_sync_retries) throw;
+          if (sparse_now) {
+            sparse_now = false;
+            recovered_dense = true;
+            if (rank == 0) {
+              telemetry::Registry::global().counter("multigpu.sync_fallback_dense").add(1);
+            }
+          }
         }
       }
 
@@ -243,11 +283,18 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
         }
         st.timeline.traffic += stats;
       }
-      {
+      for (int wsync_attempt = 0;; ++wsync_attempt) {
         telemetry::ScopedSpan wsync_span(telemetry::Tracer::global(), "sync_weights", "multigpu");
-        const auto all_msgs =
-            comm_world.all_gather_v<WeightMsg>(rank, std::span<const WeightMsg>(out_msgs),
-                                               st.timeline.comm);
+        std::vector<WeightMsg> all_msgs;
+        try {
+          all_msgs = comm_world.all_gather_v<WeightMsg>(
+              rank, std::span<const WeightMsg>(out_msgs), st.timeline.comm);
+        } catch (const CollectiveFault&) {
+          // The gather throws before any message is applied, so a straight
+          // re-gather is safe (and symmetric across ranks).
+          if (wsync_attempt >= config.max_sync_retries) throw;
+          continue;
+        }
         for (const WeightMsg& msg : all_msgs) {
           if (msg.target >= st.range.begin && msg.target < st.range.end && !st.moved[msg.target]) {
             st.weight[msg.target] += msg.delta;
@@ -262,6 +309,7 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
           wsync_span.arg("bytes", static_cast<double>(shipped));
           telemetry::Registry::global().counter("multigpu.weight_sync_bytes").add(shipped);
         }
+        break;
       }
 
       // --- 5. Apply + bookkeeping on the replica. ------------------------
@@ -309,8 +357,9 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
 
       if (rank == 0) {
         std::lock_guard lock(log_mutex);
-        result.iteration_log.push_back(
-            {moved_total, use_sparse, use_sparse ? sparse_bytes : dense_bytes, q, dq});
+        result.iteration_log.push_back({moved_total, sparse_now,
+                                        sparse_now ? sparse_bytes : dense_bytes, q, dq,
+                                        recovered_dense});
       }
       comm_world.barrier();  // iteration_log visible before anyone proceeds
 
@@ -321,13 +370,53 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
         config.device.modeled_ms(st.timeline.traffic);
   };
 
+  // Supervision net: a rank that unwinds past rank_main stores its
+  // exception and aborts the communicator (arrive_and_drop), so peers
+  // blocked at a barrier are released and fail at their next collective
+  // entry instead of deadlocking. After the join the most informative
+  // failure is rethrown as the run's structured error.
+  std::vector<std::exception_ptr> rank_errors(P);
+  auto rank_entry = [&](std::size_t rank) {
+    try {
+      rank_main(rank);
+    } catch (const std::exception& e) {
+      rank_errors[rank] = std::current_exception();
+      comm_world.abort(e.what());
+    } catch (...) {
+      rank_errors[rank] = std::current_exception();
+      comm_world.abort("unknown error");
+    }
+  };
+
   if (P == 1) {
-    rank_main(0);
+    rank_entry(0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(P);
-    for (std::size_t r = 0; r < P; ++r) threads.emplace_back(rank_main, r);
+    for (std::size_t r = 0; r < P; ++r) threads.emplace_back(rank_entry, r);
     for (auto& t : threads) t.join();
+  }
+
+  {
+    // Prefer a rank that failed with its own diagnosis over one that merely
+    // observed a peer's failure or the aborted communicator.
+    std::exception_ptr chosen;
+    for (const std::exception_ptr& err : rank_errors) {
+      if (!err) continue;
+      if (!chosen) chosen = err;
+      try {
+        std::rethrow_exception(err);
+      } catch (const std::exception& e) {
+        const std::string_view what(e.what());
+        if (what.find("peer rank") == std::string_view::npos &&
+            what.find("communicator aborted") == std::string_view::npos) {
+          chosen = err;
+          break;
+        }
+      } catch (...) {
+      }
+    }
+    if (chosen) std::rethrow_exception(chosen);
   }
 
   result.community = ranks[0].comm;

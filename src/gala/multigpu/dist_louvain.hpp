@@ -46,6 +46,11 @@ struct DistributedConfig {
   double pm_alpha = 0.25;
   CommCostModel comm_cost{};
   gpusim::DeviceConfig device{};
+  /// Community/weight-sync attempts after a CollectiveFault before the run
+  /// fails closed. A failed *sparse* sync degrades to dense for the retry
+  /// (the dense payload needs no per-move records a corrupted rank could
+  /// poison selectively, and its cost is the known worst case).
+  int max_sync_retries = 2;
 };
 
 /// Per-device accounting for the Fig. 10(b) breakdown.
@@ -63,6 +68,9 @@ struct DistIterationStats {
   std::uint64_t sync_bytes = 0;  ///< community-sync payload this iteration
   wt_t modularity = 0;
   wt_t delta_q = 0;
+  /// True when a sparse sync failed this iteration and the dense fallback
+  /// completed it (graceful degradation, visible in the run report).
+  bool recovered_dense = false;
 };
 
 struct DistributedResult {

@@ -1,0 +1,366 @@
+// gala::resilience: the deterministic chaos suite.
+//
+// For a fixed seed and fault plan, every injected-fault run must either (a)
+// recover via retry / rollback / degradation and produce a valid partition —
+// with modularity matching the fault-free run to 1e-9 when the recovery path
+// preserves semantics, or an explicitly reported degraded path otherwise —
+// or (b) fail closed with a structured gala::Error naming the injection
+// point. Run by the chaos CI job on every push.
+#include "gala/resilience/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "gala/core/gala.hpp"
+#include "gala/core/kernels.hpp"
+#include "gala/core/modularity.hpp"
+#include "gala/multigpu/dist_louvain.hpp"
+#include "gala/telemetry/telemetry.hpp"
+#include "test_util.hpp"
+
+namespace gala::resilience {
+namespace {
+
+FaultRule rule(FaultSite site, std::string label = "", int rank = -1, int skip_first = 0,
+               int max_fires = -1, double probability = 1.0) {
+  FaultRule r;
+  r.site = site;
+  r.label = std::move(label);
+  r.rank = rank;
+  r.skip_first = skip_first;
+  r.max_fires = max_fires;
+  r.probability = probability;
+  return r;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return telemetry::Registry::global().counter(name).value();
+}
+
+// ---- plan serialisation ----------------------------------------------------
+
+TEST(FaultPlanTest, JsonRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.rules.push_back(rule(FaultSite::KernelLaunch, "decide", -1, 2, 3, 0.5));
+  plan.rules.push_back(rule(FaultSite::CollectiveCorrupt, "all_gather_v", 1));
+
+  const FaultPlan back = FaultPlan::from_json(plan.to_json());
+  ASSERT_EQ(back.rules.size(), 2u);
+  EXPECT_EQ(back.seed, 99u);
+  EXPECT_EQ(back.rules[0].site, FaultSite::KernelLaunch);
+  EXPECT_EQ(back.rules[0].label, "decide");
+  EXPECT_EQ(back.rules[0].skip_first, 2);
+  EXPECT_EQ(back.rules[0].max_fires, 3);
+  EXPECT_DOUBLE_EQ(back.rules[0].probability, 0.5);
+  EXPECT_EQ(back.rules[1].site, FaultSite::CollectiveCorrupt);
+  EXPECT_EQ(back.rules[1].rank, 1);
+}
+
+TEST(FaultPlanTest, RejectsUnknownSiteAndBadProbability) {
+  EXPECT_THROW(FaultPlan::from_json(R"({"rules":[{"site":"warp-drive"}]})"), Error);
+  EXPECT_THROW(FaultPlan::from_json(R"({"rules":[{"site":"kernel-launch","probability":2}]})"),
+               Error);
+  EXPECT_THROW(FaultPlan::from_json(R"({"seed":1})"), Error);  // rules required
+}
+
+TEST(FaultPlanTest, SiteNamesRoundTrip) {
+  for (const FaultSite s :
+       {FaultSite::KernelLaunch, FaultSite::SharedAlloc, FaultSite::ScratchGrow,
+        FaultSite::CollectiveDrop, FaultSite::CollectiveTimeout, FaultSite::CollectiveCorrupt}) {
+    EXPECT_EQ(fault_site_from_string(to_string(s)), s);
+  }
+}
+
+// ---- injector mechanics ----------------------------------------------------
+
+TEST(FaultInjectorTest, DisarmedCostsNothingAndNeverFires) {
+  auto& inj = FaultInjector::global();
+  inj.disarm();
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_FALSE(inj.should_fire(FaultSite::KernelLaunch, "decide"));
+  EXPECT_NO_THROW(maybe_inject(FaultSite::KernelLaunch, "decide"));
+}
+
+TEST(FaultInjectorTest, FiringPatternIsDeterministicInSeed) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.rules.push_back(rule(FaultSite::KernelLaunch, "", -1, 0, -1, 0.3));
+
+  auto pattern = [&] {
+    ScopedFaultPlan armed(plan);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(FaultInjector::global().should_fire(FaultSite::KernelLaunch, "decide"));
+    }
+    return fired;
+  };
+  const auto first = pattern();
+  const auto second = pattern();
+  EXPECT_EQ(first, second);
+  // A probability-0.3 rule over 64 hits fires sometimes but not always.
+  int fires = 0;
+  for (const bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+
+  plan.seed = 4321;  // different seed, different pattern
+  ScopedFaultPlan armed(plan);
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) {
+    other.push_back(FaultInjector::global().should_fire(FaultSite::KernelLaunch, "decide"));
+  }
+  EXPECT_NE(first, other);
+}
+
+TEST(FaultInjectorTest, SkipFirstAndMaxFiresSchedule) {
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::ScratchGrow, "", -1, /*skip_first=*/2, /*max_fires=*/2));
+  ScopedFaultPlan armed(plan);
+  auto& inj = FaultInjector::global();
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(inj.should_fire(FaultSite::ScratchGrow, "x"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, false, false}));
+  EXPECT_EQ(inj.fires(), 2u);
+}
+
+TEST(FaultInjectorTest, LabelAndRankFiltersApply) {
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::CollectiveDrop, "all_gather_v", /*rank=*/1));
+  ScopedFaultPlan armed(plan);
+  auto& inj = FaultInjector::global();
+  EXPECT_FALSE(inj.should_fire(FaultSite::CollectiveDrop, "all_reduce", 1));  // label mismatch
+  EXPECT_FALSE(inj.should_fire(FaultSite::CollectiveDrop, "all_gather_v", 0));  // rank mismatch
+  EXPECT_TRUE(inj.should_fire(FaultSite::CollectiveDrop, "all_gather_v", 1));
+}
+
+// ---- validators ------------------------------------------------------------
+
+TEST(ValidatorTest, CatchesCorruptState) {
+  const auto g = gala::testing::two_triangles();
+  std::vector<cid_t> ok = {0, 0, 0, 3, 3, 3};
+  EXPECT_NO_THROW(validate_partition(g, ok));
+  EXPECT_NO_THROW(validate_community_weights(g, ok));
+
+  std::vector<cid_t> out_of_range = {0, 0, 0, 3, 3, 99};
+  EXPECT_THROW(validate_partition(g, out_of_range), ValidationError);
+  std::vector<cid_t> short_assignment = {0, 0};
+  EXPECT_THROW(validate_partition(g, short_assignment), ValidationError);
+
+  EXPECT_NO_THROW(validate_modularity(0.5));
+  EXPECT_THROW(validate_modularity(std::numeric_limits<wt_t>::quiet_NaN()), ValidationError);
+  EXPECT_THROW(validate_modularity(7.0), ValidationError);
+
+  EXPECT_NO_THROW(validate_csr(g));
+}
+
+// ---- supervised pipeline: recovery paths -----------------------------------
+
+TEST(SupervisedRunTest, NoFaultsMatchesUnsupervisedExactly) {
+  const auto g = gala::testing::small_planted();
+  core::GalaConfig cfg;
+  const auto plain = core::run_louvain(g, cfg);
+  const auto sup = run_louvain_supervised(g, cfg);
+  EXPECT_EQ(sup.result.assignment, plain.assignment);
+  EXPECT_NEAR(sup.result.modularity, plain.modularity, 1e-12);
+  EXPECT_EQ(sup.retries, 0);
+  EXPECT_FALSE(sup.degraded);
+  EXPECT_TRUE(sup.events.empty());
+}
+
+TEST(SupervisedRunTest, TransientKernelFaultRetriesToExactParity) {
+  const auto g = gala::testing::small_planted();
+  core::GalaConfig cfg;
+  const auto fault_free = core::run_louvain(g, cfg);
+
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rules.push_back(rule(FaultSite::KernelLaunch, "", -1, 0, /*max_fires=*/1));
+  ScopedFaultPlan armed(plan);
+
+  const auto sup = run_louvain_supervised(g, cfg);
+  EXPECT_EQ(sup.retries, 1);
+  ASSERT_EQ(sup.events.size(), 1u);
+  EXPECT_EQ(sup.events[0].action, "retry");
+  EXPECT_NE(sup.events[0].detail.find("kernel-launch"), std::string::npos);
+  EXPECT_FALSE(sup.degraded);
+  // The retry re-runs the identical deterministic level: bitwise parity.
+  EXPECT_EQ(sup.result.assignment, fault_free.assignment);
+  EXPECT_NEAR(sup.result.modularity, fault_free.modularity, 1e-9);
+}
+
+TEST(SupervisedRunTest, StrictModeFailsClosedNamingInjectionPoint) {
+  const auto g = gala::testing::small_planted();
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::KernelLaunch, "", -1, 0, 1));
+  ScopedFaultPlan armed(plan);
+
+  SupervisorConfig sup;
+  sup.strict = true;
+  try {
+    run_louvain_supervised(g, {}, sup);
+    FAIL() << "expected a TransientFault";
+  } catch (const TransientFault& e) {
+    EXPECT_NE(std::string(e.what()).find("kernel-launch"), std::string::npos);
+  }
+}
+
+TEST(SupervisedRunTest, PersistentFaultDegradesToSequentialHostPath) {
+  const auto g = gala::testing::small_planted();
+  const std::uint64_t fallbacks_before = counter_value("resilience.sequential_fallbacks");
+
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::KernelLaunch, ""));  // every launch dies, forever
+  ScopedFaultPlan armed(plan);
+
+  SupervisorConfig sup;
+  sup.max_retries = 1;
+  const auto r = run_louvain_supervised(g, {}, sup);
+  EXPECT_TRUE(r.degraded);
+  bool saw_fallback = false;
+  for (const auto& ev : r.events) saw_fallback |= ev.action == "sequential-fallback";
+  EXPECT_TRUE(saw_fallback);
+  EXPECT_GT(counter_value("resilience.sequential_fallbacks"), fallbacks_before);
+  // The degraded path still yields a valid, decent partition.
+  validate_partition(g, r.result.assignment);
+  const wt_t audited = core::modularity(g, r.result.assignment);
+  EXPECT_NEAR(audited, r.result.modularity, 1e-9);
+  EXPECT_GT(audited, 0.3);
+}
+
+TEST(SupervisedRunTest, SequentialFallbackDisabledFailsClosed) {
+  const auto g = gala::testing::small_planted();
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::KernelLaunch, ""));
+  ScopedFaultPlan armed(plan);
+
+  SupervisorConfig sup;
+  sup.max_retries = 1;
+  sup.sequential_fallback = false;
+  EXPECT_THROW(run_louvain_supervised(g, {}, sup), TransientFault);
+}
+
+TEST(SupervisedRunTest, MonotonicityGuardRollsBackToBestLevel) {
+  const auto g = gala::testing::small_planted();
+  // A negative slack makes every level-1+ result look like a regression, so
+  // the guard must fire and the run must keep the best (level-0) checkpoint.
+  SupervisorConfig sup;
+  sup.q_slack = -10.0;
+  const auto r = run_louvain_supervised(g, {}, sup);
+  EXPECT_TRUE(r.rolled_back);
+  bool saw_rollback = false;
+  for (const auto& ev : r.events) saw_rollback |= ev.action == "rollback";
+  EXPECT_TRUE(saw_rollback);
+  validate_partition(g, r.result.assignment);
+  EXPECT_NEAR(core::modularity(g, r.result.assignment), r.result.modularity, 1e-9);
+}
+
+TEST(SupervisedRunTest, SharedArenaFaultDegradesInKernelWithExactParity) {
+  const auto g = gala::testing::small_planted();
+  core::GalaConfig cfg;
+  cfg.bsp.kernel = core::KernelMode::HashOnly;
+  cfg.bsp.hashtable = core::HashTablePolicy::Hierarchical;
+  const auto fault_free = core::run_louvain(g, cfg);
+
+  const std::uint64_t fallbacks_before = counter_value("resilience.hashtable_fallbacks");
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.rules.push_back(rule(FaultSite::SharedAlloc, "shared-arena", -1, 0, /*max_fires=*/4));
+  ScopedFaultPlan armed(plan);
+
+  // The in-kernel Hierarchical -> GlobalOnly fallback absorbs the faults:
+  // no supervisor retry needed, and decisions are policy-independent.
+  const auto sup = run_louvain_supervised(g, cfg);
+  EXPECT_EQ(sup.retries, 0);
+  EXPECT_FALSE(sup.degraded);
+  EXPECT_GT(counter_value("resilience.hashtable_fallbacks"), fallbacks_before);
+  EXPECT_EQ(sup.result.assignment, fault_free.assignment);
+  EXPECT_NEAR(sup.result.modularity, fault_free.modularity, 1e-9);
+}
+
+// ---- distributed engine: collective faults ---------------------------------
+
+TEST(DistributedFaultTest, CorruptSparseSyncFallsBackToDense) {
+  const auto g = gala::testing::small_planted();
+  multigpu::DistributedConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.sync = multigpu::SyncMode::Sparse;
+  const auto fault_free = multigpu::distributed_phase1(g, cfg);
+
+  FaultPlan plan;
+  plan.rules.push_back(
+      rule(FaultSite::CollectiveCorrupt, "all_gather_v", /*rank=*/0, 0, /*max_fires=*/1));
+  ScopedFaultPlan armed(plan);
+
+  const auto r = multigpu::distributed_phase1(g, cfg);
+  ASSERT_FALSE(r.iteration_log.empty());
+  EXPECT_TRUE(r.iteration_log[0].recovered_dense);
+  EXPECT_FALSE(r.iteration_log[0].sparse_sync);
+  // Dense and sparse sync agree on the replicated state: exact parity.
+  EXPECT_EQ(r.community, fault_free.community);
+  EXPECT_NEAR(r.modularity, fault_free.modularity, 1e-9);
+}
+
+TEST(DistributedFaultTest, PersistentDropFailsClosedWithoutDeadlock) {
+  const auto g = gala::testing::two_triangles();
+  multigpu::DistributedConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.sync = multigpu::SyncMode::Sparse;
+  cfg.max_sync_retries = 1;
+
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::CollectiveDrop, "all_gather_v", /*rank=*/1));
+  ScopedFaultPlan armed(plan);
+
+  try {
+    multigpu::distributed_phase1(g, cfg);
+    FAIL() << "expected a CollectiveFault";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("collective-drop"), std::string::npos);
+  }
+}
+
+TEST(DistributedFaultTest, TimeoutIsDetectedAndNamed) {
+  const auto g = gala::testing::two_triangles();
+  multigpu::DistributedConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.sync = multigpu::SyncMode::Dense;
+  cfg.max_sync_retries = 0;
+
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::CollectiveTimeout, "all_gather_v", /*rank=*/0));
+  ScopedFaultPlan armed(plan);
+
+  try {
+    multigpu::distributed_phase1(g, cfg);
+    FAIL() << "expected a CollectiveFault";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("collective-timeout"), std::string::npos);
+  }
+}
+
+// ---- communicator hardening ------------------------------------------------
+
+TEST(CommunicatorTest, CollectivesRejectOutOfRangeRank) {
+  multigpu::Communicator comm(2);
+  multigpu::CommStats stats;
+  const std::vector<int> payload = {1, 2, 3};
+  EXPECT_THROW(comm.all_gather_v<int>(5, payload, stats), Error);
+  std::vector<double> data = {1.0};
+  EXPECT_THROW(comm.all_reduce_sum(2, std::span<double>(data), stats), Error);
+  EXPECT_THROW(comm.all_reduce_min(7, 1.0, stats), Error);
+}
+
+TEST(CommunicatorTest, ChecksumDetectsSingleBitCorruption) {
+  std::vector<std::byte> payload(128);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::byte>(i * 31);
+  const std::uint64_t clean = multigpu::fnv1a(payload);
+  EXPECT_EQ(clean, multigpu::fnv1a(payload));
+  payload[64] ^= std::byte{0x01};
+  EXPECT_NE(clean, multigpu::fnv1a(payload));
+}
+
+}  // namespace
+}  // namespace gala::resilience

@@ -28,6 +28,7 @@
 #include "gala/metrics/nmi.hpp"
 #include "gala/metrics/report.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
+#include "gala/resilience/supervisor.hpp"
 #include "gala/profiler/profiler.hpp"
 
 namespace {
@@ -87,8 +88,12 @@ int cmd_detect(int argc, const char* const* argv) {
       .add_option("trace-out", "write a Chrome-trace/Perfetto JSON of the run here", "")
       .add_option("metrics-out", "write aggregated telemetry (spans + counters) JSON here", "")
       .add_option("profile-out", "write the per-kernel hardware-counter profile JSON here", "")
+      .add_option("faults", "arm a fault-injection plan (JSON, see docs/resilience.md)", "")
+      .add_option("max-retries", "supervised: transient-fault retries per level", "2")
       .add_flag("refine", "Leiden-style refinement before each aggregation")
       .add_flag("follow", "vertex-following preprocessing (merge pendants)")
+      .add_flag("supervise", "run under the resilience supervisor (retry/rollback/degrade)")
+      .add_flag("strict", "supervised: fail closed on the first fault (no recovery)")
       .add_flag("connected", "report whether every community is connected");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
@@ -110,6 +115,14 @@ int cmd_detect(int argc, const char* const* argv) {
   if (!profile_out.empty()) {
     prof.reset();
     prof.set_enabled(true);
+  }
+
+  // Fault injection: arm the plan before any pipeline work so every
+  // instrumented site (kernel launches, arena, scratch, collectives) sees it.
+  std::optional<resilience::ScopedFaultPlan> armed_plan;
+  if (const std::string plan_path = args.get("faults"); !plan_path.empty()) {
+    armed_plan.emplace(resilience::FaultPlan::load(plan_path));
+    std::printf("armed fault plan %s\n", plan_path.c_str());
   }
 
   PhaseTimer load_timer;
@@ -151,7 +164,26 @@ int cmd_detect(int argc, const char* const* argv) {
     cfg.bsp.theta = args.get_double("theta");
     cfg.refine = args.has("refine");
     cfg.vertex_following = args.has("follow");
-    const auto r = core::run_louvain(g, cfg);
+    const bool supervised = args.has("supervise") || args.has("faults") || args.has("strict") ||
+                            args.has("max-retries");
+    core::GalaResult r;
+    if (supervised) {
+      resilience::SupervisorConfig sup;
+      sup.max_retries = args.get_int("max-retries");
+      sup.strict = args.has("strict");
+      const resilience::SupervisedResult sr = resilience::run_louvain_supervised(g, cfg, sup);
+      r = sr.result;
+      std::printf("supervisor: %d retries%s%s%s\n", sr.retries,
+                  sr.degraded ? ", degraded path taken" : "",
+                  sr.rolled_back ? ", rolled back to best level" : "",
+                  sr.events.empty() ? ", no recovery events" : "");
+      for (const auto& ev : sr.events) {
+        std::printf("  recovery: level %d attempt %d [%s] %s — %s\n", ev.level, ev.attempt,
+                    ev.stage.c_str(), ev.action.c_str(), ev.detail.c_str());
+      }
+    } else {
+      r = core::run_louvain(g, cfg);
+    }
     assignment = r.assignment;
     if (const std::string json = args.get("json"); !json.empty()) {
       metrics::save_run_report(g, cfg, r, json);
