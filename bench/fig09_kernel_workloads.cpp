@@ -44,7 +44,7 @@ double measure(const graph::Graph& g, const Snapshot& snap, const std::vector<vi
                Variant variant, std::size_t shared_bytes) {
   const core::DecideInput input{&g, snap.comm, snap.comm_total, g.two_m()};
   gpusim::SharedMemoryArena arena(shared_bytes);
-  std::vector<core::HashBucket> scratch;
+  core::HashScratch scratch;
   gpusim::MemoryStats stats;
   for (const vid_t v : vertices) {
     arena.reset();

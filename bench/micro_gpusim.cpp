@@ -75,7 +75,7 @@ void BM_HashDecide(benchmark::State& state) {
   KernelFixtureState fx(static_cast<vid_t>(state.range(0)));
   const core::DecideInput input{&fx.g, fx.comm, fx.comm_total, fx.g.two_m()};
   SharedMemoryArena arena(48 * 1024);
-  std::vector<core::HashBucket> scratch;
+  core::HashScratch scratch;
   MemoryStats stats;
   const auto policy = static_cast<core::HashTablePolicy>(state.range(1));
   for (auto _ : state) {

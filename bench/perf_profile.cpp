@@ -57,7 +57,10 @@ int main() {
           .field("modularity", r.modularity)
           .field("communities", static_cast<std::uint64_t>(r.num_communities))
           .field("iterations", static_cast<std::uint64_t>(r.iterations.size()))
-          .field("modeled_ms", modeled_ms);
+          .field("modeled_ms", modeled_ms)
+          .field("ws_heap_allocs", r.workspace.heap_allocs)
+          .field("ws_peak_bytes", r.workspace.peak_bytes)
+          .field("ws_reuse_efficiency", r.workspace.reuse_rate());
     }
   }
   // One shuffle-kernel pass so the profile also covers decide_shuffle.
@@ -74,7 +77,10 @@ int main() {
         .field("policy", "shuffle")
         .field("modularity", r.modularity)
         .field("communities", static_cast<std::uint64_t>(r.num_communities))
-        .field("iterations", static_cast<std::uint64_t>(r.iterations.size()));
+        .field("iterations", static_cast<std::uint64_t>(r.iterations.size()))
+        .field("ws_heap_allocs", r.workspace.heap_allocs)
+        .field("ws_peak_bytes", r.workspace.peak_bytes)
+        .field("ws_reuse_efficiency", r.workspace.reuse_rate());
   }
   rec.save();
   return 0;

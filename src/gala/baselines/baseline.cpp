@@ -153,7 +153,7 @@ void gunrock_decide(const DecideInput& in, vid_t lo, vid_t hi, std::vector<Decis
 void global_hash_decide(const DecideInput& in, vid_t lo, vid_t hi, std::vector<Decision>& out,
                         MemoryStats& stats) {
   gpusim::SharedMemoryArena arena(1);  // effectively no shared memory
-  std::vector<core::HashBucket> scratch;
+  core::HashScratch scratch;
   for (vid_t v = lo; v < hi; ++v) {
     if (in.g->out_degree(v) == 0) {
       out[v] = score_communities(in, v, [](auto&&) {}, stats);

@@ -1,17 +1,41 @@
 #include "gala/core/aggregation.hpp"
 
+#include <algorithm>
+
 #include "gala/common/error.hpp"
 #include "gala/core/modularity.hpp"
 
 namespace gala::core {
+namespace {
 
-AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community) {
+/// renumber_communities with the dense fast path's remap table drawn from
+/// the workspace — same algorithm, same output, pooled scratch.
+vid_t renumber_pooled(std::span<cid_t> community, exec::Workspace* ws) {
+  const std::size_t n = community.size();
+  const bool dense_ids =
+      std::all_of(community.begin(), community.end(), [n](cid_t c) { return c < n; });
+  if (ws == nullptr || !dense_ids) return renumber_communities(community);
+  auto remap_lease = ws->take<cid_t>(n, "phase2.renumber");
+  const std::span<cid_t> remap = remap_lease.span();
+  std::fill(remap.begin(), remap.end(), kInvalidCid);
+  cid_t next = 0;
+  for (auto& c : community) {
+    if (remap[c] == kInvalidCid) remap[c] = next++;
+    c = remap[c];
+  }
+  return next;
+}
+
+}  // namespace
+
+AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community,
+                            exec::Workspace* workspace) {
   const vid_t n = g.num_vertices();
   GALA_CHECK(community.size() == n, "assignment size mismatch");
 
   AggregationResult result;
   result.fine_to_coarse.assign(community.begin(), community.end());
-  result.num_communities = renumber_communities(result.fine_to_coarse);
+  result.num_communities = renumber_pooled(result.fine_to_coarse, workspace);
 
   graph::GraphBuilder builder(result.num_communities);
   for (vid_t v = 0; v < n; ++v) {

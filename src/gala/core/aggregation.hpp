@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gala/common/types.hpp"
+#include "gala/exec/workspace.hpp"
 #include "gala/graph/csr.hpp"
 
 namespace gala::core {
@@ -21,8 +22,12 @@ struct AggregationResult {
   vid_t num_communities = 0;
 };
 
-/// Contracts `g` according to `community` (ids need not be dense).
-AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community);
+/// Contracts `g` according to `community` (ids need not be dense). When a
+/// workspace is given, the level-transition renumber scratch is checked out
+/// of it (tag "phase2.renumber") instead of heap-allocated, so successive
+/// levels of the pipeline recycle one slab. Results are identical.
+AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community,
+                            exec::Workspace* workspace = nullptr);
 
 /// Composes a two-level assignment: result[v] = coarse_assignment[fine_to_coarse[v]].
 std::vector<cid_t> compose_assignment(std::span<const cid_t> fine_to_coarse,

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <new>
 
 #include "gala/common/error.hpp"
 #include "gala/common/timer.hpp"
@@ -9,18 +10,6 @@
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::core {
-
-std::string to_string(KernelMode mode) {
-  switch (mode) {
-    case KernelMode::Auto:
-      return "auto";
-    case KernelMode::ShuffleOnly:
-      return "shuffle-only";
-    case KernelMode::HashOnly:
-      return "hash-only";
-  }
-  return "?";
-}
 
 std::string to_string(WeightUpdateMode mode) {
   switch (mode) {
@@ -33,8 +22,14 @@ std::string to_string(WeightUpdateMode mode) {
 }
 
 BspLouvainEngine::BspLouvainEngine(const graph::Graph& g, const BspConfig& config)
-    : g_(g), config_(config), device_(config.device), rng_(config.seed),
-      salt_(splitmix64(config.seed ^ 0xabcdef0123456789ULL)) {
+    : g_(g), config_(config),
+      owned_context_(config.context != nullptr
+                         ? nullptr
+                         : std::make_unique<exec::ExecutionContext>(config.device, config.seed)),
+      ctx_(config.context != nullptr ? config.context : owned_context_.get()),
+      rng_(config.seed), salt_(splitmix64(config.seed ^ 0xabcdef0123456789ULL)),
+      shuffle_list_(ctx_->workspace(), "phase1.shuffle_list"),
+      hash_list_(ctx_->workspace(), "phase1.hash_list") {
   GALA_CHECK(g.total_weight() > 0, "graph has no edge weight");
   const vid_t n = g.num_vertices();
   comm_.resize(n);
@@ -77,6 +72,19 @@ BspLouvainEngine::BspLouvainEngine(const graph::Graph& g, const BspConfig& confi
   }
 }
 
+void BspLouvainEngine::ensure_delta_buffer(vid_t n) {
+  if (delta_.size() >= n) return;
+  using AtomicWt = std::atomic<wt_t>;
+  static_assert(std::is_trivially_destructible_v<AtomicWt>,
+                "pooled delta slab is released without running destructors");
+  delta_lease_.release();
+  delta_lease_ = ctx_->workspace().take<std::byte>(static_cast<std::size_t>(n) * sizeof(AtomicWt),
+                                                   "phase1.delta");
+  auto* base = reinterpret_cast<AtomicWt*>(delta_lease_.data());
+  for (vid_t v = 0; v < n; ++v) new (base + v) AtomicWt{0};
+  delta_ = {base, static_cast<std::size_t>(n)};
+}
+
 wt_t BspLouvainEngine::state_modularity() const {
   // Q = (sum_v e_{v,C[v]} + 2*sum_v loop_v) / 2|E| - sum_C (D_V(C)/2|E|)^2.
   const wt_t two_m = g_.two_m();
@@ -101,55 +109,62 @@ wt_t BspLouvainEngine::min_nonempty_total() const {
 }
 
 void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
-                                    std::vector<Decision>& decisions,
+                                    std::span<Decision> decisions,
                                     IterationStats& iter_stats) {
   const vid_t n = g_.num_vertices();
-  // Workload-aware dispatch: split the active set by degree.
-  std::vector<vid_t> shuffle_list;
-  std::vector<vid_t> hash_list;
+  const DecideDispatch dispatch{config_.kernel, config_.hashtable, config_.shuffle_degree_limit};
+  // Workload-aware dispatch: split the active set by degree. The lists are
+  // pooled members — clear() keeps capacity, so steady-state iterations
+  // rebuild them without touching the allocator.
+  shuffle_list_.clear();
+  hash_list_.clear();
   for (vid_t v = 0; v < n; ++v) {
     if (!active[v]) continue;
-    const bool small = g_.out_degree(v) < config_.shuffle_degree_limit;
-    const bool use_shuffle = config_.kernel == KernelMode::ShuffleOnly ||
-                             (config_.kernel == KernelMode::Auto && small);
-    (use_shuffle ? shuffle_list : hash_list).push_back(v);
+    (use_shuffle_kernel(g_, v, dispatch) ? shuffle_list_ : hash_list_).push_back(v);
   }
 
   const DecideInput input{&g_, comm_, comm_total_, g_.two_m(), config_.resolution};
 
+  // Both launches run the same per-vertex body: decide_vertex re-applies the
+  // dispatch rule, which maps each list back onto its own kernel. The hash
+  // scratch is checked out of the launch's workspace per block (tag-affine
+  // recycling), replacing the old thread_local vector that pinned peak-sized
+  // slabs to pool threads for the process lifetime.
+  const auto decide_range = [&](gpusim::BlockContext& ctx, std::span<const vid_t> list,
+                                std::size_t lo, std::size_t hi) {
+    HashScratch global_scratch(ctx.workspace);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const vid_t v = list[i];
+      decisions[v] =
+          decide_vertex(input, v, dispatch, *ctx.shared, global_scratch, salt_, *ctx.stats);
+    }
+  };
   // Shuffle kernel: one warp per vertex; blocks batch several warps.
   constexpr std::size_t kWarpsPerBlock = 32;
   const auto run_shuffle = [&](gpusim::BlockContext& ctx) {
     const std::size_t lo = ctx.block_id * kWarpsPerBlock;
-    const std::size_t hi = std::min(shuffle_list.size(), lo + kWarpsPerBlock);
-    for (std::size_t i = lo; i < hi; ++i) {
-      const vid_t v = shuffle_list[i];
-      ctx.shared->reset();
-      decisions[v] = shuffle_decide(input, v, *ctx.shared, *ctx.stats);
-    }
+    const std::size_t hi = std::min(shuffle_list_.size(), lo + kWarpsPerBlock);
+    decide_range(ctx, shuffle_list_, lo, hi);
   };
   // Hash kernel: one block per vertex (paper's assignment for large degrees).
   const auto run_hash = [&](gpusim::BlockContext& ctx) {
-    thread_local std::vector<HashBucket> global_scratch;
-    const vid_t v = hash_list[ctx.block_id];
-    ctx.shared->reset();
-    decisions[v] =
-        hash_decide(input, v, config_.hashtable, *ctx.shared, global_scratch, salt_, *ctx.stats);
+    decide_range(ctx, hash_list_, ctx.block_id, ctx.block_id + 1);
   };
 
   const auto launch = [&](std::size_t blocks, const auto& body, std::string_view name) {
-    return config_.parallel ? device_.launch(blocks, body, name)
-                            : device_.launch_sequential(blocks, body, name);
+    const gpusim::Device& device = ctx_->device();
+    return config_.parallel ? device.launch(blocks, body, name)
+                            : device.launch_sequential(blocks, body, name);
   };
 
   telemetry::ScopedSpan span(telemetry::Tracer::global(), "decide", "phase1");
   gpusim::LaunchStats total;
-  if (!shuffle_list.empty()) {
-    total += launch((shuffle_list.size() + kWarpsPerBlock - 1) / kWarpsPerBlock, run_shuffle,
+  if (!shuffle_list_.empty()) {
+    total += launch((shuffle_list_.size() + kWarpsPerBlock - 1) / kWarpsPerBlock, run_shuffle,
                     "decide_shuffle");
   }
-  if (!hash_list.empty()) {
-    total += launch(hash_list.size(), run_hash, "decide_hash");
+  if (!hash_list_.empty()) {
+    total += launch(hash_list_.size(), run_hash, "decide_hash");
   }
   iter_stats.decide_traffic += total.traffic;
   iter_stats.decide_wall += total.wall_seconds;
@@ -157,30 +172,34 @@ void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
   iter_stats.ht_access_rate = total.traffic.access_rate();
   iter_stats.ht_mean_probe_length = total.traffic.mean_probe_length();
   if (span.active()) {
-    span.arg("shuffle_vertices", static_cast<double>(shuffle_list.size()));
-    span.arg("hash_vertices", static_cast<double>(hash_list.size()));
+    span.arg("shuffle_vertices", static_cast<double>(shuffle_list_.size()));
+    span.arg("hash_vertices", static_cast<double>(hash_list_.size()));
     span.arg("modeled_ms", config_.device.modeled_ms(total.traffic));
     gpusim::attach_traffic(span, total.traffic);
   }
 }
 
 void BspLouvainEngine::oracle_pass(std::span<const std::uint8_t> active,
-                                   std::vector<Decision>& decisions,
+                                   std::span<Decision> decisions,
                                    std::span<std::uint8_t> would_move) {
   // Evaluates the pruned vertices too, off the books (scratch stats), so the
   // confusion matrix can be measured without perturbing traffic accounting.
   const DecideInput input{&g_, comm_, comm_total_, g_.two_m(), config_.resolution};
   const vid_t n = g_.num_vertices();
+  // Oracle decisions always take the hash path (policy-independent result).
+  const DecideDispatch dispatch{KernelMode::HashOnly, config_.hashtable,
+                                config_.shuffle_degree_limit};
+  exec::Workspace& ws = ctx_->workspace();
   ThreadPool* pool = config_.parallel ? &ThreadPool::global() : nullptr;
   const auto body = [&](std::size_t lo, std::size_t hi) {
-    gpusim::SharedMemoryArena arena(config_.device.shared_bytes_per_block);
+    auto pages = ws.take<std::byte>(config_.device.shared_bytes_per_block, "gpusim.shared_arena");
+    gpusim::SharedMemoryArena arena(pages.span());
     gpusim::MemoryStats scratch;
-    std::vector<HashBucket> global_scratch;
+    HashScratch global_scratch(ws);
     for (std::size_t v = lo; v < hi; ++v) {
       if (active[v]) continue;  // active vertices already have real decisions
-      arena.reset();
-      decisions[v] = hash_decide(input, static_cast<vid_t>(v), config_.hashtable, arena,
-                                 global_scratch, salt_, scratch);
+      decisions[v] = decide_vertex(input, static_cast<vid_t>(v), dispatch, arena, global_scratch,
+                                   salt_, scratch);
     }
   };
   if (pool) {
@@ -242,11 +261,8 @@ void BspLouvainEngine::weight_update_phase(std::span<const std::uint8_t> moved,
     // Delta (§3.5): moved vertices recompute and notify unmoved neighbours;
     // unmoved vertices only fold in the deltas they received. Cost is
     // proportional to the degrees of *moved* vertices.
-    auto& delta = delta_;  // reused across iterations
-    if (delta.size() < n) {
-      std::vector<std::atomic<wt_t>> fresh(n);
-      delta.swap(fresh);
-    }
+    ensure_delta_buffer(n);
+    auto delta = delta_;  // pooled slab, reused across iterations
     for_chunks([&](std::size_t lo, std::size_t hi, gpusim::MemoryStats&) {
       for (std::size_t v = lo; v < hi; ++v) delta[v].store(0, std::memory_order_relaxed);
     });
@@ -307,10 +323,20 @@ Phase1Result BspLouvainEngine::run() {
   telemetry::ScopedSpan phase_span(telemetry::Tracer::global(), "phase1", "pipeline");
   Timer total_timer;
 
-  std::vector<std::uint8_t> active(n, 1);
-  std::vector<std::uint8_t> moved(n, 0);
-  std::vector<std::uint8_t> would_move;
-  std::vector<Decision> decisions(n);
+  // Per-run iteration state, checked out of the workspace. The first
+  // iteration establishes the slabs; with pooling on, every later take()
+  // anywhere in the hot loop is served from the pool (ws_allocs == 0).
+  exec::Workspace& ws = ctx_->workspace();
+  const exec::WorkspaceStats ws_start = ws.stats();
+  auto active_lease = ws.take<std::uint8_t>(n, "phase1.active");
+  auto moved_lease = ws.take<std::uint8_t>(n, "phase1.moved", exec::Fill::Zero);
+  auto decisions_lease = ws.take<Decision>(n, "phase1.decisions");
+  std::span<std::uint8_t> active = active_lease.span();
+  std::span<std::uint8_t> moved = moved_lease.span();
+  std::span<Decision> decisions = decisions_lease.span();
+  std::fill(active.begin(), active.end(), 1);
+  exec::Workspace::Lease<std::uint8_t> would_move_lease;  // oracle mode only
+  std::span<std::uint8_t> would_move;
 
   wt_t q = state_modularity();
   wt_t min_total = min_nonempty_total();
@@ -318,6 +344,7 @@ Phase1Result BspLouvainEngine::run() {
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     telemetry::ScopedSpan iter_span(telemetry::Tracer::global(), "iteration", "phase1");
     IterationStats stats;
+    const std::uint64_t ws_allocs_before = ws.stats().heap_allocs;
     Timer other_timer;
 
     // 1. Pruning (§3).
@@ -326,8 +353,8 @@ Phase1Result BspLouvainEngine::run() {
       const PruningContext prune_ctx{&g_,    comm_,        weight_,       comm_total_,
                                      min_total, g_.two_m(), prev_moved_,  comm_changed_,
                                      iter,      config_.resolution};
-      compute_active(config_.pruning, prune_ctx, config_.pm_alpha, rng_, active,
-                     config_.parallel ? &ThreadPool::global() : nullptr);
+      compute_active(config_.pruning, prune_ctx, config_.pm_alpha, rng_, active, *ctx_,
+                     config_.parallel);
       for (vid_t v = 0; v < n; ++v) stats.active += active[v];
       if (prune_span.active()) {
         prune_span.arg("active", static_cast<double>(stats.active));
@@ -352,7 +379,11 @@ Phase1Result BspLouvainEngine::run() {
 
     // Confusion matrix (oracle mode): evaluate pruned vertices off-the-books.
     if (config_.track_confusion) {
-      would_move.assign(n, 0);
+      if (!would_move_lease) {
+        would_move_lease = ws.take<std::uint8_t>(n, "phase1.would_move");
+        would_move = would_move_lease.span();
+      }
+      std::fill(would_move.begin(), would_move.end(), 0);
       oracle_pass(active, decisions, would_move);
       for (vid_t v = 0; v < n; ++v) {
         if (active[v]) {
@@ -401,15 +432,19 @@ Phase1Result BspLouvainEngine::run() {
     }
     stats.other_wall += other_timer.seconds();
 
+    stats.ws_allocs = ws.stats().heap_allocs - ws_allocs_before;
+
     if (iter_span.active()) {
       iter_span.arg("iteration", static_cast<double>(iter));
       iter_span.arg("active", static_cast<double>(stats.active));
       iter_span.arg("moved", static_cast<double>(stats.moved));
       iter_span.arg("modularity", stats.modularity);
       iter_span.arg("delta_q", stats.delta_q);
+      iter_span.arg("ws_allocs", static_cast<double>(stats.ws_allocs));
       auto& registry = telemetry::Registry::global();
       registry.counter("phase1.iterations").add(1);
       registry.counter("phase1.moved").add(stats.moved);
+      registry.counter("workspace.heap_allocs").add(stats.ws_allocs);
       registry.histogram("phase1.active_per_iteration").observe(stats.active);
     }
 
@@ -431,6 +466,7 @@ Phase1Result BspLouvainEngine::run() {
     result.update_modeled_ms += config_.device.modeled_ms(it.update_traffic);
     result.other_modeled_ms += config_.device.modeled_ms(it.bookkeeping_traffic);
   }
+  result.workspace = ws.stats();
   if (phase_span.active()) {
     phase_span.arg("iterations", static_cast<double>(result.iterations.size()));
     phase_span.arg("communities", static_cast<double>(result.num_communities));
@@ -438,6 +474,19 @@ Phase1Result BspLouvainEngine::run() {
     phase_span.arg("decide_modeled_ms", result.decide_modeled_ms);
     phase_span.arg("update_modeled_ms", result.update_modeled_ms);
     phase_span.arg("other_modeled_ms", result.other_modeled_ms);
+    // Per-run deltas: span args sum across instances (one phase1 span per
+    // level), so only deltas aggregate meaningfully. Snapshot totals live in
+    // Phase1Result::workspace and the gauges below.
+    phase_span.arg("ws_heap_allocs",
+                   static_cast<double>(result.workspace.heap_allocs - ws_start.heap_allocs));
+    phase_span.arg("ws_reuse_hits",
+                   static_cast<double>(result.workspace.reuse_hits - ws_start.reuse_hits));
+    auto& registry = telemetry::Registry::global();
+    registry.gauge("workspace.outstanding_bytes")
+        .set(static_cast<double>(result.workspace.outstanding_bytes));
+    registry.gauge("workspace.pooled_bytes")
+        .set(static_cast<double>(result.workspace.pooled_bytes));
+    registry.gauge("workspace.peak_bytes").set(static_cast<double>(result.workspace.peak_bytes));
   }
   return result;
 }

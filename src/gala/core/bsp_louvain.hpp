@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -26,13 +27,11 @@
 #include "gala/core/hashtables.hpp"
 #include "gala/core/kernels.hpp"
 #include "gala/core/pruning.hpp"
+#include "gala/exec/context.hpp"
 #include "gala/gpusim/device.hpp"
 #include "gala/graph/csr.hpp"
 
 namespace gala::core {
-
-enum class KernelMode { Auto, ShuffleOnly, HashOnly };
-std::string to_string(KernelMode mode);
 
 enum class WeightUpdateMode { Recompute, Delta };
 std::string to_string(WeightUpdateMode mode);
@@ -58,6 +57,11 @@ struct BspConfig {
   /// Run blocks on the host pool (false = deterministic sequential launch).
   bool parallel = true;
   gpusim::DeviceConfig device{};
+  /// Execution context to run in (device binding + pooled workspace). When
+  /// null the engine owns a private context built from `device`/`seed`; the
+  /// multi-level pipeline (run_louvain) shares one context across levels so
+  /// level N reuses level N-1's slabs. Must outlive the engine.
+  exec::ExecutionContext* context = nullptr;
 };
 
 struct IterationStats {
@@ -80,6 +84,10 @@ struct IterationStats {
   // Mean probe-chain length over the iteration's hash-kernel lookups
   // (profiler diagnostic; 0 when no hash vertices ran).
   double ht_mean_probe_length = 0;
+  // Workspace heap allocations performed during this iteration. With pooling
+  // on, this drops to zero after the first iteration of a level: the
+  // steady-state move loop runs entirely out of recycled slabs.
+  std::uint64_t ws_allocs = 0;
 
   vid_t inactive() const { return tp + fp + tn + fn > 0 ? tn + fn : 0; }
 };
@@ -95,6 +103,9 @@ struct Phase1Result {
   double decide_modeled_ms = 0;
   double update_modeled_ms = 0;
   double other_modeled_ms = 0;
+  /// Workspace counters snapshot at the end of the run (cumulative over the
+  /// engine's context — shared-context callers see pipeline-wide totals).
+  exec::WorkspaceStats workspace;
   double modeled_ms() const { return decide_modeled_ms + update_modeled_ms + other_modeled_ms; }
 };
 
@@ -121,21 +132,21 @@ class BspLouvainEngine {
   Phase1Result run();
 
  private:
-  struct DecidePhaseOutcome {
-    gpusim::LaunchStats stats;
-  };
-
-  void decide_phase(std::span<const std::uint8_t> active, std::vector<Decision>& decisions,
+  void decide_phase(std::span<const std::uint8_t> active, std::span<Decision> decisions,
                     IterationStats& iter_stats);
-  void oracle_pass(std::span<const std::uint8_t> active, std::vector<Decision>& decisions,
+  void oracle_pass(std::span<const std::uint8_t> active, std::span<Decision> decisions,
                    std::span<std::uint8_t> would_move);
   void weight_update_phase(std::span<const std::uint8_t> moved, IterationStats& iter_stats);
+  void ensure_delta_buffer(vid_t n);
   wt_t state_modularity() const;
   wt_t min_nonempty_total() const;
 
   const graph::Graph& g_;
   BspConfig config_;
-  gpusim::Device device_;
+  // Context first: it (and its workspace) must outlive every lease and
+  // pooled vector below, so they are destroyed before it.
+  std::unique_ptr<exec::ExecutionContext> owned_context_;
+  exec::ExecutionContext* ctx_;  // == owned_context_.get() or config.context
   Xoshiro256 rng_;
   std::uint64_t salt_;
 
@@ -147,7 +158,14 @@ class BspLouvainEngine {
   std::vector<wt_t> weight_;       // e_{v,C[v]} = d_{C[v]}(v) minus self-loop
   std::vector<std::uint8_t> prev_moved_;
   std::vector<std::uint8_t> comm_changed_;
-  std::vector<std::atomic<wt_t>> delta_;  // delta-update message buffer
+  // Delta-update message buffer: a pooled slab of std::atomic<wt_t>,
+  // placement-constructed once per engine (atomics are not trivially
+  // copyable, so PooledVec does not apply).
+  exec::Workspace::Lease<std::byte> delta_lease_;
+  std::span<std::atomic<wt_t>> delta_;
+  // Workload-aware dispatch lists, pooled and rebuilt each iteration.
+  exec::PooledVec<vid_t> shuffle_list_;
+  exec::PooledVec<vid_t> hash_list_;
   wt_t sum_self_loops_ = 0;
 
   IterationObserver observer_;

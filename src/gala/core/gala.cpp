@@ -1,5 +1,7 @@
 #include "gala/core/gala.hpp"
 
+#include <memory>
+
 #include "gala/common/timer.hpp"
 #include "gala/core/aggregation.hpp"
 #include "gala/core/modularity.hpp"
@@ -34,6 +36,18 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
   GalaResult result;
   Timer total_timer;
 
+  // One execution context per pipeline run: every level's engine draws from
+  // the same pooled workspace (level N+1 recycles level N's slabs), and
+  // reset_level() marks the level boundaries for the epoch trap and the
+  // per-level high-water mark. Callers may pre-bind their own context.
+  std::unique_ptr<exec::ExecutionContext> owned_ctx;
+  GalaConfig cfg = config;
+  if (cfg.bsp.context == nullptr) {
+    owned_ctx = std::make_unique<exec::ExecutionContext>(cfg.bsp.device, cfg.bsp.seed);
+    cfg.bsp.context = owned_ctx.get();
+  }
+  exec::Workspace& ws = cfg.bsp.context->workspace();
+
   const vid_t n = g.num_vertices();
   result.assignment.resize(n);
   for (vid_t v = 0; v < n; ++v) result.assignment[v] = v;
@@ -42,10 +56,10 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
   graph::Graph owned;
   wt_t prev_q = -1;  // any first level is an improvement
 
-  for (int level = 0; level < config.max_levels; ++level) {
+  for (int level = 0; level < cfg.max_levels; ++level) {
     telemetry::ScopedSpan level_span(telemetry::Tracer::global(), "level", "pipeline");
     Timer level_timer;
-    Phase1Result phase1 = bsp_phase1(*current, config.bsp);
+    Phase1Result phase1 = bsp_phase1(*current, cfg.bsp);
     if (level == 0 && config.keep_first_round) result.first_round = phase1;
     if (level_span.active()) {
       level_span.arg("level", static_cast<double>(level));
@@ -61,11 +75,11 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
     lv.iterations = static_cast<int>(phase1.iterations.size());
     result.modeled_ms += phase1.modeled_ms();
 
-    if (level > 0 && phase1.modularity - prev_q < config.level_theta) {
+    if (level > 0 && phase1.modularity - prev_q < cfg.level_theta) {
       // Fold the final phase-1 partition so the reported assignment matches
       // the reported modularity exactly (matters when refinement made the
       // previously-folded partition finer than phase 1's).
-      const AggregationResult last = aggregate(*current, phase1.community);
+      const AggregationResult last = aggregate(*current, phase1.community, &ws);
       result.assignment = compose_assignment(result.assignment, last.fine_to_coarse);
       prev_q = phase1.modularity;
       lv.wall_seconds = level_timer.seconds();
@@ -75,18 +89,18 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
     prev_q = phase1.modularity;
 
     AggregationResult agg;
-    if (config.refine) {
+    if (cfg.refine) {
       RefinementResult refined;
       {
         telemetry::ScopedSpan refine_span(telemetry::Tracer::global(), "refine", "phase2");
-        refined = refine_partition(*current, phase1.community, config.bsp.resolution,
-                                   config.bsp.seed ^ (level + 1));
+        refined = refine_partition(*current, phase1.community, cfg.bsp.resolution,
+                                   cfg.bsp.seed ^ (level + 1));
       }
       telemetry::ScopedSpan agg_span(telemetry::Tracer::global(), "aggregate", "phase2");
-      agg = aggregate(*current, refined.refined);
+      agg = aggregate(*current, refined.refined, &ws);
     } else {
       telemetry::ScopedSpan agg_span(telemetry::Tracer::global(), "aggregate", "phase2");
-      agg = aggregate(*current, phase1.community);
+      agg = aggregate(*current, phase1.community, &ws);
     }
     result.assignment = compose_assignment(result.assignment, agg.fine_to_coarse);
     lv.wall_seconds = level_timer.seconds();
@@ -95,11 +109,16 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
     if (agg.num_communities == current->num_vertices()) break;  // no compression
     owned = std::move(agg.coarse);
     current = &owned;
+    // Level boundary: no lease is outstanding here (the engine and the
+    // aggregation scratch are gone), so the epoch bump only arms the
+    // use-after-reset trap and snapshots the level high-water mark.
+    ws.reset_level();
   }
 
   result.num_communities = renumber_communities(result.assignment);
   result.modularity = prev_q;
   result.wall_seconds = total_timer.seconds();
+  result.workspace = ws.stats();
   return result;
 }
 

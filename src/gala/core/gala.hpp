@@ -56,6 +56,9 @@ struct GalaResult {
   double modeled_ms = 0;
   /// First-round phase 1 detail (when keep_first_round).
   Phase1Result first_round;
+  /// Workspace counters of the pipeline's execution context at completion —
+  /// pool reuse across every level, kernel launch, and aggregation.
+  exec::WorkspaceStats workspace;
 };
 
 /// Runs the full pipeline on `g`.

@@ -18,9 +18,28 @@ std::string to_string(HashTablePolicy policy) {
   return "?";
 }
 
+void HashScratch::ensure(std::size_t n) {
+  if (cap_ >= n) return;
+  if (ws_ == nullptr) {
+    heap_.resize(n);  // value-initialised: empty buckets
+    data_ = heap_.data();
+    cap_ = heap_.size();
+    return;
+  }
+  // The outgoing slab is fully empty (table invariant), so pool it before
+  // taking the larger one — a same-tag successor can skip initialisation.
+  lease_.release();
+  lease_ = ws_->take<HashBucket>(n, "core.hash_scratch");
+  data_ = lease_.data();
+  cap_ = lease_.capacity();
+  if (!lease_.recycled_same_tag()) {
+    for (std::size_t i = 0; i < cap_; ++i) data_[i] = HashBucket{};
+  }
+}
+
 NeighborCommunityTable::NeighborCommunityTable(HashTablePolicy policy,
                                                gpusim::SharedMemoryArena& arena,
-                                               std::vector<HashBucket>& global_scratch,
+                                               HashScratch& global_scratch,
                                                vid_t capacity_hint, std::uint64_t salt,
                                                gpusim::MemoryStats& stats)
     : policy_(policy), global_scratch_(global_scratch), salt_(salt), stats_(&stats),
@@ -41,7 +60,7 @@ NeighborCommunityTable::NeighborCommunityTable(HashTablePolicy policy,
   global_count_ = want;
   if (global_scratch_.size() < global_count_) {
     resilience::maybe_inject(resilience::FaultSite::ScratchGrow, to_string(policy));
-    global_scratch_.resize(global_count_);
+    global_scratch_.ensure(global_count_);
   }
   used_.reserve(capacity_hint);
 }

@@ -26,6 +26,7 @@
 #include "gala/common/error.hpp"
 #include "gala/common/prng.hpp"
 #include "gala/common/types.hpp"
+#include "gala/exec/workspace.hpp"
 #include "gala/gpusim/memory.hpp"
 #include "gala/gpusim/shared_memory.hpp"
 
@@ -42,16 +43,64 @@ struct HashBucket {
   wt_t community_total = 0;
 };
 
+/// The "global memory" bucket slab that absorbs entries missing the shared
+/// part. Replaces the ad-hoc `std::vector<HashBucket>` scratch (and the
+/// engine's thread_local copies, which retained peak-sized memory for the
+/// life of the thread pool). Two modes:
+///
+///  - heap mode (default constructor): owns a private vector — a drop-in
+///    for tests and benches that probe tables directly;
+///  - workspace mode: slabs are checked out of an exec::Workspace under one
+///    tag and returned on destruction, so memory is pool-recycled across
+///    vertices, launches, and levels, and provably given back after a run.
+///
+/// Invariant: every bucket in [0, size()) is empty (key == kInvalidCid)
+/// whenever no table is live on the scratch — NeighborCommunityTable::reset()
+/// restores it on each table's retirement. That is what lets a workspace
+/// checkout that recycles a same-tag slab skip re-initialisation, keeping
+/// pooled runs bit-identical to fresh-allocation runs.
+class HashScratch {
+ public:
+  HashScratch() = default;
+  explicit HashScratch(exec::Workspace& ws) : ws_(&ws) {}
+  /// Pointer form for kernel bodies: null falls back to heap mode (unbound
+  /// device; BlockContext::workspace may legitimately be null).
+  explicit HashScratch(exec::Workspace* ws) : ws_(ws) {}
+
+  /// Usable bucket count (>= every ensure() so far; never shrinks).
+  std::size_t size() const { return cap_; }
+
+  /// Grows to at least `n` empty buckets; existing buckets are preserved
+  /// empty (growth only happens between tables, when all are empty).
+  void ensure(std::size_t n);
+
+  HashBucket& operator[](std::size_t i) { return data_[i]; }
+  const HashBucket& operator[](std::size_t i) const { return data_[i]; }
+
+  HashBucket* begin() { return data_; }
+  HashBucket* end() { return data_ + cap_; }
+  const HashBucket* begin() const { return data_; }
+  const HashBucket* end() const { return data_ + cap_; }
+
+ private:
+  exec::Workspace* ws_ = nullptr;             // null = heap mode
+  exec::Workspace::Lease<HashBucket> lease_;  // workspace mode storage
+  std::vector<HashBucket> heap_;              // heap mode storage
+  HashBucket* data_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
 /// A per-vertex neighbour-community table. The shared part lives in the
-/// block's SharedMemoryArena; the global part in a caller-provided scratch
-/// vector (reused across vertices, standing in for a global-memory slab).
+/// block's SharedMemoryArena; the global part in a caller-provided
+/// HashScratch slab (reused across vertices, standing in for a
+/// global-memory slab).
 class NeighborCommunityTable {
  public:
   /// `capacity_hint` is an upper bound on distinct communities (the vertex
   /// degree). `shared_budget_buckets` limits how much of the arena the
   /// policy may claim (0 = as much as fits).
   NeighborCommunityTable(HashTablePolicy policy, gpusim::SharedMemoryArena& arena,
-                         std::vector<HashBucket>& global_scratch, vid_t capacity_hint,
+                         HashScratch& global_scratch, vid_t capacity_hint,
                          std::uint64_t salt, gpusim::MemoryStats& stats);
 
   /// Restores the scratch buffers so the next vertex starts from an empty
@@ -133,8 +182,8 @@ class NeighborCommunityTable {
   }
 
   HashTablePolicy policy_;
-  std::span<HashBucket> shared_;            // s buckets in the block arena
-  std::vector<HashBucket>& global_scratch_; // >= g buckets in "global memory"
+  std::span<HashBucket> shared_;      // s buckets in the block arena
+  HashScratch& global_scratch_;       // >= g buckets in "global memory"
   std::uint32_t global_count_ = 0;          // g
   std::uint64_t salt_;
   gpusim::MemoryStats* stats_;

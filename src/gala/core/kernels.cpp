@@ -171,9 +171,8 @@ Decision shuffle_decide(const DecideInput& in, vid_t v, gpusim::SharedMemoryAren
 namespace {
 
 Decision hash_decide_impl(const DecideInput& in, vid_t v, HashTablePolicy policy,
-                          gpusim::SharedMemoryArena& arena,
-                          std::vector<HashBucket>& global_scratch, std::uint64_t salt,
-                          MemoryStats& stats) {
+                          gpusim::SharedMemoryArena& arena, HashScratch& global_scratch,
+                          std::uint64_t salt, MemoryStats& stats) {
   const graph::Graph& g = *in.g;
   const cid_t curr = in.comm[v];
   const wt_t dv = g.degree(v);
@@ -232,7 +231,7 @@ Decision hash_decide_impl(const DecideInput& in, vid_t v, HashTablePolicy policy
 }  // namespace
 
 Decision hash_decide(const DecideInput& in, vid_t v, HashTablePolicy policy,
-                     gpusim::SharedMemoryArena& arena, std::vector<HashBucket>& global_scratch,
+                     gpusim::SharedMemoryArena& arena, HashScratch& global_scratch,
                      std::uint64_t salt, MemoryStats& stats) {
   if (policy == HashTablePolicy::GlobalOnly) {
     return hash_decide_impl(in, v, policy, arena, global_scratch, salt, stats);
@@ -250,6 +249,31 @@ Decision hash_decide(const DecideInput& in, vid_t v, HashTablePolicy policy,
     return hash_decide_impl(in, v, HashTablePolicy::GlobalOnly, arena, global_scratch, salt,
                             stats);
   }
+}
+
+std::string to_string(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::Auto:
+      return "auto";
+    case KernelMode::ShuffleOnly:
+      return "shuffle-only";
+    case KernelMode::HashOnly:
+      return "hash-only";
+  }
+  return "?";
+}
+
+bool use_shuffle_kernel(const graph::Graph& g, vid_t v, const DecideDispatch& d) {
+  if (d.mode == KernelMode::ShuffleOnly) return true;
+  return d.mode == KernelMode::Auto && g.out_degree(v) < d.shuffle_degree_limit;
+}
+
+Decision decide_vertex(const DecideInput& in, vid_t v, const DecideDispatch& d,
+                       gpusim::SharedMemoryArena& arena, HashScratch& global_scratch,
+                       std::uint64_t salt, MemoryStats& stats) {
+  arena.reset();
+  if (use_shuffle_kernel(*in.g, v, d)) return shuffle_decide(in, v, arena, stats);
+  return hash_decide(in, v, d.hashtable, arena, global_scratch, salt, stats);
 }
 
 cid_t apply_move_guard(const Decision& d, cid_t curr, std::span<const vid_t> comm_size) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gala/common/types.hpp"
@@ -59,8 +60,32 @@ Decision shuffle_decide(const DecideInput& in, vid_t v, gpusim::SharedMemoryAren
 /// decisions are policy-independent, so the result is unchanged. Counted in
 /// the `resilience.hashtable_fallbacks` telemetry counter.
 Decision hash_decide(const DecideInput& in, vid_t v, HashTablePolicy policy,
-                     gpusim::SharedMemoryArena& arena, std::vector<HashBucket>& global_scratch,
+                     gpusim::SharedMemoryArena& arena, HashScratch& global_scratch,
                      std::uint64_t salt, gpusim::MemoryStats& stats);
+
+/// Workload-aware kernel selection (paper §4.3). Lives here — not in the
+/// engine — so the single-GPU decide phase, the oracle pass, and the
+/// multi-GPU rank loop all dispatch through the same rule.
+enum class KernelMode { Auto, ShuffleOnly, HashOnly };
+std::string to_string(KernelMode mode);
+
+/// How one call site dispatches DecideAndMove across the two kernels.
+struct DecideDispatch {
+  KernelMode mode = KernelMode::Auto;
+  HashTablePolicy hashtable = HashTablePolicy::Hierarchical;
+  /// Auto dispatch: out_degree(v) < limit -> shuffle kernel (warp-sized).
+  vid_t shuffle_degree_limit = 32;
+};
+
+/// True when vertex `v` goes to the shuffle kernel under `d`.
+bool use_shuffle_kernel(const graph::Graph& g, vid_t v, const DecideDispatch& d);
+
+/// One vertex through the dispatch rule: resets `arena` (every kernel body
+/// did this per vertex; keeping it here keeps traffic bit-identical) and
+/// runs the selected kernel.
+Decision decide_vertex(const DecideInput& in, vid_t v, const DecideDispatch& d,
+                       gpusim::SharedMemoryArena& arena, HashScratch& global_scratch,
+                       std::uint64_t salt, gpusim::MemoryStats& stats);
 
 /// The move rule shared by every implementation (Grappolo heuristics): move
 /// on strictly better score; on ties prefer the smaller community id; never

@@ -104,4 +104,10 @@ void compute_active(PruningStrategy strategy, const PruningContext& ctx, double 
   });
 }
 
+void compute_active(PruningStrategy strategy, const PruningContext& ctx, double pm_alpha,
+                    Xoshiro256& rng, std::span<std::uint8_t> active,
+                    exec::ExecutionContext& exec_ctx, bool parallel) {
+  compute_active(strategy, ctx, pm_alpha, rng, active, parallel ? &exec_ctx.pool() : nullptr);
+}
+
 }  // namespace gala::core

@@ -32,6 +32,7 @@
 #include "gala/common/prng.hpp"
 #include "gala/common/thread_pool.hpp"
 #include "gala/common/types.hpp"
+#include "gala/exec/context.hpp"
 #include "gala/graph/csr.hpp"
 
 namespace gala::core {
@@ -66,6 +67,12 @@ struct PruningContext {
 /// PM. Runs on `pool` if non-null.
 void compute_active(PruningStrategy strategy, const PruningContext& ctx, double pm_alpha,
                     Xoshiro256& rng, std::span<std::uint8_t> active, ThreadPool* pool = nullptr);
+
+/// ExecutionContext-threaded form: runs on the context's pool when
+/// `parallel`, sequentially otherwise. Same classification either way.
+void compute_active(PruningStrategy strategy, const PruningContext& ctx, double pm_alpha,
+                    Xoshiro256& rng, std::span<std::uint8_t> active,
+                    exec::ExecutionContext& exec_ctx, bool parallel);
 
 /// The MG predicate (Equation 6) for a single vertex; exposed for tests.
 bool mg_is_inactive(const PruningContext& ctx, vid_t v);

@@ -1,0 +1,62 @@
+// ExecutionContext — the one handle a pipeline run owns.
+//
+// Bundles the resources every layer used to construct privately: the
+// simulated device (bound to the context's Workspace so kernel launches draw
+// arena pages and profiling buffers from the pool), the pooled Workspace
+// itself, the host thread pool, and the run's PRNG seed. Telemetry, the
+// profiler, and the fault injector remain process-global singletons — the
+// context exposes them for discoverability rather than re-owning them.
+//
+// Ownership rules:
+//  - run_louvain creates one context per pipeline and calls
+//    workspace().reset_level() between levels, so level N+1 reuses level N's
+//    slabs instead of reallocating.
+//  - BspConfig::context lets callers share a context across engines (the
+//    multi-level pipeline, warm-started incremental runs). When it is null
+//    the engine creates a private one, preserving the old behaviour.
+//  - The distributed engine gives each rank its own context: workspaces are
+//    thread-safe, but rank-private pools avoid cross-thread contention and
+//    keep per-device accounting separable.
+//
+// Every buffer checked out of the workspace is returned before the context
+// dies; the context must outlive every engine constructed against it.
+#pragma once
+
+#include <cstdint>
+
+#include "gala/common/thread_pool.hpp"
+#include "gala/exec/workspace.hpp"
+#include "gala/gpusim/device.hpp"
+
+namespace gala::exec {
+
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(const gpusim::DeviceConfig& device_config = {},
+                            std::uint64_t seed = 7, bool pooling = true,
+                            ThreadPool* pool = nullptr)
+      : workspace_(pooling), device_(device_config, &workspace_), seed_(seed),
+        pool_(pool != nullptr ? pool : &ThreadPool::global()) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  Workspace& workspace() { return workspace_; }
+  const Workspace& workspace() const { return workspace_; }
+  gpusim::Device& device() { return device_; }
+  const gpusim::Device& device() const { return device_; }
+  ThreadPool& pool() { return *pool_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Marks a level boundary: records the level's buffer high-water mark and
+  /// invalidates any lease that (incorrectly) straddles it.
+  void reset_level() { workspace_.reset_level(); }
+
+ private:
+  Workspace workspace_;
+  gpusim::Device device_;  // bound to workspace_: arena pages come from the pool
+  std::uint64_t seed_;
+  ThreadPool* pool_;  // not owned
+};
+
+}  // namespace gala::exec

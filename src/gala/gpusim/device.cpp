@@ -8,7 +8,8 @@
 
 namespace gala::gpusim {
 
-Device::Device(const DeviceConfig& config) : config_(config), pool_(&ThreadPool::global()) {}
+Device::Device(const DeviceConfig& config, exec::Workspace* workspace)
+    : config_(config), pool_(&ThreadPool::global()), workspace_(workspace) {}
 
 void attach_traffic(telemetry::ScopedSpan& span, const MemoryStats& stats,
                     const CostModel* model) {
@@ -70,6 +71,42 @@ void finish_launch(LaunchStats& result, const DeviceConfig& config, std::size_t 
   }
 }
 
+/// One worker chunk's block arena: workspace pages when the device is bound
+/// (pool-recycled across launches), a private heap buffer otherwise. The
+/// lease is sized to exactly the configured shared-memory budget, so arena
+/// capacity — and with it the hashtable shared/global split — is identical
+/// in both modes.
+struct ChunkArena {
+  exec::Workspace::Lease<std::byte> pages;
+  SharedMemoryArena arena;
+
+  ChunkArena(const DeviceConfig& config, exec::Workspace* ws)
+      : pages(ws != nullptr
+                  ? ws->take<std::byte>(config.shared_bytes_per_block, "gpusim.shared_arena")
+                  : exec::Workspace::Lease<std::byte>{}),
+        arena(ws != nullptr ? SharedMemoryArena(pages.span())
+                            : SharedMemoryArena(config.shared_bytes_per_block)) {}
+};
+
+/// Per-block modeled-cycle buffer (profiler load-imbalance statistics);
+/// pooled when a workspace is bound, empty when profiling is off.
+struct CycleBuffer {
+  exec::Workspace::Lease<double> lease;
+  std::vector<double> heap;
+  std::span<double> cycles;
+
+  CycleBuffer(bool profiling, std::size_t num_blocks, exec::Workspace* ws) {
+    if (!profiling) return;
+    if (ws != nullptr) {
+      lease = ws->take<double>(num_blocks, "gpusim.block_cycles", exec::Fill::Zero);
+      cycles = lease.span();
+    } else {
+      heap.assign(num_blocks, 0.0);
+      cycles = heap;
+    }
+  }
+};
+
 }  // namespace
 
 LaunchStats Device::launch(std::size_t num_blocks,
@@ -82,22 +119,22 @@ LaunchStats Device::launch(std::size_t num_blocks,
   // Per-block modeled cycles feed the profiler's load-imbalance statistics.
   // Indexed writes by block id: no synchronisation needed between workers.
   const bool profiling = profiler::Profiler::global().enabled();
-  std::vector<double> block_cycles(profiling ? num_blocks : 0, 0.0);
+  CycleBuffer block_cycles(profiling, num_blocks, workspace_);
   std::mutex merge_mutex;
   pool_->parallel_for_chunked(
       0, num_blocks,
       [&](std::size_t lo, std::size_t hi) {
-        SharedMemoryArena arena(config_.shared_bytes_per_block);
+        ChunkArena chunk(config_, workspace_);
         MemoryStats stats;
-        BlockContext ctx{0, &arena, &stats};
+        BlockContext ctx{0, &chunk.arena, &stats, workspace_};
         double cycles_before = 0;
         for (std::size_t b = lo; b < hi; ++b) {
           ctx.block_id = b;
-          arena.reset();
+          chunk.arena.reset();
           body(ctx);
           if (profiling) {
             const double cycles_after = config_.cost_model.cycles(stats);
-            block_cycles[b] = cycles_after - cycles_before;
+            block_cycles.cycles[b] = cycles_after - cycles_before;
             cycles_before = cycles_after;
           }
         }
@@ -106,7 +143,7 @@ LaunchStats Device::launch(std::size_t num_blocks,
       },
       /*grain=*/16);
   result.wall_seconds = timer.seconds();
-  finish_launch(result, config_, num_blocks, span, name, block_cycles);
+  finish_launch(result, config_, num_blocks, span, name, block_cycles.cycles);
   return result;
 }
 
@@ -118,24 +155,24 @@ LaunchStats Device::launch_sequential(std::size_t num_blocks,
   LaunchStats result;
   Timer timer;
   const bool profiling = profiler::Profiler::global().enabled();
-  std::vector<double> block_cycles(profiling ? num_blocks : 0, 0.0);
-  SharedMemoryArena arena(config_.shared_bytes_per_block);
+  CycleBuffer block_cycles(profiling, num_blocks, workspace_);
+  ChunkArena chunk(config_, workspace_);
   MemoryStats stats;
-  BlockContext ctx{0, &arena, &stats};
+  BlockContext ctx{0, &chunk.arena, &stats, workspace_};
   double cycles_before = 0;
   for (std::size_t b = 0; b < num_blocks; ++b) {
     ctx.block_id = b;
-    arena.reset();
+    chunk.arena.reset();
     body(ctx);
     if (profiling) {
       const double cycles_after = config_.cost_model.cycles(stats);
-      block_cycles[b] = cycles_after - cycles_before;
+      block_cycles.cycles[b] = cycles_after - cycles_before;
       cycles_before = cycles_after;
     }
   }
   result.traffic = stats;
   result.wall_seconds = timer.seconds();
-  finish_launch(result, config_, num_blocks, span, name, block_cycles);
+  finish_launch(result, config_, num_blocks, span, name, block_cycles.cycles);
   return result;
 }
 

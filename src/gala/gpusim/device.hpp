@@ -14,6 +14,7 @@
 
 #include "gala/common/thread_pool.hpp"
 #include "gala/common/timer.hpp"
+#include "gala/exec/workspace.hpp"
 #include "gala/gpusim/memory.hpp"
 #include "gala/gpusim/shared_memory.hpp"
 #include "gala/telemetry/telemetry.hpp"
@@ -43,6 +44,10 @@ struct BlockContext {
   std::size_t block_id = 0;
   SharedMemoryArena* shared = nullptr;
   MemoryStats* stats = nullptr;
+  /// The launching device's workspace (null on an unbound device). Kernel
+  /// bodies check per-block scratch out of it instead of keeping
+  /// thread_local state.
+  exec::Workspace* workspace = nullptr;
 };
 
 /// Aggregated result of one kernel launch.
@@ -61,9 +66,14 @@ struct LaunchStats {
 
 class Device {
  public:
-  explicit Device(const DeviceConfig& config = {});
+  /// `workspace`, when given, backs per-launch transients (block arena
+  /// pages, profiling buffers) with pooled slabs instead of heap
+  /// allocations, and is handed to kernel bodies via BlockContext. It must
+  /// outlive the device.
+  explicit Device(const DeviceConfig& config = {}, exec::Workspace* workspace = nullptr);
 
   const DeviceConfig& config() const { return config_; }
+  exec::Workspace* workspace() const { return workspace_; }
 
   /// Launches `num_blocks` blocks of `body`. Blocks are distributed over the
   /// pool; each worker reuses one arena (reset between blocks). Returns the
@@ -81,7 +91,8 @@ class Device {
 
  private:
   DeviceConfig config_;
-  ThreadPool* pool_;  // not owned; the process-global pool
+  ThreadPool* pool_;               // not owned; the process-global pool
+  exec::Workspace* workspace_;     // not owned; null = heap-backed transients
 };
 
 /// Attaches a MemoryStats snapshot to an open span, and — when `model` is

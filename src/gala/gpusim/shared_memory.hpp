@@ -81,7 +81,20 @@ class BankConflictModel {
 class SharedMemoryArena {
  public:
   explicit SharedMemoryArena(std::size_t capacity_bytes = 48 * 1024)
-      : capacity_(capacity_bytes), storage_(capacity_bytes) {}
+      : capacity_(capacity_bytes), owned_(capacity_bytes), mem_(owned_.data(), owned_.size()) {}
+
+  /// Arena over caller-owned backing (workspace pages): the block's shared
+  /// memory budget is exactly `backing.size()` bytes and nothing is
+  /// allocated or freed by the arena itself.
+  explicit SharedMemoryArena(std::span<std::byte> backing)
+      : capacity_(backing.size()), mem_(backing) {}
+
+  // Movable (vector moves keep the heap block, so mem_ stays valid); a copy
+  // would alias the source's storage, so copying is disallowed.
+  SharedMemoryArena(SharedMemoryArena&&) = default;
+  SharedMemoryArena& operator=(SharedMemoryArena&&) = default;
+  SharedMemoryArena(const SharedMemoryArena&) = delete;
+  SharedMemoryArena& operator=(const SharedMemoryArena&) = delete;
 
   std::size_t capacity_bytes() const { return capacity_; }
   std::size_t used_bytes() const { return used_; }
@@ -109,7 +122,7 @@ class SharedMemoryArena {
                                         << capacity_ << "B");
     }
     used_ = start + bytes;
-    T* ptr = reinterpret_cast<T*>(storage_.data() + start);
+    T* ptr = reinterpret_cast<T*>(mem_.data() + start);
     for (std::size_t i = 0; i < count; ++i) ptr[i] = T{};
     return {ptr, count};
   }
@@ -130,7 +143,8 @@ class SharedMemoryArena {
 
   std::size_t capacity_;
   std::size_t used_ = 0;
-  std::vector<std::byte> storage_;
+  std::vector<std::byte> owned_;  // empty when the backing is external
+  std::span<std::byte> mem_;
 };
 
 }  // namespace gala::gpusim

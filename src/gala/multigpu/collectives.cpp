@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 namespace gala::multigpu {
 
@@ -32,22 +33,24 @@ void Communicator::inject_gather_faults(std::size_t rank, Chunk& chunk) {
   }
 }
 
-void Communicator::verify_round(const char* op) {
+std::string Communicator::verify_round(const char* op) {
+  std::ostringstream msg;
   for (std::size_t r = 0; r < num_ranks_; ++r) {
     const Chunk& c = staging_[r];
     if (c.status == ChunkStatus::Dropped) {
-      GALA_THROW(CollectiveFault,
-                 op << ": rank " << r << " dropped its contribution [collective-drop]");
+      msg << op << ": rank " << r << " dropped its contribution [collective-drop]";
+      return msg.str();
     }
     if (c.status == ChunkStatus::TimedOut) {
-      GALA_THROW(CollectiveFault,
-                 op << ": rank " << r << " timed out [collective-timeout]");
+      msg << op << ": rank " << r << " timed out [collective-timeout]";
+      return msg.str();
     }
     if (fnv1a(c.bytes) != c.checksum) {
-      GALA_THROW(CollectiveFault, op << ": rank " << r
-                                     << " payload failed checksum [collective-corrupt]");
+      msg << op << ": rank " << r << " payload failed checksum [collective-corrupt]";
+      return msg.str();
     }
   }
+  return {};
 }
 
 void Communicator::check_abort(const char* op) {

@@ -16,6 +16,9 @@
 // corrupt its payload (caught by the checksum). Detection is symmetric: all
 // ranks inspect the same staged state after the exchange barrier and throw
 // an identical CollectiveFault, so retry loops above stay barrier-aligned.
+// The fault is raised only after the round's second barrier — every rank
+// has finished reading the staging buffers before any rank can retry and
+// re-stage its slot.
 // Checksums and flags ride outside the modeled wire format — CommStats byte
 // accounting is unchanged.
 //
@@ -89,12 +92,17 @@ class Communicator {
 
   std::size_t num_ranks() const { return num_ranks_; }
 
-  /// ncclAllGather of variable-size per-rank contributions. Each rank passes
-  /// its local chunk; returns the concatenation in rank order (identical on
-  /// every rank). Throws CollectiveFault — identically on all ranks — when
-  /// any contribution was dropped, timed out, or fails its checksum.
-  template <typename T>
-  std::vector<T> all_gather_v(std::size_t rank, std::span<const T> local, CommStats& stats) {
+  /// ncclAllGather of variable-size per-rank contributions, written into a
+  /// caller-provided buffer (any vector-like type with resize()/data(), e.g.
+  /// an exec::PooledVec staged across sync rounds). Each rank passes its
+  /// local chunk; `out` receives the concatenation in rank order (identical
+  /// on every rank). Throws CollectiveFault — identically on all ranks —
+  /// when any contribution was dropped, timed out, or fails its checksum;
+  /// the throw happens *before* `out` is touched, so retry loops can reuse
+  /// the same buffer.
+  template <typename T, typename OutVec>
+  void all_gather_v_into(std::size_t rank, std::span<const T> local, CommStats& stats,
+                         OutVec& out) {
     GALA_CHECK(rank < num_ranks_,
                "all_gather_v: rank " << rank << " out of range [0, " << num_ranks_ << ")");
     check_abort("all_gather_v");
@@ -108,22 +116,37 @@ class Communicator {
       if (resilience::FaultInjector::armed()) inject_gather_faults(rank, c);
     }
     barrier_.arrive_and_wait();
-    // All staged writes happened-before this point; verification reads the
-    // same state on every rank and throws the same fault on every rank.
-    verify_round("all_gather_v");
-    std::vector<T> out;
-    std::size_t total_bytes = 0;
-    for (const Chunk& c : staging_) total_bytes += c.bytes.size();
-    out.resize(total_bytes / sizeof(T));
-    std::size_t off = 0;
-    for (const Chunk& c : staging_) {
-      std::memcpy(reinterpret_cast<std::byte*>(out.data()) + off, c.bytes.data(), c.bytes.size());
-      off += c.bytes.size();
+    // All staged writes happened-before this point; every rank scans the
+    // same staged state, so every rank computes the same verdict. The
+    // verdict must NOT throw before the second barrier: a rank that threw
+    // early could retry and re-stage its slot while a laggard is still
+    // reading it (and a re-staged clean chunk would even pass the laggard's
+    // checksum, handing it a mixed-round payload).
+    const std::string fault = verify_round("all_gather_v");
+    if (fault.empty()) {
+      std::size_t total_bytes = 0;
+      for (const Chunk& c : staging_) total_bytes += c.bytes.size();
+      out.resize(total_bytes / sizeof(T));
+      std::size_t off = 0;
+      for (const Chunk& c : staging_) {
+        if (c.bytes.empty()) continue;  // empty contribution: data() may be null
+        std::memcpy(reinterpret_cast<std::byte*>(out.data()) + off, c.bytes.data(),
+                    c.bytes.size());
+        off += c.bytes.size();
+      }
+      stats.collectives += 1;
+      stats.bytes += total_bytes;
+      stats.modeled_us += cost_.microseconds(total_bytes);
     }
-    stats.collectives += 1;
-    stats.bytes += total_bytes;
-    stats.modeled_us += cost_.microseconds(total_bytes);
-    barrier_.arrive_and_wait();  // staging reusable after everyone copied out
+    barrier_.arrive_and_wait();  // staging reusable: every rank done reading
+    if (!fault.empty()) GALA_THROW(CollectiveFault, fault);
+  }
+
+  /// Convenience form returning a fresh vector.
+  template <typename T>
+  std::vector<T> all_gather_v(std::size_t rank, std::span<const T> local, CommStats& stats) {
+    std::vector<T> out;
+    all_gather_v_into<T>(rank, local, stats, out);
     return out;
   }
 
@@ -159,9 +182,12 @@ class Communicator {
   /// Applies armed collective fault rules to this rank's staged chunk.
   void inject_gather_faults(std::size_t rank, Chunk& chunk);
 
-  /// Post-exchange integrity scan; throws CollectiveFault on the first bad
-  /// chunk (deterministic rank order, identical on every rank).
-  void verify_round(const char* op);
+  /// Post-exchange integrity scan; returns the fault message for the first
+  /// bad chunk (deterministic rank order, identical on every rank) or empty
+  /// when the round is clean. Never throws: the caller must cross the
+  /// round's final barrier before raising the fault, so no rank can retry
+  /// and re-stage while a peer is still reading the staging buffers.
+  std::string verify_round(const char* op);
 
   /// Throws CollectiveFault when a peer aborted the communicator.
   void check_abort(const char* op);

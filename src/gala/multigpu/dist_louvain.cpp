@@ -93,10 +93,26 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       st.comm_total[v] = g.degree(v);
     }
 
-    gpusim::Device device(config.device);
-    gpusim::SharedMemoryArena arena(config.device.shared_bytes_per_block);
-    std::vector<core::HashBucket> hash_scratch;
+    // Per-rank execution context: each simulated device owns a private
+    // pooled workspace, so the arena pages, hash scratch, and every sync
+    // staging buffer below are recycled across the rank's iterations
+    // without cross-rank allocator contention.
+    exec::ExecutionContext ctx(config.device, config.seed);
+    exec::Workspace& ws = ctx.workspace();
+    auto arena_pages =
+        ws.take<std::byte>(config.device.shared_bytes_per_block, "gpusim.shared_arena");
+    gpusim::SharedMemoryArena arena(arena_pages.span());
+    core::HashScratch hash_scratch(ws);
+    const core::DecideDispatch dispatch{config.kernel, config.hashtable,
+                                        config.shuffle_degree_limit};
     const std::uint64_t salt = splitmix64(config.seed ^ 0xabcdef0123456789ULL);
+
+    // Sync staging, reused across every iteration's collective rounds.
+    exec::PooledVec<MoveRecord> local_moves(ws, "multigpu.local_moves");
+    exec::PooledVec<MoveRecord> recv_moves(ws, "multigpu.recv_moves");
+    exec::PooledVec<cid_t> recv_slices(ws, "multigpu.recv_slices");
+    exec::PooledVec<WeightMsg> out_msgs(ws, "multigpu.weight_msgs");
+    exec::PooledVec<WeightMsg> recv_msgs(ws, "multigpu.recv_msgs");
 
     // Iteration-start modularity of the singleton partition.
     wt_t q;
@@ -141,14 +157,8 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
         gpusim::MemoryStats stats;
         for (vid_t v = st.range.begin; v < st.range.end; ++v) {
           if (!st.active[v]) continue;
-          arena.reset();
-          const bool small = g.out_degree(v) < config.shuffle_degree_limit;
-          const bool use_shuffle = config.kernel == core::KernelMode::ShuffleOnly ||
-                                   (config.kernel == core::KernelMode::Auto && small);
           st.decisions[v] =
-              use_shuffle
-                  ? core::shuffle_decide(input, v, arena, stats)
-                  : core::hash_decide(input, v, config.hashtable, arena, hash_scratch, salt, stats);
+              core::decide_vertex(input, v, dispatch, arena, hash_scratch, salt, stats);
         }
         st.timeline.traffic += stats;
         if (decide_span.active()) {
@@ -161,7 +171,7 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       }
 
       // Owned moves under the shared guard.
-      std::vector<MoveRecord> local_moves;
+      local_moves.clear();
       if (decide_error.empty()) {
         for (vid_t v = st.range.begin; v < st.range.end; ++v) {
           const cid_t next =
@@ -211,18 +221,18 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
           telemetry::ScopedSpan sync_span(telemetry::Tracer::global(),
                                           sparse_now ? "sync_sparse" : "sync_dense", "multigpu");
           if (sparse_now) {
-            const auto all_moves = comm_world.all_gather_v<MoveRecord>(
-                rank, std::span<const MoveRecord>(local_moves), st.timeline.comm);
-            for (const MoveRecord& m : all_moves) st.next_comm[m.vertex] = m.community;
+            comm_world.all_gather_v_into<MoveRecord>(rank, local_moves.span(), st.timeline.comm,
+                                                     recv_moves);
+            for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
           } else {
             // Dense: every rank ships its whole owned slice of next_comm.
             for (const MoveRecord& m : local_moves) st.next_comm[m.vertex] = m.community;
-            const auto slices = comm_world.all_gather_v<cid_t>(
+            comm_world.all_gather_v_into<cid_t>(
                 rank,
                 std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()),
-                st.timeline.comm);
-            GALA_ASSERT(slices.size() == n);
-            std::copy(slices.begin(), slices.end(), st.next_comm.begin());
+                st.timeline.comm, recv_slices);
+            GALA_ASSERT(recv_slices.size() == n);
+            std::copy(recv_slices.begin(), recv_slices.end(), st.next_comm.begin());
           }
           if (sync_span.active()) {
             sync_span.arg("rank", static_cast<double>(rank));
@@ -252,7 +262,7 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       GALA_ASSERT(moved_check == moved_total);
 
       // --- 4. Owner-computed weight update (§3.5, distributed). ---------
-      std::vector<WeightMsg> out_msgs;
+      out_msgs.clear();
       {
         gpusim::MemoryStats stats;
         for (const MoveRecord& m : local_moves) {
@@ -285,17 +295,16 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       }
       for (int wsync_attempt = 0;; ++wsync_attempt) {
         telemetry::ScopedSpan wsync_span(telemetry::Tracer::global(), "sync_weights", "multigpu");
-        std::vector<WeightMsg> all_msgs;
         try {
-          all_msgs = comm_world.all_gather_v<WeightMsg>(
-              rank, std::span<const WeightMsg>(out_msgs), st.timeline.comm);
+          comm_world.all_gather_v_into<WeightMsg>(rank, out_msgs.span(), st.timeline.comm,
+                                                  recv_msgs);
         } catch (const CollectiveFault&) {
           // The gather throws before any message is applied, so a straight
           // re-gather is safe (and symmetric across ranks).
           if (wsync_attempt >= config.max_sync_retries) throw;
           continue;
         }
-        for (const WeightMsg& msg : all_msgs) {
+        for (const WeightMsg& msg : recv_msgs) {
           if (msg.target >= st.range.begin && msg.target < st.range.end && !st.moved[msg.target]) {
             st.weight[msg.target] += msg.delta;
             st.timeline.traffic.global_reads += 1;
@@ -368,6 +377,7 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
 
     st.timeline.compute_modeled_ms =
         config.device.modeled_ms(st.timeline.traffic);
+    st.timeline.workspace = ws.stats();
   };
 
   // Supervision net: a rank that unwinds past rank_main stores its
@@ -439,11 +449,13 @@ DistributedFullResult distributed_louvain(const graph::Graph& g,
   const graph::Graph* current = &g;
   graph::Graph owned;
   wt_t prev_q = -1;
+  // Level-transition scratch shared across the replicated aggregations.
+  exec::Workspace level_ws;
   for (int level = 0; level < max_levels; ++level) {
     const DistributedResult phase1 = distributed_phase1(*current, config);
     result.modeled_ms += phase1.modeled_ms();
     ++result.levels;
-    const core::AggregationResult agg = core::aggregate(*current, phase1.community);
+    const core::AggregationResult agg = core::aggregate(*current, phase1.community, &level_ws);
     if (level > 0 && phase1.modularity - prev_q < level_theta) {
       result.assignment = core::compose_assignment(result.assignment, agg.fine_to_coarse);
       prev_q = phase1.modularity;

@@ -58,6 +58,9 @@ struct DeviceTimeline {
   gpusim::MemoryStats traffic;
   double compute_modeled_ms = 0;
   CommStats comm;
+  /// The rank's workspace counters at run end (pool reuse across the rank's
+  /// arena pages, hash scratch, and sync staging buffers).
+  exec::WorkspaceStats workspace;
   double comm_modeled_ms() const { return comm.modeled_us / 1e3; }
   double total_modeled_ms() const { return compute_modeled_ms + comm_modeled_ms(); }
 };

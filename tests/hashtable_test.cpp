@@ -16,7 +16,7 @@ constexpr std::size_t kBucketBytes = sizeof(HashBucket);
 
 struct TableHarness {
   gpusim::SharedMemoryArena arena;
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
   gpusim::MemoryStats stats;
 
   explicit TableHarness(std::size_t shared_buckets)

@@ -84,7 +84,7 @@ TEST_P(KernelAgreement, BothKernelsMatchBruteForce) {
   const DecideInput input{&g, s.comm, s.comm_total, g.two_m()};
 
   gpusim::SharedMemoryArena arena(48 * 1024);
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
   gpusim::MemoryStats stats;
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
     const Decision want = reference_decide(input, v);
@@ -118,7 +118,7 @@ TEST(Kernels, SelfLoopsAreExcludedFromDecisions) {
   for (vid_t v = 0; v < 3; ++v) s.comm_total[s.comm[v]] += g.degree(v);
   const DecideInput input{&g, s.comm, s.comm_total, g.two_m()};
   gpusim::SharedMemoryArena arena(48 * 1024);
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
   gpusim::MemoryStats stats;
   const Decision d = shuffle_decide(input, 0, arena, stats);
   // Vertex 0's own self-loop contributes nothing to e_{0,C}.
@@ -131,7 +131,7 @@ TEST(Kernels, ShuffleChargesRegistersHashChargesTables) {
   const State s = random_state(g, 6, 3);
   const DecideInput input{&g, s.comm, s.comm_total, g.two_m()};
   gpusim::SharedMemoryArena arena(48 * 1024);
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
 
   gpusim::MemoryStats shuffle_stats;
   gpusim::MemoryStats hash_stats;

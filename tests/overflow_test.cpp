@@ -80,7 +80,7 @@ TEST(ArenaOverflowTest, PrefilledArenaFailsTableConstruction) {
   for (const HashTablePolicy policy : {HashTablePolicy::Hierarchical, HashTablePolicy::Unified}) {
     gpusim::SharedMemoryArena arena(8 * sizeof(HashBucket));
     arena.allocate<HashBucket>(8);  // another kernel's tables own the block
-    std::vector<HashBucket> scratch;
+    HashScratch scratch;
     gpusim::MemoryStats stats;
     EXPECT_THROW(
         NeighborCommunityTable(policy, arena, scratch, /*capacity_hint=*/4, kSalt, stats),
@@ -89,7 +89,7 @@ TEST(ArenaOverflowTest, PrefilledArenaFailsTableConstruction) {
   }
   gpusim::SharedMemoryArena arena(8 * sizeof(HashBucket));
   arena.allocate<HashBucket>(8);
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
   gpusim::MemoryStats stats;
   EXPECT_NO_THROW(
       NeighborCommunityTable(HashTablePolicy::GlobalOnly, arena, scratch, 4, kSalt, stats));
@@ -102,7 +102,7 @@ TEST(HashKernelOverflowTest, ExhaustedArenaDegradesToGlobalOnlyWithSameDecision)
   const DecideInput in = fx.input();
 
   gpusim::SharedMemoryArena fresh(48 * 1024);
-  std::vector<HashBucket> scratch_a;
+  HashScratch scratch_a;
   gpusim::MemoryStats stats_a;
   const Decision reference =
       hash_decide(in, /*v=*/2, HashTablePolicy::GlobalOnly, fresh, scratch_a, kSalt, stats_a);
@@ -112,7 +112,7 @@ TEST(HashKernelOverflowTest, ExhaustedArenaDegradesToGlobalOnlyWithSameDecision)
 
   gpusim::SharedMemoryArena full(4 * sizeof(HashBucket));
   full.allocate<HashBucket>(4);
-  std::vector<HashBucket> scratch_b;
+  HashScratch scratch_b;
   gpusim::MemoryStats stats_b;
   const Decision degraded =
       hash_decide(in, /*v=*/2, HashTablePolicy::Hierarchical, full, scratch_b, kSalt, stats_b);
@@ -126,7 +126,7 @@ TEST(HashKernelOverflowTest, AllPoliciesAgreeOnEveryVertex) {
   const DecideFixture fx(gala::testing::small_planted());
   const DecideInput in = fx.input();
   gpusim::SharedMemoryArena arena(48 * 1024);
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
   for (vid_t v = 0; v < fx.g.num_vertices(); v += 37) {
     arena.reset();
     gpusim::MemoryStats s0, s1, s2;
@@ -147,7 +147,7 @@ TEST(ScratchGrowthTest, AllPoliciesGrowScratchToPowerOfTwoCapacity) {
   for (const HashTablePolicy policy :
        {HashTablePolicy::GlobalOnly, HashTablePolicy::Unified, HashTablePolicy::Hierarchical}) {
     gpusim::SharedMemoryArena arena(48 * 1024);
-    std::vector<HashBucket> scratch;  // starts empty: first table must grow it
+    HashScratch scratch;  // starts empty: first table must grow it
     gpusim::MemoryStats stats;
     {
       NeighborCommunityTable table(policy, arena, scratch, /*capacity_hint=*/10, kSalt, stats);
@@ -175,7 +175,7 @@ TEST(ScratchGrowthTest, TablesWorkAfterGrowth) {
   // land in (and read back from) the global part.
   const DecideFixture fx(star(100));
   gpusim::SharedMemoryArena arena(4 * sizeof(HashBucket));  // only 4 shared buckets
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
   gpusim::MemoryStats stats;
   NeighborCommunityTable table(HashTablePolicy::Hierarchical, arena, scratch,
                                /*capacity_hint=*/100, kSalt, stats);
@@ -202,7 +202,7 @@ TEST(ShuffleSpillTest, MultiChunkSpillMatchesHashKernel) {
   EXPECT_GT(shuffle_stats.shared_writes, 0u);  // leaders spilled to shared memory
 
   gpusim::SharedMemoryArena arena(48 * 1024);
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
   gpusim::MemoryStats hash_stats;
   const Decision via_hash =
       hash_decide(in, /*v=*/0, HashTablePolicy::GlobalOnly, arena, scratch, kSalt, hash_stats);

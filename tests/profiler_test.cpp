@@ -145,7 +145,7 @@ TEST(BankConflictModel, DestructorFlushesAPartialWarp) {
 
 struct TableHarness {
   gpusim::SharedMemoryArena arena;
-  std::vector<core::HashBucket> scratch;
+  core::HashScratch scratch;
   MemoryStats stats;
 
   explicit TableHarness(std::size_t shared_buckets)

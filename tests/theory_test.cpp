@@ -94,7 +94,7 @@ TEST_P(TheorySweep, Lemma5EquationSixImpliesNoBeneficialMove) {
                            g.two_m(), dummy_moved, dummy_moved, 1};
 
   gpusim::SharedMemoryArena arena(48 * 1024);
-  std::vector<HashBucket> scratch;
+  HashScratch scratch;
   gpusim::MemoryStats stats;
   const DecideInput input{&g, st.comm, st.comm_total, g.two_m()};
   int inactive_count = 0;

@@ -3,6 +3,7 @@
 //
 // Usage:
 //   gala_perf_diff <baseline> <current> [--tolerance T] [--ms-tolerance M]
+//                  [--alloc-tolerance A]
 //
 // <baseline>/<current> are JSON files, or directories compared pairwise by
 // file name (every baseline file must exist on the current side). Documents
@@ -14,6 +15,9 @@
 //     --tolerance is a regression,
 //   - "modeled_ms" / "modeled_cycles" are lower-better: only growth beyond
 //     --ms-tolerance is a regression,
+//   - keys ending in "_allocs" are lower-better with a zero default budget
+//     (--alloc-tolerance): workspace pool misses are exact counts, so any
+//     growth means a pooled path started hitting the heap,
 //   - every other number must match within --tolerance in either direction
 //     (the emulated counters are deterministic, so any drift is a change
 //     worth explaining — refresh the baseline deliberately, see
@@ -39,8 +43,9 @@ namespace {
 namespace fs = std::filesystem;
 
 struct Options {
-  double tolerance = 0.02;     // symmetric counter drift
-  double ms_tolerance = 0.10;  // modeled-ms / modeled-cycles growth
+  double tolerance = 0.02;       // symmetric counter drift
+  double ms_tolerance = 0.10;    // modeled-ms / modeled-cycles growth
+  double alloc_tolerance = 0.0;  // "*_allocs" growth (pool misses are exact)
 };
 
 struct DiffState {
@@ -82,6 +87,10 @@ void diff_number(double base, double cur, const std::string& path, DiffState& st
     if (rel < -state.opts->tolerance) state.report(path, base, cur, "efficiency regressed");
   } else if (key == "modeled_ms" || key == "modeled_cycles") {
     if (rel > state.opts->ms_tolerance) state.report(path, base, cur, "modeled time regressed");
+  } else if (ends_with(key, "_allocs")) {
+    // Workspace pool misses are deterministic, so they gate at zero growth
+    // by default: any new steady-state allocation is a pooling regression.
+    if (rel > state.opts->alloc_tolerance) state.report(path, base, cur, "allocations regressed");
   } else {
     if (std::fabs(rel) > state.opts->tolerance) state.report(path, base, cur, "counter drifted");
   }
@@ -199,6 +208,8 @@ int main(int argc, char** argv) {
       if (!next_double(opts.tolerance)) return 2;
     } else if (arg == "--ms-tolerance") {
       if (!next_double(opts.ms_tolerance)) return 2;
+    } else if (arg == "--alloc-tolerance") {
+      if (!next_double(opts.alloc_tolerance)) return 2;
     } else {
       positional.push_back(arg);
     }
@@ -206,7 +217,7 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: gala_perf_diff <baseline> <current> [--tolerance T] "
-                 "[--ms-tolerance M]\n");
+                 "[--ms-tolerance M] [--alloc-tolerance A]\n");
     return 2;
   }
 
