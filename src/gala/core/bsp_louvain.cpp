@@ -108,6 +108,16 @@ wt_t BspLouvainEngine::min_nonempty_total() const {
   return best;
 }
 
+bool prune_and_decide(PruningStrategy strategy, const PruningContext& prune_ctx, double pm_alpha,
+                      std::uint64_t pm_base, const DecideInput& in, vid_t v,
+                      const DecideDispatch& dispatch, gpusim::SharedMemoryArena& arena,
+                      HashScratch& scratch, std::uint64_t salt, gpusim::MemoryStats& stats,
+                      Decision& out) {
+  if (is_inactive(strategy, prune_ctx, v, pm_alpha, pm_base)) return false;
+  out = decide_vertex(in, v, dispatch, arena, scratch, salt, stats);
+  return true;
+}
+
 void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
                                     std::span<Decision> decisions,
                                     IterationStats& iter_stats) {

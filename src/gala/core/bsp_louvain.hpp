@@ -171,6 +171,18 @@ class BspLouvainEngine {
   IterationObserver observer_;
 };
 
+/// One vertex through the prune-then-decide dispatch, exactly as the engines
+/// sequence it: classify `v` under `strategy`, and when active run the
+/// workload-aware decide kernel. Returns whether v was active; `out` is
+/// written only for active vertices. Shared by the distributed engine's
+/// eager decide pass and its overlapped (speculative) decide during the
+/// weight-gather window, so both paths stay on one trajectory.
+bool prune_and_decide(PruningStrategy strategy, const PruningContext& prune_ctx, double pm_alpha,
+                      std::uint64_t pm_base, const DecideInput& in, vid_t v,
+                      const DecideDispatch& dispatch, gpusim::SharedMemoryArena& arena,
+                      HashScratch& scratch, std::uint64_t salt, gpusim::MemoryStats& stats,
+                      Decision& out);
+
 /// Convenience wrapper: construct + run.
 Phase1Result bsp_phase1(const graph::Graph& g, const BspConfig& config = {});
 

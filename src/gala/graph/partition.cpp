@@ -29,6 +29,21 @@ std::vector<VertexRange> partition_by_edges(const Graph& g, std::size_t parts) {
   return ranges;
 }
 
+std::vector<vid_t> local_frontier(const Graph& g, VertexRange range) {
+  std::vector<vid_t> frontier;
+  for (vid_t v = range.begin; v < range.end; ++v) {
+    bool local = true;
+    for (const vid_t u : g.neighbors(v)) {
+      if (u < range.begin || u >= range.end) {
+        local = false;
+        break;
+      }
+    }
+    if (local) frontier.push_back(v);
+  }
+  return frontier;
+}
+
 std::size_t owner_of(const std::vector<VertexRange>& ranges, vid_t v) {
   auto it = std::upper_bound(ranges.begin(), ranges.end(), v,
                              [](vid_t value, const VertexRange& r) { return value < r.end; });

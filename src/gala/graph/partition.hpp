@@ -23,4 +23,12 @@ std::vector<VertexRange> partition_by_edges(const Graph& g, std::size_t parts);
 /// Returns the part owning vertex v under `ranges` (binary search).
 std::size_t owner_of(const std::vector<VertexRange>& ranges, vid_t v);
 
+/// The *local frontier* of a range: its vertices whose entire neighbourhood
+/// lies inside the range. Every interaction these vertices have — move
+/// decisions, weight-update messages in either direction — involves only
+/// rank-local state, so the distributed engine may process them while a
+/// collective is in flight without changing any observable result (the
+/// overlap rule of the async sync pipeline). Computed once per level.
+std::vector<vid_t> local_frontier(const Graph& g, VertexRange range);
+
 }  // namespace gala::graph

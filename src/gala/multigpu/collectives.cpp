@@ -91,7 +91,7 @@ void Communicator::all_reduce_sum(std::size_t rank, std::span<double> data, Comm
   }
   barrier_.arrive_and_wait();
   std::copy_n(reduce_buffer_.begin(), data.size(), data.begin());
-  const std::size_t bytes = data.size() * sizeof(double);
+  const std::size_t bytes = charged_reduce_bytes(data.size() * sizeof(double));
   stats.collectives += 1;
   stats.bytes += bytes;
   stats.modeled_us += cost_.microseconds(bytes);
@@ -110,9 +110,12 @@ double Communicator::all_reduce_min(std::size_t rank, double value, CommStats& s
   scalar_buffer_[rank] = value;
   barrier_.arrive_and_wait();
   const double result = *std::min_element(scalar_buffer_.begin(), scalar_buffer_.end());
+  // A scalar all-reduce(min) is modeled as an all-gather of one scalar per
+  // rank, so it charges by the gather convention.
+  const std::size_t bytes = charged_gather_bytes(num_ranks_ * sizeof(double));
   stats.collectives += 1;
-  stats.bytes += num_ranks_ * sizeof(double);
-  stats.modeled_us += cost_.microseconds(num_ranks_ * sizeof(double));
+  stats.bytes += bytes;
+  stats.modeled_us += cost_.microseconds(bytes);
   barrier_.arrive_and_wait();
   return result;
 }

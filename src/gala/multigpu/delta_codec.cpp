@@ -1,0 +1,206 @@
+#include "gala/multigpu/delta_codec.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "gala/common/error.hpp"
+#include "gala/multigpu/collectives.hpp"  // CollectiveFault, fnv1a
+
+namespace gala::multigpu {
+namespace {
+
+constexpr std::size_t kMaxVarint32 = 5;  // LEB128 bytes for a 32-bit value
+
+template <typename ByteVec>
+void put_varint(ByteVec& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+template <typename ByteVec>
+void put_u32(ByteVec& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+template <typename ByteVec>
+void put_u64(ByteVec& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+/// Bounded cursor over one frame body; every read is range-checked so a
+/// corrupt length or varint can never run past the buffer.
+struct Cursor {
+  const std::byte* p;
+  const std::byte* end;
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+
+  std::uint32_t varint32() {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < kMaxVarint32; ++i) {
+      if (p == end) GALA_THROW(CollectiveFault, "sparse-delta codec: varint truncated");
+      const auto b = static_cast<std::uint32_t>(*p++);
+      if (i == kMaxVarint32 - 1 && (b & 0x7f) > 0x0f) {
+        GALA_THROW(CollectiveFault, "sparse-delta codec: varint overflows 32 bits");
+      }
+      v |= (b & 0x7f) << (7 * i);
+      if ((b & 0x80) == 0) return v;
+    }
+    GALA_THROW(CollectiveFault, "sparse-delta codec: varint longer than " << kMaxVarint32
+                                                                          << " bytes");
+  }
+};
+
+std::uint32_t read_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+template <typename ByteVec>
+void encode_impl(std::span<const MoveRecord> moves, ByteVec& out) {
+  // Body is assembled in a scratch frame so the length prefix is exact.
+  // Dictionary: distinct destination communities in first-appearance order.
+  std::vector<std::byte> body;
+  body.reserve(16 + moves.size() * 3);
+  std::unordered_map<cid_t, std::uint32_t> dict_index;
+  std::vector<cid_t> dict;
+  dict_index.reserve(moves.size());
+  for (const MoveRecord& m : moves) {
+    if (dict_index.emplace(m.community, static_cast<std::uint32_t>(dict.size())).second) {
+      dict.push_back(m.community);
+    }
+  }
+  put_varint(body, static_cast<std::uint32_t>(moves.size()));
+  put_varint(body, static_cast<std::uint32_t>(dict.size()));
+  for (const cid_t c : dict) put_varint(body, c);
+  vid_t prev = 0;
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const vid_t v = moves[i].vertex;
+    if (i == 0) {
+      put_varint(body, v);
+    } else {
+      GALA_CHECK(v > prev, "encode_moves: vertex ids must be strictly ascending ("
+                               << v << " after " << prev << ")");
+      put_varint(body, v - prev);
+    }
+    prev = v;
+  }
+  for (const MoveRecord& m : moves) put_varint(body, dict_index.at(m.community));
+  put_u64(body, fnv1a(std::span<const std::byte>(body.data(), body.size())));
+
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  for (const std::byte b : body) out.push_back(b);
+}
+
+template <typename MoveVec>
+void decode_impl(std::span<const std::byte> frames, vid_t num_vertices, MoveVec& out) {
+  const std::byte* p = frames.data();
+  const std::byte* const end = p + frames.size();
+  while (p != end) {
+    if (end - p < 4) GALA_THROW(CollectiveFault, "sparse-delta codec: truncated frame header");
+    const std::uint32_t body_bytes = read_u32(p);
+    p += 4;
+    if (static_cast<std::size_t>(end - p) < body_bytes) {
+      GALA_THROW(CollectiveFault, "sparse-delta codec: frame body truncated (need "
+                                      << body_bytes << " bytes, have " << (end - p) << ")");
+    }
+    if (body_bytes < 2 + 8) {
+      GALA_THROW(CollectiveFault, "sparse-delta codec: frame body impossibly short ("
+                                      << body_bytes << " bytes)");
+    }
+    // Verify the trailer checksum before interpreting a single field, so a
+    // bit flip anywhere in the frame is caught up front.
+    const std::byte* const body = p;
+    const std::byte* const trailer = body + body_bytes - 8;
+    if (fnv1a(std::span<const std::byte>(body, trailer)) != read_u64(trailer)) {
+      GALA_THROW(CollectiveFault, "sparse-delta codec: frame checksum mismatch");
+    }
+    Cursor cur{body, trailer};
+    const std::uint32_t count = cur.varint32();
+    const std::uint32_t dict_size = cur.varint32();
+    if (count > num_vertices) {
+      GALA_THROW(CollectiveFault, "sparse-delta codec: record count " << count
+                                                                      << " exceeds vertex count "
+                                                                      << num_vertices);
+    }
+    if (dict_size > count) {
+      GALA_THROW(CollectiveFault, "sparse-delta codec: dictionary size " << dict_size
+                                                                         << " exceeds record count "
+                                                                         << count);
+    }
+    std::vector<cid_t> dict(dict_size);
+    for (std::uint32_t i = 0; i < dict_size; ++i) {
+      dict[i] = cur.varint32();
+      if (dict[i] >= num_vertices) {
+        GALA_THROW(CollectiveFault,
+                   "sparse-delta codec: community id " << dict[i] << " out of range");
+      }
+    }
+    std::vector<vid_t> vertices(count);
+    vid_t prev = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t raw = cur.varint32();
+      if (i == 0) {
+        vertices[i] = raw;
+      } else {
+        if (raw == 0) {
+          GALA_THROW(CollectiveFault, "sparse-delta codec: vertex stream not strictly ascending");
+        }
+        if (raw > num_vertices - prev) {
+          GALA_THROW(CollectiveFault, "sparse-delta codec: vertex id overflows vertex count");
+        }
+        vertices[i] = prev + raw;
+      }
+      if (vertices[i] >= num_vertices) {
+        GALA_THROW(CollectiveFault,
+                   "sparse-delta codec: vertex id " << vertices[i] << " out of range");
+      }
+      prev = vertices[i];
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t idx = cur.varint32();
+      if (idx >= dict_size) {
+        GALA_THROW(CollectiveFault,
+                   "sparse-delta codec: dictionary index " << idx << " out of range");
+      }
+      out.push_back({vertices[i], dict[idx]});
+    }
+    if (cur.p != trailer) {
+      GALA_THROW(CollectiveFault, "sparse-delta codec: " << cur.remaining()
+                                                         << " unconsumed bytes in frame body");
+    }
+    p = body + body_bytes;
+  }
+}
+
+}  // namespace
+
+void encode_moves(std::span<const MoveRecord> moves, std::vector<std::byte>& out) {
+  encode_impl(moves, out);
+}
+
+void encode_moves(std::span<const MoveRecord> moves, exec::PooledVec<std::byte>& out) {
+  encode_impl(moves, out);
+}
+
+void decode_moves(std::span<const std::byte> frames, vid_t num_vertices,
+                  std::vector<MoveRecord>& out) {
+  decode_impl(frames, num_vertices, out);
+}
+
+void decode_moves(std::span<const std::byte> frames, vid_t num_vertices,
+                  exec::PooledVec<MoveRecord>& out) {
+  decode_impl(frames, num_vertices, out);
+}
+
+}  // namespace gala::multigpu

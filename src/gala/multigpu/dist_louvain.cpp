@@ -9,21 +9,25 @@
 #include "gala/common/timer.hpp"
 #include "gala/core/aggregation.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/multigpu/delta_codec.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::multigpu {
 namespace {
 
-/// Sparse-sync wire record: one moved vertex.
-struct MoveRecord {
-  vid_t vertex;
-  cid_t community;
-};
-
 /// Owner-computed weight-update message: "add delta to d_{C[x]}(x)".
 struct WeightMsg {
   vid_t target;
   wt_t delta;
+};
+
+/// One frontier mover's emission, staged during the community-sync window:
+/// its own-weight accumulation plus the slice [begin, end) of the staged
+/// message buffer it produced. Replayed (not recomputed) after the sync.
+struct StagedRun {
+  wt_t own = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
 };
 
 /// State owned by one rank. Community-level arrays are full replicas (kept
@@ -93,6 +97,25 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       st.comm_total[v] = g.degree(v);
     }
 
+    // The community-sync window may only stage vertices whose every
+    // interaction is rank-local; that static frontier is fixed by the
+    // partition, so it is computed once per level. The weight-gather window
+    // additionally exploits a per-iteration *dynamic* eligibility (computed
+    // below once the synced moved flags are known): an owned vertex whose
+    // moved neighbours are all rank-local receives weight messages from this
+    // rank alone, so those messages can be applied locally (elided from the
+    // gather) and its next-iteration prune+decide inputs are final before
+    // the gather lands. The static frontier is the subset of vertices that
+    // are eligible in every iteration. When nothing is eligible the windows
+    // degenerate to the blocking exchange (zero staged work, zero credit).
+    const std::vector<vid_t> frontier = graph::local_frontier(g, st.range);
+    std::vector<std::uint8_t> frontier_flag(n, 0);
+    for (const vid_t v : frontier) frontier_flag[v] = 1;
+    std::vector<std::uint8_t> elig_flag(n, 0);  // this iteration's eligible set
+    std::vector<std::uint8_t> spec_flag(n, 0);  // set speculated in the last window
+    const bool overlap_on = config.overlap;
+    const bool compress_on = config.compress && config.sync != SyncMode::Dense;
+
     // Per-rank execution context: each simulated device owns a private
     // pooled workspace, so the arena pages, hash scratch, and every sync
     // staging buffer below are recycled across the rank's iterations
@@ -107,12 +130,20 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
                                         config.shuffle_degree_limit};
     const std::uint64_t salt = splitmix64(config.seed ^ 0xabcdef0123456789ULL);
 
-    // Sync staging, reused across every iteration's collective rounds.
+    // Sync staging, reused across every iteration's collective rounds. The
+    // enc_* / staged_* / local_msgs buffers are the double-buffer side: one
+    // buffer is in flight through the communicator while these hold the
+    // window's staged work.
     exec::PooledVec<MoveRecord> local_moves(ws, "multigpu.local_moves");
     exec::PooledVec<MoveRecord> recv_moves(ws, "multigpu.recv_moves");
     exec::PooledVec<cid_t> recv_slices(ws, "multigpu.recv_slices");
     exec::PooledVec<WeightMsg> out_msgs(ws, "multigpu.weight_msgs");
     exec::PooledVec<WeightMsg> recv_msgs(ws, "multigpu.recv_msgs");
+    exec::PooledVec<std::byte> enc_moves(ws, "multigpu.enc_moves");
+    exec::PooledVec<std::byte> enc_recv(ws, "multigpu.enc_recv");
+    exec::PooledVec<WeightMsg> local_msgs(ws, "multigpu.local_weight_msgs");
+    exec::PooledVec<WeightMsg> staged_msgs(ws, "multigpu.staged_weight_msgs");
+    exec::PooledVec<StagedRun> staged_runs(ws, "multigpu.staged_runs");
 
     // Iteration-start modularity of the singleton partition.
     wt_t q;
@@ -126,8 +157,93 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
     }
     wt_t min_total = *std::min_element(st.comm_total.begin(), st.comm_total.end());
 
+    // One mover's weight-update emission (§3.5): accumulate the mover's own
+    // e_{v,C} into the return value and hand each (neighbour, delta) message
+    // to `sink`. Charged exactly like the eager emission loop, so staged and
+    // eager movers cost the same.
+    auto emit_move = [&](const MoveRecord& m, gpusim::MemoryStats& stats, auto&& sink) -> wt_t {
+      const vid_t u = m.vertex;
+      const cid_t old_c = st.comm[u];
+      const cid_t new_c = m.community;
+      auto nbrs = g.neighbors(u);
+      auto wts = g.weights(u);
+      wt_t own = 0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const vid_t x = nbrs[i];
+        stats.global_reads += 2;
+        if (x == u) continue;
+        if (st.next_comm[x] == new_c) own += wts[i];
+        if (!st.moved[x]) {
+          const cid_t cx = st.comm[x];
+          wt_t d = 0;
+          if (cx == old_c) d -= wts[i];
+          if (cx == new_c) d += wts[i];
+          if (d != 0) {
+            sink(WeightMsg{x, d});
+            stats.global_atomics += 1;
+          }
+        }
+      }
+      stats.global_writes += 1;
+      return own;
+    };
+
+    // Step-5 replica bookkeeping, shared by the blocking path and the
+    // weight-gather overlap window (it reads only synced state: moved,
+    // comm, next_comm). Charged like the single engine's bookkeeping
+    // phase: 4 atomics per mover, an n-read totals/size scan, and an
+    // n-read modularity reduction (the sum-of-squares term depends only
+    // on post-bookkeeping totals, so it is folded in here and cached for
+    // the modularity step).
+    wt_t sq_cached = 0;
+    auto bookkeeping = [&](gpusim::MemoryStats& stats) {
+      std::fill(st.comm_changed.begin(), st.comm_changed.end(), 0);
+      for (vid_t v = 0; v < n; ++v) {
+        if (!st.moved[v]) continue;
+        const cid_t old_c = st.comm[v];
+        const cid_t new_c = st.next_comm[v];
+        st.comm_total[old_c] -= g.degree(v);
+        st.comm_total[new_c] += g.degree(v);
+        --st.comm_size[old_c];
+        ++st.comm_size[new_c];
+        st.comm_changed[old_c] = 1;
+        st.comm_changed[new_c] = 1;
+        stats.global_atomics += 4;
+      }
+      st.comm.swap(st.next_comm);
+      st.prev_moved.assign(st.moved.begin(), st.moved.end());
+      stats.global_reads += st.range.size();
+
+      min_total = std::numeric_limits<wt_t>::max();
+      sq_cached = 0;
+      for (vid_t c = 0; c < n; ++c) {
+        if (st.comm_size[c] > 0) {
+          min_total = std::min(min_total, st.comm_total[c]);
+          const wt_t f = st.comm_total[c] / g.two_m();
+          sq_cached += f * f;
+        }
+      }
+      stats.global_reads += 2 * static_cast<std::uint64_t>(n);
+    };
+
+    // Speculative results from the previous iteration's weight-gather
+    // window: frontier vertices already carry next-iteration active flags
+    // and decisions. A speculation failure is deferred into the next
+    // iteration's decide_error so it fails closed at the same collective.
+    bool spec_valid = false;
+    std::string spec_error;
+
     for (int iter = 0; iter < config.max_iterations; ++iter) {
-      // --- 1. Pruning over the owned range only. -----------------------
+      // --- 1+2. Prune + DecideAndMove over the owned range. -------------
+      // Frontier vertices may have been decided speculatively during the
+      // previous weight gather; everything else goes through the same
+      // prune_and_decide trajectory the speculation used.
+      //
+      // A fault here (injected scratch exhaustion after the in-kernel
+      // fallback, or any other error) is rank-local, so it cannot throw
+      // directly without deadlocking peers at the next barrier. Instead it
+      // is captured and piggybacked on the moved-count reduction below, so
+      // every rank learns of it at the same collective and throws together.
       const core::PruningContext prune_ctx{&g,
                                            st.comm,
                                            st.weight,
@@ -139,35 +255,32 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
                                            iter,
                                            config.resolution};
       const std::uint64_t pm_base = splitmix64(config.seed ^ (0x5851f42d4c957f2dULL * iter));
-      for (vid_t v = st.range.begin; v < st.range.end; ++v) {
-        st.active[v] =
-            core::is_inactive(config.pruning, prune_ctx, v, config.pm_alpha, pm_base) ? 0 : 1;
-      }
-
-      // --- 2. DecideAndMove for owned active vertices. ------------------
-      // A fault here (injected scratch exhaustion after the in-kernel
-      // fallback, or any other error) is rank-local, so it cannot throw
-      // directly without deadlocking peers at the next barrier. Instead it
-      // is captured and piggybacked on the moved-count reduction below, so
-      // every rank learns of it at the same collective and throws together.
-      std::string decide_error;
+      const bool use_spec = spec_valid;
+      std::string decide_error = std::move(spec_error);
+      spec_valid = false;
+      spec_error.clear();
       const core::DecideInput input{&g, st.comm, st.comm_total, g.two_m(), config.resolution};
-      try {
-        telemetry::ScopedSpan decide_span(telemetry::Tracer::global(), "decide", "multigpu");
-        gpusim::MemoryStats stats;
-        for (vid_t v = st.range.begin; v < st.range.end; ++v) {
-          if (!st.active[v]) continue;
-          st.decisions[v] =
-              core::decide_vertex(input, v, dispatch, arena, hash_scratch, salt, stats);
+      if (decide_error.empty()) {
+        try {
+          telemetry::ScopedSpan decide_span(telemetry::Tracer::global(), "decide", "multigpu");
+          gpusim::MemoryStats stats;
+          for (vid_t v = st.range.begin; v < st.range.end; ++v) {
+            if (use_spec && spec_flag[v]) continue;  // decided in the window
+            st.active[v] = core::prune_and_decide(config.pruning, prune_ctx, config.pm_alpha,
+                                                  pm_base, input, v, dispatch, arena, hash_scratch,
+                                                  salt, stats, st.decisions[v])
+                               ? 1
+                               : 0;
+          }
+          st.timeline.traffic += stats;
+          if (decide_span.active()) {
+            decide_span.arg("rank", static_cast<double>(rank));
+            decide_span.arg("iteration", static_cast<double>(iter));
+            gpusim::attach_traffic(decide_span, stats, &config.device.cost_model);
+          }
+        } catch (const Error& e) {
+          decide_error = e.what();
         }
-        st.timeline.traffic += stats;
-        if (decide_span.active()) {
-          decide_span.arg("rank", static_cast<double>(rank));
-          decide_span.arg("iteration", static_cast<double>(iter));
-          gpusim::attach_traffic(decide_span, stats, &config.device.cost_model);
-        }
-      } catch (const Error& e) {
-        decide_error = e.what();
       }
 
       // Owned moves under the shared guard.
@@ -181,12 +294,21 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
         }
       }
 
+      // Compressed sparse sync ships codec frames; encode up front so the
+      // adaptive crossover below can compare the real encoded payload.
+      enc_moves.clear();
+      if (compress_on && !local_moves.empty()) encode_moves(local_moves.span(), enc_moves);
+
       // --- 3. Community sync: dense vs sparse (§4.3). -------------------
       double moved_total_d = static_cast<double>(local_moves.size());
+      double encoded_total_d = 0;
       {
-        double buf[2] = {moved_total_d, decide_error.empty() ? 0.0 : 1.0};
-        comm_world.all_reduce_sum(rank, std::span<double>(buf, 2), st.timeline.comm);
+        double buf[3] = {moved_total_d, decide_error.empty() ? 0.0 : 1.0,
+                         static_cast<double>(enc_moves.size())};
+        comm_world.all_reduce_sum(rank, std::span<double>(buf, compress_on ? 3 : 2),
+                                  st.timeline.comm);
         moved_total_d = buf[0];
+        encoded_total_d = buf[2];
         if (buf[1] > 0) {
           // Symmetric fail-closed: every rank throws after the same
           // collective, so nobody is left waiting at a barrier.
@@ -198,35 +320,122 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
         }
       }
       const auto moved_total = static_cast<vid_t>(moved_total_d);
-      const std::uint64_t sparse_bytes = static_cast<std::uint64_t>(moved_total) * sizeof(MoveRecord);
+      const std::uint64_t raw_sparse_bytes =
+          static_cast<std::uint64_t>(moved_total) * sizeof(MoveRecord);
+      const std::uint64_t sparse_bytes =
+          compress_on ? static_cast<std::uint64_t>(encoded_total_d) : raw_sparse_bytes;
       const std::uint64_t dense_bytes = static_cast<std::uint64_t>(n) * sizeof(cid_t);
       const bool use_sparse = config.sync == SyncMode::Sparse ||
                               (config.sync == SyncMode::Adaptive && sparse_bytes < dense_bytes);
 
       // Retry loop around the sync: a CollectiveFault is thrown identically
       // on every rank, so all ranks take the same branch below and stay
-      // barrier-aligned. A failed sparse sync degrades to dense for the
-      // retry; a failed dense sync retries as-is. Retries exhausted → the
-      // fault propagates (fail closed).
+      // barrier-aligned — in the posted form too, since complete_gather_v
+      // crosses both of the round's barriers before it throws. A failed
+      // sparse sync degrades to dense for the retry; a failed dense sync
+      // retries as-is. Retries exhausted → the fault propagates (fail
+      // closed). Window work staged on the first attempt is reused, not
+      // recomputed (and earns no second overlap credit) on retries.
       bool sparse_now = use_sparse;
       bool recovered_dense = false;
+      bool staged_ready = false;
+      staged_runs.clear();
+      staged_msgs.clear();
       for (int sync_attempt = 0;; ++sync_attempt) {
         try {
-          std::copy(st.comm.begin(), st.comm.end(), st.next_comm.begin());
+          // Seed next_comm from the current assignment. The sync payload
+          // only reads the owned slice, so with overlap on the remote
+          // slices are copied inside the gather window instead; the copy
+          // is charged either way (it is a real device-side memcpy).
+          if (overlap_on) {
+            std::copy(st.comm.begin() + st.range.begin, st.comm.begin() + st.range.end,
+                      st.next_comm.begin() + st.range.begin);
+            st.timeline.traffic.global_reads += st.range.size();
+            st.timeline.traffic.global_writes += st.range.size();
+          } else {
+            std::copy(st.comm.begin(), st.comm.end(), st.next_comm.begin());
+            st.timeline.traffic.global_reads += n;
+            st.timeline.traffic.global_writes += n;
+          }
+          for (const MoveRecord& m : local_moves) st.next_comm[m.vertex] = m.community;
           // Bytes this rank ships into the all-gather (sum over ranks = wire
           // total, matching the iteration log's sparse/dense payload figures).
           const std::uint64_t shipped_bytes =
-              sparse_now ? local_moves.size() * sizeof(MoveRecord)
+              sparse_now ? (compress_on ? enc_moves.size()
+                                        : local_moves.size() * sizeof(MoveRecord))
                          : st.range.size() * sizeof(cid_t);
           telemetry::ScopedSpan sync_span(telemetry::Tracer::global(),
                                           sparse_now ? "sync_sparse" : "sync_dense", "multigpu");
-          if (sparse_now) {
+          if (overlap_on) {
+            // Post the exchange, then work the local frontier while it is in
+            // flight. The staged emissions read only rank-local state, so
+            // local moved flags are enough; the full flags are rebuilt from
+            // the synced assignment right after the sync.
+            std::fill(st.moved.begin(), st.moved.end(), 0);
+            for (const MoveRecord& m : local_moves) st.moved[m.vertex] = 1;
+            Communicator::PendingGather pending;
+            if (sparse_now && compress_on) {
+              pending = comm_world.post_gather_v<std::byte>(rank, enc_moves.span());
+            } else if (sparse_now) {
+              pending = comm_world.post_gather_v<MoveRecord>(rank, local_moves.span());
+            } else {
+              pending = comm_world.post_gather_v<cid_t>(
+                  rank,
+                  std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()));
+            }
+            double credit_us = 0;
+            if (!staged_ready) {
+              gpusim::MemoryStats wstats;
+              // Initialise the remote slices of next_comm while the gather
+              // is in flight — the posted payload reads only the owned
+              // slice, and received contributions land on top afterwards.
+              std::copy(st.comm.begin(), st.comm.begin() + st.range.begin,
+                        st.next_comm.begin());
+              std::copy(st.comm.begin() + st.range.end, st.comm.end(),
+                        st.next_comm.begin() + st.range.end);
+              wstats.global_reads += n - st.range.size();
+              wstats.global_writes += n - st.range.size();
+              for (const MoveRecord& m : local_moves) {
+                if (!frontier_flag[m.vertex]) continue;
+                StagedRun run;
+                run.begin = static_cast<std::uint32_t>(staged_msgs.size());
+                run.own = emit_move(m, wstats,
+                                    [&](const WeightMsg& msg) { staged_msgs.push_back(msg); });
+                run.end = static_cast<std::uint32_t>(staged_msgs.size());
+                staged_runs.push_back(run);
+              }
+              staged_ready = true;
+              st.timeline.traffic += wstats;
+              credit_us = config.device.modeled_ms(wstats) * 1e3;
+            }
+            if (sparse_now && compress_on) {
+              comm_world.complete_gather_v<std::byte>(std::move(pending), st.timeline.comm,
+                                                      enc_recv, credit_us);
+              recv_moves.clear();
+              decode_moves(enc_recv.span(), n, recv_moves);
+              for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
+            } else if (sparse_now) {
+              comm_world.complete_gather_v<MoveRecord>(std::move(pending), st.timeline.comm,
+                                                       recv_moves, credit_us);
+              for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
+            } else {
+              comm_world.complete_gather_v<cid_t>(std::move(pending), st.timeline.comm,
+                                                  recv_slices, credit_us);
+              GALA_ASSERT(recv_slices.size() == n);
+              std::copy(recv_slices.begin(), recv_slices.end(), st.next_comm.begin());
+            }
+          } else if (sparse_now && compress_on) {
+            comm_world.all_gather_v_into<std::byte>(rank, enc_moves.span(), st.timeline.comm,
+                                                    enc_recv);
+            recv_moves.clear();
+            decode_moves(enc_recv.span(), n, recv_moves);
+            for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
+          } else if (sparse_now) {
             comm_world.all_gather_v_into<MoveRecord>(rank, local_moves.span(), st.timeline.comm,
                                                      recv_moves);
             for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
           } else {
             // Dense: every rank ships its whole owned slice of next_comm.
-            for (const MoveRecord& m : local_moves) st.next_comm[m.vertex] = m.community;
             comm_world.all_gather_v_into<cid_t>(
                 rank,
                 std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()),
@@ -239,7 +448,16 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
             sync_span.arg("iteration", static_cast<double>(iter));
             sync_span.arg("bytes", static_cast<double>(shipped_bytes));
             sync_span.arg("moved_total", moved_total_d);
+            sync_span.arg("overlap", overlap_on ? 1.0 : 0.0);
             telemetry::Registry::global().counter("multigpu.sync_bytes").add(shipped_bytes);
+            if (sparse_now && compress_on) {
+              telemetry::Registry::global()
+                  .counter("multigpu.codec_raw_bytes")
+                  .add(local_moves.size() * sizeof(MoveRecord));
+              telemetry::Registry::global()
+                  .counter("multigpu.codec_encoded_bytes")
+                  .add(enc_moves.size());
+            }
           }
           break;
         } catch (const CollectiveFault&) {
@@ -261,46 +479,142 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       }
       GALA_ASSERT(moved_check == moved_total);
 
-      // --- 4. Owner-computed weight update (§3.5, distributed). ---------
-      out_msgs.clear();
-      {
-        gpusim::MemoryStats stats;
-        for (const MoveRecord& m : local_moves) {
-          const vid_t u = m.vertex;
-          const cid_t old_c = st.comm[u];
-          const cid_t new_c = m.community;
-          auto nbrs = g.neighbors(u);
-          auto ws = g.weights(u);
-          wt_t own = 0;
-          for (std::size_t i = 0; i < nbrs.size(); ++i) {
-            const vid_t x = nbrs[i];
-            stats.global_reads += 2;
-            if (x == u) continue;
-            if (st.next_comm[x] == new_c) own += ws[i];
-            if (!st.moved[x]) {
-              const cid_t cx = st.comm[x];
-              wt_t d = 0;
-              if (cx == old_c) d -= ws[i];
-              if (cx == new_c) d += ws[i];
-              if (d != 0) {
-                out_msgs.push_back({x, d});
-                stats.global_atomics += 1;
+      // Dynamic eligibility for the weight-gather window: with the synced
+      // moved flags in hand, an owned vertex whose moved neighbours are all
+      // rank-local is a single-sender target — every weight message it will
+      // receive originates here, in this rank's emission order, so applying
+      // them locally preserves the gather's floating-point order exactly.
+      // Any *subset* of the true eligible set is safe (a non-elided
+      // eligible target simply ships through the gather like the blocking
+      // path), so the computation is adaptive: when movers are rare (late
+      // iterations, where per-collective latency dominates the wait) each
+      // remote mover's adjacency marks its owned neighbours ineligible —
+      // O(n + deg(remote movers)), charged to compute since it runs on the
+      // critical path before the gather posts. When movers are dense the
+      // exact set would cost an O(m/P) scan for little elision, so the
+      // precomputed static frontier stands in for free.
+      if (overlap_on && moved_total > 0) {
+        if (static_cast<std::uint64_t>(moved_total) * 8 <= n) {
+          gpusim::MemoryStats estats;
+          std::fill(elig_flag.begin() + st.range.begin, elig_flag.begin() + st.range.end, 1);
+          estats.global_writes += st.range.size();
+          for (vid_t u = 0; u < n; ++u) {
+            estats.global_reads += 1;
+            if (!st.moved[u] || (u >= st.range.begin && u < st.range.end)) continue;
+            for (const vid_t x : g.neighbors(u)) {
+              estats.global_reads += 1;
+              if (x >= st.range.begin && x < st.range.end) {
+                elig_flag[x] = 0;
+                estats.global_atomics += 1;
               }
             }
           }
-          st.weight[u] = own;
-          stats.global_writes += 1;
+          st.timeline.traffic += estats;
+        } else {
+          std::copy(frontier_flag.begin() + st.range.begin, frontier_flag.begin() + st.range.end,
+                    elig_flag.begin() + st.range.begin);
+        }
+      }
+
+      // --- 4. Owner-computed weight update (§3.5, distributed). ---------
+      // Frontier movers were staged during the community-sync window; their
+      // runs are replayed here in local_moves order, so per-target message
+      // order is exactly the eager loop's. Messages whose target is
+      // window-eligible never leave the rank (no other rank can emit to
+      // such a target this iteration), trimming the weight-gather payload
+      // without perturbing the floating-point application order.
+      out_msgs.clear();
+      local_msgs.clear();
+      {
+        gpusim::MemoryStats stats;
+        std::size_t run_idx = 0;
+        auto route = [&](const WeightMsg& msg) {
+          (overlap_on && elig_flag[msg.target] ? local_msgs : out_msgs).push_back(msg);
+        };
+        for (const MoveRecord& m : local_moves) {
+          if (overlap_on && frontier_flag[m.vertex]) {
+            const StagedRun& run = staged_runs[run_idx++];
+            st.weight[m.vertex] = run.own;
+            for (std::uint32_t i = run.begin; i < run.end; ++i) route(staged_msgs[i]);
+          } else {
+            st.weight[m.vertex] = emit_move(m, stats, route);
+          }
         }
         st.timeline.traffic += stats;
       }
+      bool window2_done = false;
       for (int wsync_attempt = 0;; ++wsync_attempt) {
         telemetry::ScopedSpan wsync_span(telemetry::Tracer::global(), "sync_weights", "multigpu");
         try {
-          comm_world.all_gather_v_into<WeightMsg>(rank, out_msgs.span(), st.timeline.comm,
-                                                  recv_msgs);
+          if (overlap_on) {
+            Communicator::PendingGather pending =
+                comm_world.post_gather_v<WeightMsg>(rank, out_msgs.span());
+            double credit_us = 0;
+            if (!window2_done) {
+              // Weight-gather window: apply the rank-local (elided)
+              // messages, run the replica bookkeeping, and speculate the
+              // eligible set's next-iteration prune+decide — all of it
+              // reads only state that is final before the gather lands
+              // (an eligible vertex's weight is fully updated once the
+              // elided messages are applied, and bookkeeping finalises
+              // comm/comm_total/comm_changed/prev_moved/min_total).
+              gpusim::MemoryStats wstats;
+              for (const WeightMsg& msg : local_msgs) {
+                st.weight[msg.target] += msg.delta;
+                wstats.global_reads += 1;
+                wstats.global_writes += 1;
+              }
+              bookkeeping(wstats);
+              if (moved_total > 0) {
+                const core::PruningContext next_ctx{&g,
+                                                    st.comm,
+                                                    st.weight,
+                                                    st.comm_total,
+                                                    min_total,
+                                                    g.two_m(),
+                                                    st.prev_moved,
+                                                    st.comm_changed,
+                                                    iter + 1,
+                                                    config.resolution};
+                const std::uint64_t next_pm_base =
+                    splitmix64(config.seed ^ (0x5851f42d4c957f2dULL * (iter + 1)));
+                const core::DecideInput next_input{&g, st.comm, st.comm_total, g.two_m(),
+                                                   config.resolution};
+                try {
+                  for (vid_t v = st.range.begin; v < st.range.end; ++v) {
+                    if (!elig_flag[v]) continue;
+                    st.active[v] =
+                        core::prune_and_decide(config.pruning, next_ctx, config.pm_alpha,
+                                               next_pm_base, next_input, v, dispatch, arena,
+                                               hash_scratch, salt, wstats, st.decisions[v])
+                            ? 1
+                            : 0;
+                  }
+                  spec_valid = true;
+                } catch (const Error& e) {
+                  // Defer: the next iteration's reduce carries the failure
+                  // so every rank throws at the same collective.
+                  spec_valid = true;
+                  spec_error = e.what();
+                }
+                // Remember which vertices the window decided; the next
+                // iteration's decide loop skips exactly these.
+                spec_flag.swap(elig_flag);
+              }
+              window2_done = true;
+              st.timeline.traffic += wstats;
+              credit_us = config.device.modeled_ms(wstats) * 1e3;
+            }
+            comm_world.complete_gather_v<WeightMsg>(std::move(pending), st.timeline.comm,
+                                                    recv_msgs, credit_us);
+          } else {
+            comm_world.all_gather_v_into<WeightMsg>(rank, out_msgs.span(), st.timeline.comm,
+                                                    recv_msgs);
+          }
         } catch (const CollectiveFault&) {
           // The gather throws before any message is applied, so a straight
-          // re-gather is safe (and symmetric across ranks).
+          // re-gather is safe (and symmetric across ranks). Staged window
+          // work survives the retry untouched.
           if (wsync_attempt >= config.max_sync_retries) throw;
           continue;
         }
@@ -322,52 +636,34 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       }
 
       // --- 5. Apply + bookkeeping on the replica. ------------------------
-      std::fill(st.comm_changed.begin(), st.comm_changed.end(), 0);
-      for (vid_t v = 0; v < n; ++v) {
-        if (!st.moved[v]) continue;
-        const cid_t old_c = st.comm[v];
-        const cid_t new_c = st.next_comm[v];
-        st.comm_total[old_c] -= g.degree(v);
-        st.comm_total[new_c] += g.degree(v);
-        --st.comm_size[old_c];
-        ++st.comm_size[new_c];
-        st.comm_changed[old_c] = 1;
-        st.comm_changed[new_c] = 1;
-      }
-      st.comm.swap(st.next_comm);
-      st.prev_moved.assign(st.moved.begin(), st.moved.end());
-      st.timeline.traffic.global_reads += st.range.size();
-
-      min_total = std::numeric_limits<wt_t>::max();
-      for (vid_t c = 0; c < n; ++c) {
-        if (st.comm_size[c] > 0) min_total = std::min(min_total, st.comm_total[c]);
+      // With overlap on this already ran inside the weight-gather window.
+      if (!overlap_on) {
+        gpusim::MemoryStats stats;
+        bookkeeping(stats);
+        st.timeline.traffic += stats;
       }
 
-      // --- 6. Modularity: owned internal partial + replicated totals. ---
+      // --- 6. Modularity: owned internal partial + replicated totals. The
+      // sum-of-squares term was computed (and charged) in bookkeeping.
       wt_t internal_partial = 0;
       for (vid_t v = st.range.begin; v < st.range.end; ++v) {
         internal_partial += st.weight[v] + 2 * g.self_loop(v);
       }
+      st.timeline.traffic.global_reads += st.range.size();
       {
         double buf[1] = {internal_partial};
         comm_world.all_reduce_sum(rank, std::span<double>(buf, 1), st.timeline.comm);
         internal_partial = buf[0];
       }
-      wt_t sq = 0;
-      for (vid_t c = 0; c < n; ++c) {
-        if (st.comm_size[c] > 0) {
-          const wt_t f = st.comm_total[c] / g.two_m();
-          sq += f * f;
-        }
-      }
-      const wt_t next_q = internal_partial / g.two_m() - config.resolution * sq;
+      const wt_t next_q = internal_partial / g.two_m() - config.resolution * sq_cached;
       const wt_t dq = next_q - q;
       q = next_q;
 
       if (rank == 0) {
         std::lock_guard lock(log_mutex);
         result.iteration_log.push_back({moved_total, sparse_now,
-                                        sparse_now ? sparse_bytes : dense_bytes, q, dq,
+                                        sparse_now ? sparse_bytes : dense_bytes,
+                                        sparse_now ? raw_sparse_bytes : dense_bytes, q, dq,
                                         recovered_dense});
       }
       comm_world.barrier();  // iteration_log visible before anyone proceeds
@@ -378,6 +674,14 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
     st.timeline.compute_modeled_ms =
         config.device.modeled_ms(st.timeline.traffic);
     st.timeline.workspace = ws.stats();
+    telemetry::Registry::global()
+        .counter("multigpu.overlap_hidden_us")
+        .add(static_cast<std::uint64_t>(st.timeline.comm.hidden_us));
+    if (rank == 0) {
+      telemetry::Registry::global()
+          .gauge("multigpu.overlap_ratio")
+          .set(st.timeline.comm.overlap_ratio());
+    }
   };
 
   // Supervision net: a rank that unwinds past rank_main stores its

@@ -19,6 +19,23 @@
 // owned moved vertices and ships (neighbour, delta) messages, so computation
 // scales with 1/P while communication stays ~constant — reproducing the
 // sub-linear scaling of Fig. 10.
+//
+// Two orthogonal extensions ride on that pipeline (both default-off, both
+// bit-identical to the blocking/raw baseline):
+//
+//   - overlap  : each exchange is split into post (stage + arrive at the
+//                first barrier) and complete (wait + verify). Between the
+//                two, the rank works the iteration's *eligible set* — owned
+//                vertices with no remote moved neighbour (superset of the
+//                static local frontier; see docs/multigpu.md for why the
+//                elision is exact) — staging their weight messages during
+//                the community gather and running their next-iteration
+//                prune+decide during the weight gather. Work done inside a
+//                window is credited against the modeled collective cost
+//                (CommStats::hidden_us).
+//   - compress : sparse syncs ship codec frames (delta_codec.hpp) instead of
+//                raw MoveRecords; the adaptive dense/sparse crossover and the
+//                alpha-beta cost model are charged the real encoded size.
 #pragma once
 
 #include <vector>
@@ -51,6 +68,14 @@ struct DistributedConfig {
   /// (the dense payload needs no per-move records a corrupted rank could
   /// poison selectively, and its cost is the known worst case).
   int max_sync_retries = 2;
+  /// Asynchronous double-buffered sync: post each exchange, overlap rank-
+  /// local frontier work with the collective, then complete. Retries stay
+  /// barrier-aligned on both buffers; staged window work is reused, not
+  /// recomputed, on a retry. Results are bit-identical to blocking sync.
+  bool overlap = false;
+  /// Sparse syncs ship compressed delta frames; the adaptive crossover
+  /// compares the real encoded payload against the dense size.
+  bool compress = false;
 };
 
 /// Per-device accounting for the Fig. 10(b) breakdown.
@@ -61,14 +86,23 @@ struct DeviceTimeline {
   /// The rank's workspace counters at run end (pool reuse across the rank's
   /// arena pages, hash scratch, and sync staging buffers).
   exec::WorkspaceStats workspace;
-  double comm_modeled_ms() const { return comm.modeled_us / 1e3; }
+  /// Exposed (un-hidden) communication time on the rank's critical path.
+  /// With overlap off hidden_us is zero, so this equals the full cost.
+  double comm_modeled_ms() const { return comm.wait_us() / 1e3; }
+  /// Full modeled collective cost, ignoring overlap hiding.
+  double comm_full_modeled_ms() const { return comm.modeled_us / 1e3; }
   double total_modeled_ms() const { return compute_modeled_ms + comm_modeled_ms(); }
 };
 
 struct DistIterationStats {
   vid_t moved = 0;
   bool sparse_sync = false;
-  std::uint64_t sync_bytes = 0;  ///< community-sync payload this iteration
+  std::uint64_t sync_bytes = 0;  ///< community-sync wire payload this iteration
+  /// What the sparse payload would cost as raw MoveRecords. Equal to
+  /// sync_bytes when compression is off (or the sync went dense); the gap
+  /// is the bytes the codec saved (framing overhead can make it negative
+  /// for a handful of movers).
+  std::uint64_t sync_raw_bytes = 0;
   wt_t modularity = 0;
   wt_t delta_q = 0;
   /// True when a sparse sync failed this iteration and the dense fallback

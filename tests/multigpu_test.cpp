@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "gala/core/bsp_louvain.hpp"
+#include "gala/multigpu/delta_codec.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
 #include "test_util.hpp"
 
@@ -94,6 +95,162 @@ TEST(CommCostModel, AlphaBetaShape) {
   EXPECT_GT(cost.microseconds(1 << 20), cost.microseconds(1 << 10));
 }
 
+// Both byte-charging conventions against their closed forms: canonical
+// charges the full payload, ring charges the NCCL ring volumes — AllGather
+// moves (P-1)/P of the total per device, AllReduce 2·(P-1)/P of its buffer.
+TEST(CommCostModel, CanonicalAndRingConventionsMatchClosedForms) {
+  constexpr std::size_t P = 4;
+  constexpr std::size_t kPerRank = 6;  // ints gathered per rank
+  constexpr std::size_t kReduceLen = 5;
+  for (const bool ring : {false, true}) {
+    CommCostModel cost;
+    cost.ring_convention = ring;
+    Communicator comm(P, cost);
+    std::vector<CommStats> stats(P);
+    std::vector<std::thread> threads;
+    for (std::size_t r = 0; r < P; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<int> local(kPerRank, static_cast<int>(r));
+        (void)comm.all_gather_v<int>(r, local, stats[r]);
+        std::vector<double> buf(kReduceLen, 1.0);
+        comm.all_reduce_sum(r, buf, stats[r]);
+        (void)comm.all_reduce_min(r, static_cast<double>(r), stats[r]);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const std::size_t gather_total = P * kPerRank * sizeof(int);
+    const std::size_t reduce_payload = kReduceLen * sizeof(double);
+    const std::size_t min_payload = P * sizeof(double);  // modeled as a scalar gather
+    const std::size_t expect =
+        ring ? gather_total * (P - 1) / P + 2 * reduce_payload * (P - 1) / P +
+                   min_payload * (P - 1) / P
+             : gather_total + reduce_payload + min_payload;
+    for (std::size_t r = 0; r < P; ++r) {
+      EXPECT_EQ(stats[r].bytes, expect) << (ring ? "ring" : "canonical") << " rank " << r;
+      EXPECT_EQ(stats[r].collectives, 3u);
+    }
+  }
+}
+
+// The posted (post/complete) form must be byte- and data-identical to the
+// blocking form; overlap credit turns modeled time into hidden time without
+// touching the byte accounting.
+TEST(Collectives, PostCompleteMatchesBlockingAndCreditsOverlap) {
+  constexpr std::size_t P = 3;
+  Communicator comm(P);
+  std::vector<std::vector<int>> results(P);
+  std::vector<CommStats> stats(P);
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<int> local(r + 1, static_cast<int>(r));
+      // Round 1: enough credit to hide the whole collective.
+      auto pending = comm.post_gather_v<int>(r, local);
+      comm.complete_gather_v<int>(std::move(pending), stats[r], results[r], /*credit=*/1e9);
+      EXPECT_FALSE(pending.active());
+      // Round 2: zero credit — fully exposed.
+      auto pending2 = comm.post_gather_v<int>(r, local);
+      std::vector<int> out2;
+      comm.complete_gather_v<int>(std::move(pending2), stats[r], out2);
+      EXPECT_EQ(out2, results[r]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::vector<int> expect = {0, 1, 1, 2, 2, 2};
+  const std::size_t round_bytes = expect.size() * sizeof(int);
+  for (std::size_t r = 0; r < P; ++r) {
+    EXPECT_EQ(results[r], expect);
+    EXPECT_EQ(stats[r].collectives, 2u);
+    EXPECT_EQ(stats[r].posted, 2u);
+    EXPECT_EQ(stats[r].bytes, 2 * round_bytes);
+    // Round 1 fully hidden, round 2 fully exposed: hidden == half of modeled.
+    EXPECT_NEAR(stats[r].hidden_us, stats[r].modeled_us / 2, 1e-9);
+    EXPECT_NEAR(stats[r].wait_us(), stats[r].modeled_us / 2, 1e-9);
+    EXPECT_NEAR(stats[r].overlap_ratio(), 0.5, 1e-9);
+  }
+}
+
+// ---- sparse-delta codec ----------------------------------------------------
+
+TEST(DeltaCodec, RoundTripsEdgeCaseMoveSets) {
+  constexpr vid_t n = 32;
+  std::vector<MoveRecord> all;
+  for (vid_t v = 0; v < n; ++v) all.push_back({v, static_cast<cid_t>(n - 1 - v)});
+  const std::vector<std::vector<MoveRecord>> cases = {
+      {},                                 // empty move set
+      {{7, 3}},                           // single move
+      all,                                // every vertex moves
+      {{0, 5}, {1, 5}, {31, 5}},          // one destination community
+      {{2, 9}, {3, 1}, {5, 9}, {30, 1}},  // repeating dictionary entries
+  };
+  for (const auto& moves : cases) {
+    std::vector<std::byte> wire;
+    encode_moves(moves, wire);
+    std::vector<MoveRecord> back;
+    decode_moves(wire, n, back);
+    EXPECT_EQ(back.size(), moves.size());
+    EXPECT_TRUE(std::equal(back.begin(), back.end(), moves.begin()));
+  }
+}
+
+TEST(DeltaCodec, ConcatenatedFramesDecodeInRankOrder) {
+  constexpr vid_t n = 100;
+  const std::vector<MoveRecord> rank0 = {{1, 4}, {2, 4}, {9, 8}};
+  const std::vector<MoveRecord> rank1 = {};  // empty contribution: zero bytes
+  const std::vector<MoveRecord> rank2 = {{50, 4}, {77, 12}};
+  std::vector<std::byte> wire;
+  encode_moves(rank0, wire);
+  encode_moves(rank2, wire);  // rank 1 contributed nothing
+  (void)rank1;
+  std::vector<MoveRecord> back;
+  decode_moves(wire, n, back);
+  std::vector<MoveRecord> expect = rank0;
+  expect.insert(expect.end(), rank2.begin(), rank2.end());
+  ASSERT_EQ(back.size(), expect.size());
+  EXPECT_TRUE(std::equal(back.begin(), back.end(), expect.begin()));
+}
+
+TEST(DeltaCodec, CompressesDenseMoveRuns) {
+  // Sorted dense runs with few destinations: the codec's target shape. The
+  // encoded frame must be well under the raw 8-byte records.
+  constexpr vid_t n = 4096;
+  std::vector<MoveRecord> moves;
+  for (vid_t v = 0; v < n; v += 2) moves.push_back({v, static_cast<cid_t>(v % 16)});
+  std::vector<std::byte> wire;
+  encode_moves(moves, wire);
+  EXPECT_LT(wire.size(), moves.size() * sizeof(MoveRecord) / 2);
+}
+
+TEST(DeltaCodec, EveryTruncationRaisesCollectiveFault) {
+  constexpr vid_t n = 48;
+  std::vector<MoveRecord> moves;
+  for (vid_t v = 0; v < n; v += 2) moves.push_back({v, static_cast<cid_t>(v % 5)});
+  std::vector<std::byte> wire;
+  encode_moves(moves, wire);
+  // len = 0 is excluded: an empty concatenation is the legitimate
+  // "no rank moved anything" payload and decodes to zero records.
+  for (std::size_t len = 1; len < wire.size(); ++len) {
+    std::vector<std::byte> cut(wire.begin(), wire.begin() + len);
+    std::vector<MoveRecord> out;
+    EXPECT_THROW(decode_moves(cut, n, out), CollectiveFault) << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(DeltaCodec, RejectsOutOfRangeAndNonMonotoneStreams) {
+  constexpr vid_t n = 10;
+  std::vector<MoveRecord> out;
+  // Vertex id beyond num_vertices: valid frame for a bigger graph, rejected
+  // when decoded against the smaller one.
+  std::vector<std::byte> wire;
+  encode_moves(std::vector<MoveRecord>{{15, 2}}, wire);
+  EXPECT_THROW(decode_moves(wire, n, out), CollectiveFault);
+  // Encoder refuses non-ascending input outright (it cannot build a frame
+  // the decoder would reject).
+  std::vector<std::byte> bad;
+  EXPECT_THROW(encode_moves(std::vector<MoveRecord>{{5, 1}, {5, 2}}, bad), Error);
+  EXPECT_THROW(encode_moves(std::vector<MoveRecord>{{5, 1}, {3, 2}}, bad), Error);
+}
+
 class DeviceCounts : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(DeviceCounts, MatchesSingleEngineTrajectoryExactly) {
@@ -169,12 +326,18 @@ TEST(Distributed, ComputeTrafficSplitsAcrossDevices) {
   const auto r4 = distributed_phase1(g, four);
   // Per-device decide traffic must shrink substantially with more devices.
   EXPECT_LT(r4.max_compute_modeled_ms(), 0.6 * r1.max_compute_modeled_ms());
-  // The union of all devices' traffic is ~ the single-device traffic.
+  // The union of all devices' traffic is the single-device traffic plus the
+  // replicated bookkeeping scans (totals/modularity reductions and the
+  // next_comm seed copy are per-replica O(n) kernels, so their charge grows
+  // with P by design) — decide/emission traffic itself must not duplicate.
   std::uint64_t reads4 = 0;
   for (const auto& d : r4.devices) reads4 += d.traffic.global_reads;
-  EXPECT_NEAR(static_cast<double>(reads4),
-              static_cast<double>(r1.devices[0].traffic.global_reads),
-              0.1 * static_cast<double>(r1.devices[0].traffic.global_reads));
+  const auto reads1 = static_cast<double>(r1.devices[0].traffic.global_reads);
+  EXPECT_GT(static_cast<double>(reads4), 0.9 * reads1);
+  const double replicated_bound =
+      4.0 * 4.0 * static_cast<double>(g.num_vertices()) *
+      static_cast<double>(r4.iterations);  // 4 ranks x ~4n replicated reads/iter
+  EXPECT_LT(static_cast<double>(reads4), 1.1 * reads1 + replicated_bound);
 }
 
 TEST(Distributed, PruningStrategiesMatchSingleEngineExactly) {
@@ -195,6 +358,72 @@ TEST(Distributed, PruningStrategiesMatchSingleEngineExactly) {
     const auto r = distributed_phase1(g, cfg);
     EXPECT_EQ(r.community, single.community) << core::to_string(strategy);
   }
+}
+
+TEST(Distributed, OverlapIsBitIdenticalAndHidesCommunication) {
+  // Ring of cliques: interior clique vertices have fully rank-local
+  // neighbourhoods, so the local frontier covers most of the graph and the
+  // windows carry real work into the posted exchanges. Few modeled lanes
+  // (a small simulated device) keep the window compute comparable to the
+  // collective alpha, the regime overlap exists for.
+  const auto g = graph::ring_of_cliques(24, 64);
+  DistributedConfig off;
+  off.num_gpus = 4;
+  off.device.model_parallel_lanes = 128;
+  DistributedConfig on = off;
+  on.overlap = true;
+  const auto r_off = distributed_phase1(g, off);
+  const auto r_on = distributed_phase1(g, on);
+
+  EXPECT_EQ(r_on.community, r_off.community);
+  EXPECT_EQ(r_on.iterations, r_off.iterations);
+  EXPECT_NEAR(r_on.modularity, r_off.modularity, 1e-12);
+
+  double hidden_on = 0, hidden_off = 0;
+  std::uint64_t posted_on = 0;
+  for (const auto& d : r_on.devices) {
+    hidden_on += d.comm.hidden_us;
+    posted_on += d.comm.posted;
+  }
+  for (const auto& d : r_off.devices) hidden_off += d.comm.hidden_us;
+  EXPECT_EQ(hidden_off, 0.0);  // blocking runs hide nothing
+  EXPECT_GT(hidden_on, 0.0);
+  EXPECT_GT(posted_on, 0u);
+  // The acceptance bar: exposed communication shrinks by >= 20% on the
+  // slowest device, and the end-to-end modeled time never regresses.
+  EXPECT_LT(r_on.max_comm_modeled_ms(), 0.8 * r_off.max_comm_modeled_ms());
+  EXPECT_LE(r_on.modeled_ms(), r_off.modeled_ms());
+  // Hiding time does not change what was charged for the wire.
+  for (const auto& d : r_on.devices) {
+    EXPECT_NEAR(d.comm_full_modeled_ms(), d.comm_modeled_ms() + d.comm.hidden_us / 1e3, 1e-9);
+  }
+}
+
+TEST(Distributed, CompressionShrinksSparsePayloadBitIdentically) {
+  const auto g = testing::small_planted(59, 1500, 15, 0.25);
+  DistributedConfig raw;
+  raw.num_gpus = 4;
+  raw.sync = SyncMode::Adaptive;
+  DistributedConfig packed = raw;
+  packed.compress = true;
+  const auto r_raw = distributed_phase1(g, raw);
+  const auto r_packed = distributed_phase1(g, packed);
+
+  EXPECT_EQ(r_packed.community, r_raw.community);
+  EXPECT_EQ(r_packed.iterations, r_raw.iterations);
+
+  std::uint64_t bytes_raw = 0, bytes_packed = 0;
+  bool saw_sparse_savings = false;
+  for (const auto& it : r_raw.iteration_log) bytes_raw += it.sync_bytes;
+  for (const auto& it : r_packed.iteration_log) {
+    bytes_packed += it.sync_bytes;
+    // The log records both the wire payload and what raw records would have
+    // cost. Framing overhead can exceed raw for a handful of movers, but
+    // the mid-run sparse iterations must show real savings.
+    if (it.sparse_sync && it.sync_bytes < it.sync_raw_bytes) saw_sparse_savings = true;
+  }
+  EXPECT_TRUE(saw_sparse_savings);
+  EXPECT_LT(bytes_packed, bytes_raw);
 }
 
 TEST(Distributed, RejectsZeroDevices) {

@@ -322,6 +322,76 @@ TEST(DistributedFaultTest, PersistentDropFailsClosedWithoutDeadlock) {
   }
 }
 
+TEST(DistributedFaultTest, CorruptCompressedOverlappedSyncFallsBackToDense) {
+  // The async double-buffered pipeline with codec compression: a corrupted
+  // posted community gather must fail closed at the round's second barrier
+  // and recover through the barrier-aligned dense retry, bit-identical to
+  // the fault-free run.
+  const auto g = gala::testing::small_planted();
+  multigpu::DistributedConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.sync = multigpu::SyncMode::Sparse;
+  cfg.overlap = true;
+  cfg.compress = true;
+  const auto fault_free = multigpu::distributed_phase1(g, cfg);
+
+  FaultPlan plan;
+  plan.rules.push_back(
+      rule(FaultSite::CollectiveCorrupt, "all_gather_v", /*rank=*/0, 0, /*max_fires=*/1));
+  ScopedFaultPlan armed(plan);
+
+  const auto r = multigpu::distributed_phase1(g, cfg);
+  ASSERT_FALSE(r.iteration_log.empty());
+  EXPECT_TRUE(r.iteration_log[0].recovered_dense);
+  EXPECT_FALSE(r.iteration_log[0].sparse_sync);
+  EXPECT_EQ(r.community, fault_free.community);
+  EXPECT_NEAR(r.modularity, fault_free.modularity, 1e-9);
+}
+
+TEST(DistributedFaultTest, DroppedWeightGatherRetriesOnTheSecondBuffer) {
+  // skip_first=1 lets the community gather through and drops the *weight*
+  // gather — the second of the iteration's two double-buffered exchanges.
+  // The staged window work must survive the retry (exact parity, no
+  // double-applied deltas).
+  const auto g = gala::testing::small_planted();
+  multigpu::DistributedConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.sync = multigpu::SyncMode::Adaptive;
+  cfg.overlap = true;
+  cfg.compress = true;
+  const auto fault_free = multigpu::distributed_phase1(g, cfg);
+
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::CollectiveDrop, "all_gather_v", /*rank=*/1,
+                            /*skip_first=*/1, /*max_fires=*/1));
+  ScopedFaultPlan armed(plan);
+
+  const auto r = multigpu::distributed_phase1(g, cfg);
+  EXPECT_EQ(r.community, fault_free.community);
+  EXPECT_NEAR(r.modularity, fault_free.modularity, 1e-9);
+}
+
+TEST(DistributedFaultTest, PersistentDropWithOverlapFailsClosed) {
+  const auto g = gala::testing::small_planted();
+  multigpu::DistributedConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.sync = multigpu::SyncMode::Sparse;
+  cfg.overlap = true;
+  cfg.compress = true;
+  cfg.max_sync_retries = 1;
+
+  FaultPlan plan;
+  plan.rules.push_back(rule(FaultSite::CollectiveDrop, "all_gather_v", /*rank=*/1));
+  ScopedFaultPlan armed(plan);
+
+  try {
+    multigpu::distributed_phase1(g, cfg);
+    FAIL() << "expected a CollectiveFault";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("collective-drop"), std::string::npos);
+  }
+}
+
 TEST(DistributedFaultTest, TimeoutIsDetectedAndNamed) {
   const auto g = gala::testing::two_triangles();
   multigpu::DistributedConfig cfg;

@@ -3,7 +3,7 @@
 //
 // Usage:
 //   gala_perf_diff <baseline> <current> [--tolerance T] [--ms-tolerance M]
-//                  [--alloc-tolerance A]
+//                  [--alloc-tolerance A] [--comm-tolerance C]
 //
 // <baseline>/<current> are JSON files, or directories compared pairwise by
 // file name (every baseline file must exist on the current side). Documents
@@ -18,6 +18,11 @@
 //   - keys ending in "_allocs" are lower-better with a zero default budget
 //     (--alloc-tolerance): workspace pool misses are exact counts, so any
 //     growth means a pooled path started hitting the heap,
+//   - keys ending in "comm_bytes" are lower-better with a zero default
+//     budget (--comm-tolerance): the distributed sync trajectory is
+//     bit-deterministic, so for an unchanged configuration any growth in
+//     wire volume is a communication regression (shrinkage — better
+//     elision or compression — passes),
 //   - every other number must match within --tolerance in either direction
 //     (the emulated counters are deterministic, so any drift is a change
 //     worth explaining — refresh the baseline deliberately, see
@@ -46,6 +51,7 @@ struct Options {
   double tolerance = 0.02;       // symmetric counter drift
   double ms_tolerance = 0.10;    // modeled-ms / modeled-cycles growth
   double alloc_tolerance = 0.0;  // "*_allocs" growth (pool misses are exact)
+  double comm_tolerance = 0.0;   // "*comm_bytes" growth (wire volume is exact)
 };
 
 struct DiffState {
@@ -91,6 +97,10 @@ void diff_number(double base, double cur, const std::string& path, DiffState& st
     // Workspace pool misses are deterministic, so they gate at zero growth
     // by default: any new steady-state allocation is a pooling regression.
     if (rel > state.opts->alloc_tolerance) state.report(path, base, cur, "allocations regressed");
+  } else if (ends_with(key, "comm_bytes")) {
+    // Distributed wire volume is deterministic: growth for an unchanged
+    // configuration means sync payloads, elision, or compression regressed.
+    if (rel > state.opts->comm_tolerance) state.report(path, base, cur, "comm bytes regressed");
   } else {
     if (std::fabs(rel) > state.opts->tolerance) state.report(path, base, cur, "counter drifted");
   }
@@ -210,6 +220,8 @@ int main(int argc, char** argv) {
       if (!next_double(opts.ms_tolerance)) return 2;
     } else if (arg == "--alloc-tolerance") {
       if (!next_double(opts.alloc_tolerance)) return 2;
+    } else if (arg == "--comm-tolerance") {
+      if (!next_double(opts.comm_tolerance)) return 2;
     } else {
       positional.push_back(arg);
     }
@@ -217,7 +229,7 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: gala_perf_diff <baseline> <current> [--tolerance T] "
-                 "[--ms-tolerance M] [--alloc-tolerance A]\n");
+                 "[--ms-tolerance M] [--alloc-tolerance A] [--comm-tolerance C]\n");
     return 2;
   }
 
