@@ -13,7 +13,9 @@
 #include "bench_util.hpp"
 #include "gala/core/bsp_louvain.hpp"
 #include "gala/graph/generators.hpp"
+#include "gala/metrics/health.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
+#include "gala/telemetry/flight_recorder.hpp"
 
 int main() {
   using namespace gala;
@@ -52,6 +54,9 @@ int main() {
       }
       std::printf("%-16s %-13s Q=%.5f, %u communities, %.4f modeled ms\n", name,
                   core::to_string(policy).c_str(), r.modularity, r.num_communities, modeled_ms);
+      // Health summary on the same trajectory: every field is derived from
+      // the modeled iteration series, so it baselines bit-identically.
+      const auto health = metrics::analyze_iterations(r.iterations, g.num_vertices());
       rec.row()
           .field("graph", name)
           .field("policy", core::to_string(policy))
@@ -61,7 +66,12 @@ int main() {
           .field("modeled_ms", modeled_ms)
           .field("ws_heap_allocs", r.workspace.heap_allocs)
           .field("ws_peak_bytes", r.workspace.peak_bytes)
-          .field("ws_reuse_efficiency", r.workspace.reuse_rate());
+          .field("ws_reuse_efficiency", r.workspace.reuse_rate())
+          .field("health_stalled", static_cast<std::uint64_t>(health.stalled ? 1 : 0))
+          .field("health_frontier_half_life", health.frontier_half_life)
+          .field("health_churn_peak", health.churn_peak)
+          .field("health_churn_mean", health.churn_mean)
+          .field("health_ht_probe_trend", health.ht_probe_trend);
     }
   }
   // One shuffle-kernel pass so the profile also covers decide_shuffle.
@@ -129,6 +139,56 @@ int main() {
           .field("codec_raw_bytes", sync_raw_bytes)
           .field("codec_packed_bytes", sync_bytes);
     }
+  }
+  // Flight-recorder overhead row: the same sequential phase-1 run with the
+  // recorder armed and disarmed. The contract is twofold: the modeled
+  // counters must be untouched by instrumentation (flight_overhead_pct
+  // compares modeled time and gates absolutely — see gala_perf_diff's
+  // "_overhead_pct" rule), and the wall-clock cost of the armed ring stays
+  // informational (wall_* keys are skipped by the diff, printed for humans).
+  {
+    auto& recorder = telemetry::FlightRecorder::global();
+    double modeled[2] = {0, 0};  // [disarmed, armed]
+    double wall_ms[2] = {0, 0};
+    std::uint64_t events = 0;
+    for (const int armed : {0, 1}) {
+      if (armed) {
+        telemetry::FlightRecorder::arm();
+      } else {
+        telemetry::FlightRecorder::disarm();
+      }
+      recorder.reset();
+      core::BspConfig cfg;
+      cfg.parallel = false;
+      Timer t;
+      core::BspLouvainEngine engine(graphs[1].g, cfg);
+      const auto r = engine.run();
+      wall_ms[armed] = t.milliseconds();
+      for (const auto& it : r.iterations) {
+        modeled[armed] += cfg.device.modeled_ms(it.decide_traffic) +
+                          cfg.device.modeled_ms(it.update_traffic);
+      }
+      if (armed) events = recorder.recorded();
+    }
+    telemetry::FlightRecorder::arm();  // leave the process-wide default
+    const double modeled_overhead =
+        modeled[0] > 0 ? 100.0 * (modeled[1] - modeled[0]) / modeled[0] : 0.0;
+    const double wall_overhead =
+        wall_ms[0] > 0 ? 100.0 * (wall_ms[1] - wall_ms[0]) / wall_ms[0] : 0.0;
+    std::printf("%-16s %-13s %.4f modeled ms armed vs %.4f disarmed (%+.3f%%), "
+                "%llu events, wall %+.2f%%\n",
+                "flight_recorder", "overhead", modeled[1], modeled[0], modeled_overhead,
+                static_cast<unsigned long long>(events), wall_overhead);
+    rec.row()
+        .field("graph", "planted")
+        .field("policy", "flight_overhead")
+        .field("modeled_ms_armed", modeled[1])
+        .field("modeled_ms_disarmed", modeled[0])
+        .field("flight_overhead_pct", modeled_overhead)
+        .field("flight_events", events)
+        .field("wall_ms_armed", wall_ms[1])
+        .field("wall_ms_disarmed", wall_ms[0])
+        .field("wall_flight_overhead_pct", wall_overhead);
   }
   rec.save();
   return 0;

@@ -139,7 +139,8 @@ class JsonWriter {
         default:
           if (static_cast<unsigned char>(c) < 0x20) {
             char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
             out_ << buf;
           } else {
             out_ << c;

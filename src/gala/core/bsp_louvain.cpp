@@ -7,6 +7,7 @@
 #include "gala/common/error.hpp"
 #include "gala/common/timer.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::core {
@@ -181,6 +182,8 @@ void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
   iter_stats.ht_maintenance_rate = total.traffic.maintenance_rate();
   iter_stats.ht_access_rate = total.traffic.access_rate();
   iter_stats.ht_mean_probe_length = total.traffic.mean_probe_length();
+  telemetry::flight(telemetry::FlightKind::Decide, static_cast<double>(shuffle_list_.size()),
+                    static_cast<double>(hash_list_.size()));
   if (span.active()) {
     span.arg("shuffle_vertices", static_cast<double>(shuffle_list_.size()));
     span.arg("hash_vertices", static_cast<double>(hash_list_.size()));
@@ -353,6 +356,8 @@ Phase1Result BspLouvainEngine::run() {
 
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     telemetry::ScopedSpan iter_span(telemetry::Tracer::global(), "iteration", "phase1");
+    telemetry::flight(telemetry::FlightKind::IterationBegin, static_cast<double>(iter),
+                      static_cast<double>(n));
     IterationStats stats;
     const std::uint64_t ws_allocs_before = ws.stats().heap_allocs;
     Timer other_timer;
@@ -370,6 +375,8 @@ Phase1Result BspLouvainEngine::run() {
         prune_span.arg("active", static_cast<double>(stats.active));
         prune_span.arg("pruned", static_cast<double>(n - stats.active));
       }
+      telemetry::flight(telemetry::FlightKind::Prune, static_cast<double>(stats.active),
+                        static_cast<double>(n - stats.active));
     }
     stats.other_wall += other_timer.seconds();
 
@@ -386,6 +393,8 @@ Phase1Result BspLouvainEngine::run() {
       moved_count += moved[v];
     }
     stats.moved = moved_count;
+    telemetry::flight(telemetry::FlightKind::Apply, static_cast<double>(moved_count),
+                      static_cast<double>(iter));
 
     // Confusion matrix (oracle mode): evaluate pruned vertices off-the-books.
     if (config_.track_confusion) {
@@ -458,8 +467,11 @@ Phase1Result BspLouvainEngine::run() {
       registry.histogram("phase1.active_per_iteration").observe(stats.active);
     }
 
+    telemetry::flight(telemetry::FlightKind::IterationEnd, stats.modularity, stats.delta_q);
+
     result.iterations.push_back(stats);
     if (observer_) observer_(iter, stats, active, moved);
+    if (config_.on_iteration) config_.on_iteration(iter, stats, active, moved, comm_);
 
     if (moved_count == 0 || stats.delta_q < config_.theta) break;
   }

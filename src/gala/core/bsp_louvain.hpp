@@ -36,6 +36,18 @@ namespace gala::core {
 enum class WeightUpdateMode { Recompute, Delta };
 std::string to_string(WeightUpdateMode mode);
 
+struct IterationStats;
+
+/// End-of-iteration hook shared by the single-GPU and distributed engines:
+/// the iteration index (0-based within the level), its stats, the
+/// active/moved flags, and the post-iteration community array. Spans are
+/// valid only during the call. Used by the algorithm-health layer
+/// (gala/metrics/health.hpp) to track convergence without the engine
+/// depending on gala_metrics.
+using IterationCallback =
+    std::function<void(int, const IterationStats&, std::span<const std::uint8_t>,
+                       std::span<const std::uint8_t>, std::span<const cid_t>)>;
+
 struct BspConfig {
   PruningStrategy pruning = PruningStrategy::ModularityGain;
   KernelMode kernel = KernelMode::Auto;
@@ -62,6 +74,10 @@ struct BspConfig {
   /// multi-level pipeline (run_louvain) shares one context across levels so
   /// level N reuses level N-1's slabs. Must outlive the engine.
   exec::ExecutionContext* context = nullptr;
+  /// End-of-iteration hook (convergence diagnostics). Travels with the
+  /// config, so run_louvain and the supervisor forward it to every level's
+  /// engine for free.
+  IterationCallback on_iteration;
 };
 
 struct IterationStats {

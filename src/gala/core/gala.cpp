@@ -7,6 +7,7 @@
 #include "gala/core/modularity.hpp"
 #include "gala/core/refinement.hpp"
 #include "gala/core/vertex_following.hpp"
+#include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::core {
@@ -58,6 +59,8 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
 
   for (int level = 0; level < cfg.max_levels; ++level) {
     telemetry::ScopedSpan level_span(telemetry::Tracer::global(), "level", "pipeline");
+    telemetry::flight(telemetry::FlightKind::LevelBegin, static_cast<double>(level),
+                      static_cast<double>(current->num_vertices()));
     Timer level_timer;
     Phase1Result phase1 = bsp_phase1(*current, cfg.bsp);
     if (level == 0 && config.keep_first_round) result.first_round = phase1;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gala/telemetry/flight_recorder.hpp"
+
 namespace gala::exec {
 
 std::uint64_t Workspace::checkout(std::size_t bytes, std::uint64_t tag, Slab& out,
@@ -46,6 +48,10 @@ std::uint64_t Workspace::checkout(std::size_t bytes, std::uint64_t tag, Slab& ou
   out.capacity = capacity;
   out.tag_hash = tag;
   ++stats_.heap_allocs;
+  // Pool misses are the interesting checkout outcome (steady-state loops run
+  // alloc-free), so only they earn a flight event.
+  telemetry::flight(telemetry::FlightKind::WorkspaceAlloc, static_cast<double>(capacity),
+                    static_cast<double>(stats_.heap_allocs));
   stats_.bytes_allocated += capacity;
   stats_.outstanding_bytes += capacity;
   stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.outstanding_bytes);

@@ -10,6 +10,7 @@
 #include "gala/core/aggregation.hpp"
 #include "gala/core/modularity.hpp"
 #include "gala/multigpu/delta_codec.hpp"
+#include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::multigpu {
@@ -80,6 +81,13 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
   Timer wall_timer;
 
   auto rank_main = [&](std::size_t rank) {
+    // Ambient rank for the thread: every span and flight event recorded
+    // below lands on this rank's track in the merged Chrome trace.
+    telemetry::RankScope rank_scope(static_cast<int>(rank));
+    // Correlates each posted gather with its completion across the window:
+    // ids are rank-unique (rank in the high word, a running sequence low).
+    std::uint64_t flow_seq = 0;
+    auto next_flow_id = [&] { return (static_cast<std::uint64_t>(rank) << 32) | ++flow_seq; };
     RankState& st = ranks[rank];
     st.range = ranges[rank];
     st.comm.resize(n);
@@ -234,6 +242,8 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
     std::string spec_error;
 
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+      telemetry::flight(telemetry::FlightKind::IterationBegin, static_cast<double>(iter),
+                        static_cast<double>(n), static_cast<int>(rank));
       // --- 1+2. Prune + DecideAndMove over the owned range. -------------
       // Frontier vertices may have been decided speculatively during the
       // previous weight gather; everything else goes through the same
@@ -302,13 +312,23 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       // --- 3. Community sync: dense vs sparse (§4.3). -------------------
       double moved_total_d = static_cast<double>(local_moves.size());
       double encoded_total_d = 0;
+      double active_total_d = 0;
+      const bool observe = static_cast<bool>(config.on_iteration);  // same on every rank
       {
-        double buf[3] = {moved_total_d, decide_error.empty() ? 0.0 : 1.0,
-                         static_cast<double>(enc_moves.size())};
-        comm_world.all_reduce_sum(rank, std::span<double>(buf, compress_on ? 3 : 2),
-                                  st.timeline.comm);
+        // The observer's global active count rides a 4th reduce slot; the
+        // slot exists only when an observer is set, so baseline runs ship
+        // exactly the historical byte counts.
+        double active_partial = 0;
+        if (observe && decide_error.empty()) {
+          for (vid_t v = st.range.begin; v < st.range.end; ++v) active_partial += st.active[v];
+        }
+        double buf[4] = {moved_total_d, decide_error.empty() ? 0.0 : 1.0,
+                         static_cast<double>(enc_moves.size()), active_partial};
+        const std::size_t nbuf = observe ? 4 : (compress_on ? 3u : 2u);
+        comm_world.all_reduce_sum(rank, std::span<double>(buf, nbuf), st.timeline.comm);
         moved_total_d = buf[0];
         encoded_total_d = buf[2];
+        active_total_d = buf[3];
         if (buf[1] > 0) {
           // Symmetric fail-closed: every rank throws after the same
           // collective, so nobody is left waiting at a barrier.
@@ -366,6 +386,11 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
                          : st.range.size() * sizeof(cid_t);
           telemetry::ScopedSpan sync_span(telemetry::Tracer::global(),
                                           sparse_now ? "sync_sparse" : "sync_dense", "multigpu");
+          const CommStats sync_comm_before = st.timeline.comm;
+          if (!overlap_on) {
+            telemetry::flight(telemetry::FlightKind::SyncPost, static_cast<double>(iter),
+                              static_cast<double>(shipped_bytes), static_cast<int>(rank));
+          }
           if (overlap_on) {
             // Post the exchange, then work the local frontier while it is in
             // flight. The staged emissions read only rank-local state, so
@@ -374,14 +399,28 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
             std::fill(st.moved.begin(), st.moved.end(), 0);
             for (const MoveRecord& m : local_moves) st.moved[m.vertex] = 1;
             Communicator::PendingGather pending;
-            if (sparse_now && compress_on) {
-              pending = comm_world.post_gather_v<std::byte>(rank, enc_moves.span());
-            } else if (sparse_now) {
-              pending = comm_world.post_gather_v<MoveRecord>(rank, local_moves.span());
-            } else {
-              pending = comm_world.post_gather_v<cid_t>(
-                  rank,
-                  std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()));
+            std::uint64_t flow_id = 0;
+            {
+              telemetry::ScopedSpan post_span(telemetry::Tracer::global(), "post_gather",
+                                              "multigpu");
+              if (sparse_now && compress_on) {
+                pending = comm_world.post_gather_v<std::byte>(rank, enc_moves.span());
+              } else if (sparse_now) {
+                pending = comm_world.post_gather_v<MoveRecord>(rank, local_moves.span());
+              } else {
+                pending = comm_world.post_gather_v<cid_t>(
+                    rank,
+                    std::span<const cid_t>(st.next_comm.data() + st.range.begin, st.range.size()));
+              }
+              if (post_span.active()) {
+                flow_id = next_flow_id();
+                post_span.arg("rank", static_cast<double>(rank));
+                post_span.arg("iteration", static_cast<double>(iter));
+                post_span.arg("bytes", static_cast<double>(shipped_bytes));
+                post_span.flow_out(flow_id);
+              }
+              telemetry::flight(telemetry::FlightKind::SyncPost, static_cast<double>(iter),
+                                static_cast<double>(shipped_bytes), static_cast<int>(rank));
             }
             double credit_us = 0;
             if (!staged_ready) {
@@ -408,21 +447,40 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
               st.timeline.traffic += wstats;
               credit_us = config.device.modeled_ms(wstats) * 1e3;
             }
-            if (sparse_now && compress_on) {
-              comm_world.complete_gather_v<std::byte>(std::move(pending), st.timeline.comm,
-                                                      enc_recv, credit_us);
-              recv_moves.clear();
-              decode_moves(enc_recv.span(), n, recv_moves);
-              for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
-            } else if (sparse_now) {
-              comm_world.complete_gather_v<MoveRecord>(std::move(pending), st.timeline.comm,
-                                                       recv_moves, credit_us);
-              for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
-            } else {
-              comm_world.complete_gather_v<cid_t>(std::move(pending), st.timeline.comm,
-                                                  recv_slices, credit_us);
-              GALA_ASSERT(recv_slices.size() == n);
-              std::copy(recv_slices.begin(), recv_slices.end(), st.next_comm.begin());
+            {
+              telemetry::ScopedSpan comp_span(telemetry::Tracer::global(), "complete_gather",
+                                              "multigpu");
+              const CommStats comm_before = st.timeline.comm;
+              if (sparse_now && compress_on) {
+                comm_world.complete_gather_v<std::byte>(std::move(pending), st.timeline.comm,
+                                                        enc_recv, credit_us);
+                recv_moves.clear();
+                decode_moves(enc_recv.span(), n, recv_moves);
+                for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
+              } else if (sparse_now) {
+                comm_world.complete_gather_v<MoveRecord>(std::move(pending), st.timeline.comm,
+                                                         recv_moves, credit_us);
+                for (const MoveRecord& m : recv_moves) st.next_comm[m.vertex] = m.community;
+              } else {
+                comm_world.complete_gather_v<cid_t>(std::move(pending), st.timeline.comm,
+                                                    recv_slices, credit_us);
+                GALA_ASSERT(recv_slices.size() == n);
+                std::copy(recv_slices.begin(), recv_slices.end(), st.next_comm.begin());
+              }
+              const double wait_delta = st.timeline.comm.wait_us() - comm_before.wait_us();
+              if (comp_span.active()) {
+                comp_span.arg("rank", static_cast<double>(rank));
+                comp_span.arg("iteration", static_cast<double>(iter));
+                // Comm-wait attribution for this window: full modeled cost,
+                // the slice hidden behind the staged work, and the exposed
+                // remainder on the critical path.
+                comp_span.arg("modeled_us", st.timeline.comm.modeled_us - comm_before.modeled_us);
+                comp_span.arg("hidden_us", st.timeline.comm.hidden_us - comm_before.hidden_us);
+                comp_span.arg("wait_us", wait_delta);
+                if (flow_id != 0) comp_span.flow_in(flow_id);
+              }
+              telemetry::flight(telemetry::FlightKind::SyncComplete, static_cast<double>(iter),
+                                wait_delta, static_cast<int>(rank));
             }
           } else if (sparse_now && compress_on) {
             comm_world.all_gather_v_into<std::byte>(rank, enc_moves.span(), st.timeline.comm,
@@ -442,6 +500,11 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
                 st.timeline.comm, recv_slices);
             GALA_ASSERT(recv_slices.size() == n);
             std::copy(recv_slices.begin(), recv_slices.end(), st.next_comm.begin());
+          }
+          if (!overlap_on) {
+            telemetry::flight(telemetry::FlightKind::SyncComplete, static_cast<double>(iter),
+                              st.timeline.comm.wait_us() - sync_comm_before.wait_us(),
+                              static_cast<int>(rank));
           }
           if (sync_span.active()) {
             sync_span.arg("rank", static_cast<double>(rank));
@@ -547,8 +610,23 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
         telemetry::ScopedSpan wsync_span(telemetry::Tracer::global(), "sync_weights", "multigpu");
         try {
           if (overlap_on) {
-            Communicator::PendingGather pending =
-                comm_world.post_gather_v<WeightMsg>(rank, out_msgs.span());
+            Communicator::PendingGather pending;
+            std::uint64_t flow_id = 0;
+            {
+              telemetry::ScopedSpan post_span(telemetry::Tracer::global(), "post_gather",
+                                              "multigpu");
+              pending = comm_world.post_gather_v<WeightMsg>(rank, out_msgs.span());
+              if (post_span.active()) {
+                flow_id = next_flow_id();
+                post_span.arg("rank", static_cast<double>(rank));
+                post_span.arg("iteration", static_cast<double>(iter));
+                post_span.arg("bytes", static_cast<double>(out_msgs.size() * sizeof(WeightMsg)));
+                post_span.flow_out(flow_id);
+              }
+              telemetry::flight(telemetry::FlightKind::SyncPost, static_cast<double>(iter),
+                                static_cast<double>(out_msgs.size() * sizeof(WeightMsg)),
+                                static_cast<int>(rank));
+            }
             double credit_us = 0;
             if (!window2_done) {
               // Weight-gather window: apply the rank-local (elided)
@@ -605,8 +683,24 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
               st.timeline.traffic += wstats;
               credit_us = config.device.modeled_ms(wstats) * 1e3;
             }
-            comm_world.complete_gather_v<WeightMsg>(std::move(pending), st.timeline.comm,
-                                                    recv_msgs, credit_us);
+            {
+              telemetry::ScopedSpan comp_span(telemetry::Tracer::global(), "complete_gather",
+                                              "multigpu");
+              const CommStats comm_before = st.timeline.comm;
+              comm_world.complete_gather_v<WeightMsg>(std::move(pending), st.timeline.comm,
+                                                      recv_msgs, credit_us);
+              const double wait_delta = st.timeline.comm.wait_us() - comm_before.wait_us();
+              if (comp_span.active()) {
+                comp_span.arg("rank", static_cast<double>(rank));
+                comp_span.arg("iteration", static_cast<double>(iter));
+                comp_span.arg("modeled_us", st.timeline.comm.modeled_us - comm_before.modeled_us);
+                comp_span.arg("hidden_us", st.timeline.comm.hidden_us - comm_before.hidden_us);
+                comp_span.arg("wait_us", wait_delta);
+                if (flow_id != 0) comp_span.flow_in(flow_id);
+              }
+              telemetry::flight(telemetry::FlightKind::SyncComplete, static_cast<double>(iter),
+                                wait_delta, static_cast<int>(rank));
+            }
           } else {
             comm_world.all_gather_v_into<WeightMsg>(rank, out_msgs.span(), st.timeline.comm,
                                                     recv_msgs);
@@ -665,6 +759,20 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
                                         sparse_now ? sparse_bytes : dense_bytes,
                                         sparse_now ? raw_sparse_bytes : dense_bytes, q, dq,
                                         recovered_dense});
+      }
+      if (rank == 0 && observe) {
+        // Globally-reduced stats over the synced replica: identical numbers
+        // regardless of sync mode, overlap, or compression, so health
+        // reports stay byte-identical across communication configs.
+        core::IterationStats is;
+        is.active = static_cast<vid_t>(active_total_d);
+        is.moved = moved_total;
+        is.modularity = q;
+        is.delta_q = dq;
+        config.on_iteration(iter, is, {}, {}, std::span<const cid_t>(st.comm.data(), n));
+      }
+      if (rank == 0) {
+        telemetry::flight(telemetry::FlightKind::IterationEnd, q, dq, 0);
       }
       comm_world.barrier();  // iteration_log visible before anyone proceeds
 

@@ -76,6 +76,14 @@ struct DistributedConfig {
   /// Sparse syncs ship compressed delta frames; the adaptive crossover
   /// compares the real encoded payload against the dense size.
   bool compress = false;
+  /// End-of-iteration hook, invoked on rank 0 after the modularity reduce
+  /// with globally-reduced stats (active/moved are cluster-wide counts; the
+  /// community span is the synced post-iteration replica). Setting it adds
+  /// one slot to the per-iteration moved-count reduction — the global active
+  /// count rides along — so runs without an observer ship exactly the
+  /// baseline byte counts. Used by the algorithm-health layer
+  /// (metrics/health.hpp); the active/moved flag spans are empty.
+  core::IterationCallback on_iteration;
 };
 
 /// Per-device accounting for the Fig. 10(b) breakdown.

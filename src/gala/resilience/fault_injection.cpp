@@ -5,6 +5,7 @@
 
 #include "gala/common/json.hpp"
 #include "gala/common/prng.hpp"
+#include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::resilience {
@@ -141,8 +142,10 @@ bool FaultInjector::should_fire(FaultSite site, std::string_view label, int rank
       if (static_cast<double>(h >> 11) * 0x1.0p-53 >= rule.probability) continue;
     }
     ++fired_[i];
-    fires_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t total = fires_.fetch_add(1, std::memory_order_relaxed) + 1;
     telemetry::Registry::global().counter("resilience.faults_injected").add(1);
+    telemetry::flight(telemetry::FlightKind::FaultFire, static_cast<double>(static_cast<int>(site)),
+                      static_cast<double>(total), rank);
     if (fired_rule != nullptr) *fired_rule = rule;
     return true;
   }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -11,6 +12,8 @@
 #include "gala/core/refinement.hpp"
 #include "gala/core/sequential_louvain.hpp"
 #include "gala/core/vertex_following.hpp"
+#include "gala/metrics/health.hpp"
+#include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::resilience {
@@ -119,6 +122,31 @@ SupervisedResult run_louvain_supervised(const graph::Graph& g, const core::GalaC
   auto& fallback_counter = telemetry::Registry::global().counter("resilience.sequential_fallbacks");
   auto& rollback_counter = telemetry::Registry::global().counter("resilience.rollbacks");
 
+  // Post-mortem hook: each recovery decision dumps the flight recorder's
+  // merged event window. write_postmortem is noexcept — a dump that cannot
+  // be written never masks the incident being recorded.
+  auto dump_flight = [&sup](const std::string& reason) {
+    if (sup.flight_dump_path.empty()) return;
+    telemetry::FlightRecorder::global().write_postmortem(sup.flight_dump_path, reason,
+                                                         sup.flight_dump_depth);
+  };
+
+  // Health advisory: a fresh monitor per phase-1 attempt (each attempt is
+  // one engine run == one level trajectory), observed through the engine's
+  // iteration callback without displacing the caller's own hook.
+  core::BspConfig bsp = config.bsp;
+  metrics::HealthMonitor* live_monitor = nullptr;
+  if (sup.health_advisory) {
+    core::IterationCallback user = config.bsp.on_iteration;
+    bsp.on_iteration = [&live_monitor, user](int iter, const core::IterationStats& stats,
+                                             std::span<const std::uint8_t> active,
+                                             std::span<const std::uint8_t> moved,
+                                             std::span<const cid_t> comm) {
+      if (live_monitor != nullptr) live_monitor->observe(iter, stats, active, moved, comm);
+      if (user) user(iter, stats, active, moved, comm);
+    };
+  }
+
   const vid_t n = g.num_vertices();
   result.assignment.resize(n);
   for (vid_t v = 0; v < n; ++v) result.assignment[v] = v;
@@ -140,41 +168,91 @@ SupervisedResult run_louvain_supervised(const graph::Graph& g, const core::GalaC
     // ---- phase 1 under retry/degradation ----------------------------------
     Phase1Result phase1;
     bool level_ok = false;
+    std::optional<metrics::HealthMonitor> attempt_monitor;
     for (int attempt = 0; !level_ok; ++attempt) {
       try {
-        phase1 = core::bsp_phase1(*current, config.bsp);
+        if (sup.health_advisory) {
+          attempt_monitor.emplace();
+          live_monitor = &*attempt_monitor;
+        }
+        phase1 = core::bsp_phase1(*current, bsp);
         if (sup.validate) {
           validate_partition(*current, phase1.community);
           validate_modularity(phase1.modularity);
         }
         level_ok = true;
       } catch (const Error& e) {
-        if (sup.strict || !is_transient(e)) throw;
+        if (dynamic_cast<const ValidationError*>(&e) != nullptr) {
+          telemetry::flight(telemetry::FlightKind::ValidatorFail, static_cast<double>(level),
+                            static_cast<double>(attempt));
+        }
+        if (sup.strict || !is_transient(e)) {
+          dump_flight(std::string("fatal: ") + e.what());
+          throw;
+        }
         if (attempt < sup.max_retries) {
+          telemetry::flight(telemetry::FlightKind::Retry, static_cast<double>(level),
+                            static_cast<double>(attempt));
           sr.events.push_back({level, attempt, "phase1", "retry", e.what()});
           ++sr.retries;
           retries_counter.add(1);
+          dump_flight(std::string("retry: ") + e.what());
           if (sup.backoff_base_ms > 0) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(static_cast<long>(sup.backoff_base_ms) << attempt));
           }
           continue;
         }
-        if (!sup.sequential_fallback) throw;
+        if (!sup.sequential_fallback) {
+          dump_flight(std::string("retries-exhausted: ") + e.what());
+          throw;
+        }
         // Last resort: re-run this level on the sequential host path. If the
         // armed plan reaches this path too, the fault propagates — the run
         // fails closed with the injection point named.
         telemetry::ScopedSpan fb_span(telemetry::Tracer::global(), "sequential-fallback",
                                       "resilience");
+        telemetry::flight(telemetry::FlightKind::SequentialFallback, static_cast<double>(level),
+                          static_cast<double>(attempt));
         sr.events.push_back({level, attempt, "phase1", "sequential-fallback", e.what()});
         fallback_counter.add(1);
         sr.degraded = true;
+        dump_flight(std::string("sequential-fallback: ") + e.what());
+        if (sup.health_advisory) {
+          // The failed BSP attempt may have fed the monitor a partial
+          // trajectory; the sequential path reports no iterations, so start
+          // clean rather than misattribute the aborted attempt.
+          attempt_monitor.emplace();
+          live_monitor = &*attempt_monitor;
+        }
         phase1 = sequential_host_phase1(*current, config.bsp);
         if (sup.validate) {
           validate_partition(*current, phase1.community);
           validate_modularity(phase1.modularity);
         }
         level_ok = true;
+      }
+    }
+
+    // ---- health advisory on the attempt that stuck ------------------------
+    if (sup.health_advisory && attempt_monitor.has_value()) {
+      live_monitor = nullptr;
+      metrics::HealthReport attempt_health = attempt_monitor->report();
+      sr.health.config = attempt_health.config;
+      for (metrics::LevelHealth lv : attempt_health.levels) {
+        lv.level = level;  // the monitor numbers attempts; renumber to the pipeline level
+        if (lv.stalled) {
+          sr.events.push_back({level, 0, "health", "advisory",
+                               "stall: gain below epsilon from iteration " +
+                                   std::to_string(lv.first_stall) + " while vertices still move"});
+        }
+        if (lv.oscillating_vertices > 0) {
+          sr.events.push_back({level, 0, "health", "advisory",
+                               std::to_string(lv.oscillating_vertices) +
+                                   " oscillating vertices (" +
+                                   std::to_string(lv.oscillation_moves) + " flip-flops)"});
+        }
+        sr.health.levels.push_back(std::move(lv));
       }
     }
 
@@ -198,10 +276,13 @@ SupervisedResult run_louvain_supervised(const graph::Graph& g, const core::GalaC
         GALA_THROW(ValidationError, "modularity regressed at level "
                                         << level << ": " << phase1.modularity << " < " << prev_q);
       }
+      telemetry::flight(telemetry::FlightKind::Rollback, static_cast<double>(level),
+                        phase1.modularity);
       sr.events.push_back({level, 0, "monotonicity", "rollback",
                            "level modularity " + std::to_string(phase1.modularity) +
                                " below best " + std::to_string(best.modularity)});
       rollback_counter.add(1);
+      dump_flight("rollback: modularity regressed at level " + std::to_string(level));
       sr.rolled_back = true;
       result.assignment = best.assignment;
       prev_q = best.modularity;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "gala/core/gala.hpp"
+#include "gala/metrics/health.hpp"
 #include "gala/resilience/fault_injection.hpp"
 
 namespace gala::resilience {
@@ -63,6 +64,19 @@ struct SupervisorConfig {
   bool validate = true;
   /// Modularity-monotonicity tolerance before a rollback triggers.
   double q_slack = 1e-9;
+  /// When non-empty, every recovery decision (retry, validator failure,
+  /// sequential fallback, rollback) dumps the flight recorder's merged
+  /// event window to this path as a post-mortem JSON document
+  /// (telemetry/flight_recorder.hpp). Later dumps overwrite earlier ones,
+  /// so the file always holds the window around the *latest* incident.
+  std::string flight_dump_path;
+  /// Keep only the newest N events per dump (0 = the full window).
+  std::size_t flight_dump_depth = 0;
+  /// Run the algorithm-health monitor (metrics/health.hpp) over every
+  /// level's iteration trajectory and record stall / oscillation verdicts
+  /// as advisory RecoveryEvents (stage "health", action "advisory"). Purely
+  /// observational: advisories never trigger retries or rollbacks.
+  bool health_advisory = true;
 };
 
 /// One recovery decision taken by the supervisor (chronological).
@@ -92,6 +106,10 @@ struct SupervisedResult {
   bool degraded = false;
   /// True when the monotonicity guard rejected a level.
   bool rolled_back = false;
+  /// Algorithm-health verdicts per accepted attempt (only populated when
+  /// SupervisorConfig::health_advisory is on). Retried attempts restart the
+  /// level trajectory, so the report reflects the attempt that stuck.
+  metrics::HealthReport health;
 };
 
 // -- Inter-phase validators (throw ValidationError) --------------------------

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <set>
 
 #include "gala/common/error.hpp"
 
@@ -70,6 +71,7 @@ void JsonSink::flush() {
     w.key("tid").value(static_cast<std::uint64_t>(s.tid));
     w.key("depth").value(static_cast<std::uint64_t>(s.depth));
     w.key("seq").value(s.seq);
+    w.key("rank").value(static_cast<double>(s.rank));
     w.key("args");
     append_args_object(w, s.args);
     w.end_object();
@@ -88,19 +90,76 @@ void ChromeTraceSink::on_span(const SpanRecord& span) {
 
 namespace {
 
+/// Rank-scoped spans render on their own process track: pid = rank + 1, so
+/// pid 0 stays the host/unscoped track and rank r is track r + 1.
+int chrome_pid(const SpanRecord& s) { return s.rank >= 0 ? s.rank + 1 : 0; }
+
 void append_chrome_events(JsonWriter& w, const std::vector<SpanRecord>& spans) {
   w.key("traceEvents").begin_array();
+  std::set<int> pids;
   for (const auto& s : spans) {
+    const int pid = chrome_pid(s);
+    pids.insert(pid);
     w.begin_object();
     w.key("name").value(s.name);
     w.key("cat").value(s.category);
     w.key("ph").value("X");
     w.key("ts").value(s.start_us);
     w.key("dur").value(s.dur_us);
-    w.key("pid").value(0);
+    w.key("pid").value(pid);
     w.key("tid").value(static_cast<std::uint64_t>(s.tid));
     w.key("args");
     append_args_object(w, s.args);
+    w.end_object();
+    // Flow arrows bind to the enclosing slice: the start rides the posting
+    // span's end, the finish the completing span's begin. Viewers draw one
+    // arrow per id from "s" to "f" (post_gather -> complete_gather).
+    if (s.flow_out != 0) {
+      w.begin_object();
+      w.key("name").value("gather");
+      w.key("cat").value("flow");
+      w.key("ph").value("s");
+      w.key("id").value(s.flow_out);
+      w.key("ts").value(s.start_us + s.dur_us);
+      w.key("pid").value(pid);
+      w.key("tid").value(static_cast<std::uint64_t>(s.tid));
+      w.end_object();
+    }
+    if (s.flow_in != 0) {
+      w.begin_object();
+      w.key("name").value("gather");
+      w.key("cat").value("flow");
+      w.key("ph").value("f");
+      w.key("bp").value("e");
+      w.key("id").value(s.flow_in);
+      w.key("ts").value(s.start_us);
+      w.key("pid").value(pid);
+      w.key("tid").value(static_cast<std::uint64_t>(s.tid));
+      w.end_object();
+    }
+  }
+  // Name the per-rank tracks so the merged trace reads "rank 0..P-1" rather
+  // than bare pid numbers. Host-only traces (no rank-scoped span anywhere)
+  // skip the metadata and keep the legacy single-track shape.
+  if (pids.size() == 1 && *pids.begin() == 0) pids.clear();
+  for (const int pid : pids) {
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("ts").value(0.0);
+    w.key("pid").value(pid);
+    w.key("args").begin_object();
+    w.key("name").value(pid == 0 ? std::string("host") : "rank " + std::to_string(pid - 1));
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.key("name").value("process_sort_index");
+    w.key("ph").value("M");
+    w.key("ts").value(0.0);
+    w.key("pid").value(pid);
+    w.key("args").begin_object();
+    w.key("sort_index").value(pid);
+    w.end_object();
     w.end_object();
   }
   w.end_array();
@@ -239,6 +298,7 @@ ScopedSpan::ScopedSpan(Tracer& tracer, std::string_view name, std::string_view c
   rec_.name.assign(name);
   rec_.category.assign(category);
   rec_.tid = this_thread_id();
+  rec_.rank = RankScope::current();
   rec_.depth = this_thread_depth()++;
   rec_.seq = tracer.next_seq();
   rec_.start_us = tracer.now_us();

@@ -43,6 +43,27 @@ namespace gala::telemetry {
 /// Numeric span payload: (key, value) pairs, e.g. {"global_reads", 1234}.
 using Args = std::vector<std::pair<std::string, double>>;
 
+/// Ambient multi-GPU rank for the current thread. A rank's worker thread
+/// installs one scope at entry; every span and flight event recorded inside
+/// picks the rank up automatically, which is what groups the merged Chrome
+/// trace into per-rank tracks. -1 (the default) means "not rank-scoped".
+class RankScope {
+ public:
+  explicit RankScope(int rank) : prev_(current_ref()) { current_ref() = rank; }
+  ~RankScope() { current_ref() = prev_; }
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+  static int current() { return current_ref(); }
+
+ private:
+  static int& current_ref() {
+    thread_local int rank = -1;
+    return rank;
+  }
+  int prev_;
+};
+
 /// One completed span. Timestamps are microseconds relative to the owning
 /// tracer's epoch (its construction, or the last reset()).
 struct SpanRecord {
@@ -53,6 +74,12 @@ struct SpanRecord {
   std::uint32_t tid = 0;   ///< dense per-thread id (not the OS tid)
   std::uint32_t depth = 0; ///< nesting depth within the thread at begin
   std::uint64_t seq = 0;   ///< global begin order
+  std::int32_t rank = -1;  ///< ambient RankScope at begin (-1 = none)
+  /// Flow-arrow correlation (Chrome "s"/"f" events): flow_out emits a flow
+  /// start at this span's end, flow_in a flow finish at its begin. 0 = none.
+  /// Used to link post_gather -> complete_gather pairs across a window.
+  std::uint64_t flow_out = 0;
+  std::uint64_t flow_in = 0;
   Args args;
 };
 
@@ -206,6 +233,15 @@ class ScopedSpan {
 
   void arg(std::string_view key, double value) {
     if (tracer_ != nullptr) rec_.args.emplace_back(key, value);
+  }
+
+  /// Marks this span as the source (flow_out) or destination (flow_in) of a
+  /// Chrome flow arrow; both ends must use the same non-zero id.
+  void flow_out(std::uint64_t id) {
+    if (tracer_ != nullptr) rec_.flow_out = id;
+  }
+  void flow_in(std::uint64_t id) {
+    if (tracer_ != nullptr) rec_.flow_in = id;
   }
 
  private:

@@ -184,6 +184,81 @@ TEST_F(CliE2e, DetectEmitsKernelProfile) {
   }
 }
 
+TEST_F(CliE2e, DetectEmitsFlightRecorderDump) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --flight-out " + path("run.flight.json") +
+                    " --flight-depth 256",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("wrote flight recorder dump to"), std::string::npos);
+
+  std::ifstream in(path("run.flight.json"));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const gala::JsonValue doc = gala::parse_json(ss.str());
+  EXPECT_EQ(doc.at("flight_schema").number, 1);
+  EXPECT_EQ(doc.at("reason").string, "end-of-run");
+  EXPECT_EQ(doc.at("depth").number, 256);
+  const auto& events = doc.at("events").array;
+  ASSERT_FALSE(events.empty());
+  double prev_seq = -1;
+  std::set<std::string> kinds;
+  for (const auto& e : events) {
+    EXPECT_GT(e.at("seq").number, prev_seq);  // the global clock is monotonic
+    prev_seq = e.at("seq").number;
+    kinds.insert(e.at("kind").string);
+  }
+  EXPECT_TRUE(kinds.count("level-begin"));
+  EXPECT_TRUE(kinds.count("iter-begin"));
+  EXPECT_TRUE(kinds.count("iter-end"));
+}
+
+TEST_F(CliE2e, DetectEmitsHealthReport) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --health-out " + path("run.health.json"), &out), 0)
+      << out;
+  EXPECT_NE(out.find("wrote health report to"), std::string::npos);
+
+  std::ifstream in(path("run.health.json"));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const gala::JsonValue doc = gala::parse_json(ss.str());
+  EXPECT_EQ(doc.at("health_schema").number, 1);
+  ASSERT_FALSE(doc.at("levels").array.empty());
+  EXPECT_GT(doc.at("summary").at("total_iterations").number, 0);
+  const auto& lv = doc.at("levels").array[0];
+  EXPECT_GT(lv.at("vertices").number, 0);
+  EXPECT_EQ(lv.at("series").at("modularity").array.size(),
+            static_cast<std::size_t>(lv.at("iterations").number));
+}
+
+TEST_F(CliE2e, UnwritableOutputPathsFailFastWithFileAndReason) {
+  // Every output flag probes its path up front: the run must fail before any
+  // work happens, naming the file and the OS reason.
+  for (const char* flag : {"--trace-out", "--metrics-out", "--profile-out", "--flight-out",
+                           "--health-out"}) {
+    std::string out;
+    EXPECT_NE(run(std::string("detect standin:HW:0.05 ") + flag +
+                      " /nonexistent-dir/out.json",
+                  &out),
+              0)
+        << flag;
+    EXPECT_NE(out.find("/nonexistent-dir/out.json"), std::string::npos) << out;
+    EXPECT_NE(out.find("No such file or directory"), std::string::npos) << out;
+    EXPECT_NE(out.find(flag), std::string::npos) << out;  // which flag was at fault
+  }
+}
+
+TEST_F(CliE2e, InvalidFlightDepthIsRejected) {
+  std::string out;
+  EXPECT_NE(run("detect standin:HW:0.05 --flight-depth 0 --flight-out " +
+                    path("fl.json"),
+                &out),
+            0);
+  EXPECT_NE(out.find("flight-depth"), std::string::npos) << out;
+}
+
 TEST_F(CliE2e, ErrorPathsReturnNonZero) {
   std::string out;
   EXPECT_NE(run("detect /nonexistent/path.txt", &out), 0);

@@ -1,0 +1,349 @@
+// gala::metrics health layer: stall detection, oscillation (flip-flop)
+// tracking, frontier-decay fitting, churn, and the determinism contract —
+// the health report is a function of the algorithm trajectory alone, so it
+// is byte-identical across pooling, parallelism, and sync configurations.
+#include "gala/metrics/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gala/common/json.hpp"
+#include "gala/core/bsp_louvain.hpp"
+#include "gala/core/gala.hpp"
+#include "gala/exec/context.hpp"
+#include "gala/multigpu/dist_louvain.hpp"
+#include "test_util.hpp"
+
+namespace gala::metrics {
+namespace {
+
+core::IterationStats iter_stats(vid_t active, vid_t moved, double q, double dq,
+                                double probe_len = 0) {
+  core::IterationStats s;
+  s.active = active;
+  s.moved = moved;
+  s.modularity = q;
+  s.delta_q = dq;
+  s.ht_mean_probe_length = probe_len;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// analyze_iterations: stats-only trajectory analysis.
+
+TEST(AnalyzeIterations, HealthyRunIsNotStalled) {
+  std::vector<core::IterationStats> iters = {
+      iter_stats(1000, 600, 0.30, 0.30),
+      iter_stats(700, 300, 0.45, 0.15),
+      iter_stats(350, 100, 0.50, 0.05),
+      iter_stats(120, 10, 0.51, 0.01),
+  };
+  const LevelHealth h = analyze_iterations(iters, 1000);
+  EXPECT_FALSE(h.stalled);
+  EXPECT_EQ(h.first_stall, -1);
+  EXPECT_EQ(h.stall_iterations, 0);
+  EXPECT_EQ(h.iterations, 4);
+  EXPECT_EQ(h.vertices, 1000u);
+  EXPECT_DOUBLE_EQ(h.final_modularity, 0.51);
+  EXPECT_DOUBLE_EQ(h.churn_peak, 0.6);
+  EXPECT_DOUBLE_EQ(h.churn_mean, (600 + 300 + 100 + 10) / 4.0 / 1000.0);
+}
+
+TEST(AnalyzeIterations, FlagsStallAfterWindowFills) {
+  // Three consecutive iterations with vanishing gain while vertices still
+  // move: the definition of a stall (default window = 3).
+  std::vector<core::IterationStats> iters = {
+      iter_stats(1000, 500, 0.30, 0.30),
+      iter_stats(800, 200, 0.40, 0.10),
+      iter_stats(600, 50, 0.40, 1e-9),   // stalled #1
+      iter_stats(500, 40, 0.40, 1e-10),  // stalled #2
+      iter_stats(400, 30, 0.40, 1e-9),   // stalled #3 -> window filled
+  };
+  const LevelHealth h = analyze_iterations(iters, 1000);
+  EXPECT_TRUE(h.stalled);
+  EXPECT_EQ(h.first_stall, 4);  // the iteration at which the window filled
+  EXPECT_EQ(h.stall_iterations, 3);
+}
+
+TEST(AnalyzeIterations, ConvergedQuietIterationsAreNotAStall) {
+  // Tiny gains with zero moves are convergence, not a stall.
+  std::vector<core::IterationStats> iters = {
+      iter_stats(1000, 500, 0.30, 0.30),
+      iter_stats(10, 0, 0.30, 0.0),
+      iter_stats(5, 0, 0.30, 0.0),
+      iter_stats(2, 0, 0.30, 0.0),
+  };
+  const LevelHealth h = analyze_iterations(iters, 1000);
+  EXPECT_FALSE(h.stalled);
+  EXPECT_EQ(h.stall_iterations, 0);
+}
+
+TEST(AnalyzeIterations, StallWindowIsConfigurable) {
+  std::vector<core::IterationStats> iters = {
+      iter_stats(100, 50, 0.3, 1e-9),
+      iter_stats(90, 40, 0.3, 1e-9),
+  };
+  HealthConfig strict;
+  strict.stall_window = 2;
+  EXPECT_TRUE(analyze_iterations(iters, 100, strict).stalled);
+  HealthConfig lax;
+  lax.stall_window = 3;
+  EXPECT_FALSE(analyze_iterations(iters, 100, lax).stalled);
+}
+
+TEST(AnalyzeIterations, FitsFrontierHalfLifeOnGeometricDecay) {
+  // active halves every iteration: half-life should fit to ~1 iteration.
+  std::vector<core::IterationStats> iters = {
+      iter_stats(1024, 512, 0.1, 0.1), iter_stats(512, 256, 0.2, 0.1),
+      iter_stats(256, 128, 0.3, 0.1),  iter_stats(128, 64, 0.4, 0.1),
+      iter_stats(64, 32, 0.5, 0.1),
+  };
+  const LevelHealth h = analyze_iterations(iters, 1024);
+  EXPECT_NEAR(h.frontier_half_life, 1.0, 1e-9);
+}
+
+TEST(AnalyzeIterations, NonDecayingFrontierHasNoHalfLife) {
+  std::vector<core::IterationStats> iters = {
+      iter_stats(1000, 500, 0.1, 0.1),
+      iter_stats(1000, 500, 0.2, 0.1),
+      iter_stats(1000, 500, 0.3, 0.1),
+  };
+  const LevelHealth h = analyze_iterations(iters, 1000);
+  EXPECT_DOUBLE_EQ(h.frontier_half_life, 0.0);
+}
+
+TEST(AnalyzeIterations, ProbeTrendIsLeastSquaresSlope) {
+  std::vector<core::IterationStats> iters = {
+      iter_stats(100, 50, 0.1, 0.1, 1.0),
+      iter_stats(90, 40, 0.2, 0.1, 1.5),
+      iter_stats(80, 30, 0.3, 0.1, 2.0),
+  };
+  const LevelHealth h = analyze_iterations(iters, 100);
+  EXPECT_NEAR(h.ht_probe_trend, 0.5, 1e-9);  // +0.5 probes per iteration
+  EXPECT_EQ(h.oscillating_vertices, 0u);     // stats-only: no vertex history
+  EXPECT_EQ(h.oscillation_moves, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor: per-vertex flip-flop tracking and level boundaries.
+
+void feed(HealthMonitor& m, int iter, const core::IterationStats& s,
+          const std::vector<cid_t>& comm) {
+  m.observe(iter, s, {}, {}, std::span<const cid_t>(comm.data(), comm.size()));
+}
+
+TEST(HealthMonitorTest, DetectsVertexFlipFlop) {
+  HealthMonitor m;
+  // Vertex 0 bounces singleton 0 -> 1 -> 0 -> 1: each return to the
+  // community left two iterations ago is a flip-flop (iterations 1 and 2).
+  // Vertex 1 moves monotonically (1 -> 0, then stays): no oscillation.
+  feed(m, 0, iter_stats(2, 2, 0.1, 0.1), {1, 0});
+  feed(m, 1, iter_stats(2, 1, 0.2, 0.1), {0, 0});
+  feed(m, 2, iter_stats(2, 1, 0.3, 0.1), {1, 0});
+  const HealthReport r = m.report();
+  ASSERT_EQ(r.levels.size(), 1u);
+  EXPECT_EQ(r.levels[0].oscillating_vertices, 1u);
+  EXPECT_EQ(r.levels[0].oscillation_moves, 2u);
+  ASSERT_EQ(r.levels[0].flip_flops.size(), 3u);
+  EXPECT_EQ(r.levels[0].flip_flops[0], 0u);
+  EXPECT_EQ(r.levels[0].flip_flops[1], 1u);
+  EXPECT_EQ(r.levels[0].flip_flops[2], 1u);
+}
+
+TEST(HealthMonitorTest, SustainedOscillationCountsEveryFlip) {
+  HealthMonitor m;
+  // One vertex ping-pongs 0 -> 1 -> 0 -> 1 -> ...: every iteration after the
+  // first returns to the community left two iterations ago.
+  std::vector<cid_t> a = {1}, b = {0};
+  feed(m, 0, iter_stats(1, 1, 0.1, 0.1), a);
+  for (int i = 1; i <= 5; ++i) feed(m, i, iter_stats(1, 1, 0.1, 0.01), i % 2 ? b : a);
+  const HealthReport r = m.report();
+  ASSERT_EQ(r.levels.size(), 1u);
+  EXPECT_EQ(r.levels[0].oscillating_vertices, 1u);
+  EXPECT_EQ(r.levels[0].oscillation_moves, 5u);
+}
+
+TEST(HealthMonitorTest, IterationZeroStartsANewLevel) {
+  HealthMonitor m;
+  feed(m, 0, iter_stats(4, 2, 0.1, 0.1), {0, 0, 1, 1});
+  feed(m, 1, iter_stats(4, 1, 0.2, 0.1), {0, 0, 1, 1});
+  feed(m, 0, iter_stats(2, 1, 0.3, 0.1), {0, 1});  // aggregated graph: new level
+  const HealthReport r = m.report();
+  ASSERT_EQ(r.levels.size(), 2u);
+  EXPECT_EQ(r.levels[0].iterations, 2);
+  EXPECT_EQ(r.levels[0].vertices, 4u);
+  EXPECT_EQ(r.levels[1].iterations, 1);
+  EXPECT_EQ(r.levels[1].vertices, 2u);
+  EXPECT_EQ(r.levels[1].level, 1);
+}
+
+TEST(HealthMonitorTest, ReportIsRepeatableAndResumable) {
+  HealthMonitor m;
+  feed(m, 0, iter_stats(2, 1, 0.1, 0.1), {0, 1});
+  const std::string first = m.report().json();
+  EXPECT_EQ(m.report().json(), first);  // report() is idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Report document and rollups.
+
+TEST(HealthReportTest, JsonRoundTripsWithSummary) {
+  HealthMonitor m;
+  feed(m, 0, iter_stats(2, 2, 0.1, 0.1), {1, 0});
+  feed(m, 1, iter_stats(2, 1, 0.2, 0.1), {0, 0});
+  feed(m, 2, iter_stats(2, 1, 0.3, 0.1), {1, 0});
+  const HealthReport r = m.report();
+
+  const JsonValue doc = parse_json(r.json());
+  EXPECT_EQ(doc.at("health_schema").number, 1);
+  EXPECT_DOUBLE_EQ(doc.at("config").at("stall_epsilon").number, 1e-6);
+  ASSERT_EQ(doc.at("levels").array.size(), 1u);
+  const auto& lv = doc.at("levels").array[0];
+  EXPECT_EQ(lv.at("iterations").number, 3);
+  EXPECT_EQ(lv.at("oscillating_vertices").number, 1);
+  ASSERT_EQ(lv.at("series").at("modularity").array.size(), 3u);
+  const auto& summary = doc.at("summary");
+  EXPECT_EQ(summary.at("levels").number, 1);
+  EXPECT_EQ(summary.at("total_iterations").number, 3);
+  EXPECT_EQ(summary.at("oscillating_vertices").number, 1);
+}
+
+TEST(HealthReportTest, RollupsAggregateAcrossLevels) {
+  HealthReport r;
+  LevelHealth a;
+  a.level = 0;
+  a.iterations = 5;
+  a.stalled = true;
+  a.oscillating_vertices = 3;
+  a.oscillation_moves = 7;
+  a.frontier_half_life = 2.0;
+  LevelHealth b;
+  b.level = 1;
+  b.iterations = 2;
+  b.oscillating_vertices = 1;
+  b.oscillation_moves = 1;
+  r.levels = {a, b};
+  EXPECT_EQ(r.total_iterations(), 7);
+  EXPECT_EQ(r.stalled_levels(), 1);
+  EXPECT_EQ(r.first_stall_level(), 0);
+  EXPECT_EQ(r.oscillating_vertices(), 4u);
+  EXPECT_EQ(r.oscillation_moves(), 8u);
+  EXPECT_DOUBLE_EQ(r.frontier_half_life(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the report depends on the trajectory, not the execution
+// schedule. Pooling, parallelism, and the sync pipeline must not move a bit.
+
+std::string bsp_health_json(const graph::Graph& g, bool parallel, bool pooling,
+                            core::PruningStrategy pruning = core::PruningStrategy::ModularityGain,
+                            core::HashTablePolicy table = core::HashTablePolicy::Hierarchical) {
+  exec::ExecutionContext ctx({}, /*seed=*/7, pooling);
+  HealthMonitor monitor;
+  core::GalaConfig cfg;
+  cfg.bsp.parallel = parallel;
+  cfg.bsp.pruning = pruning;
+  cfg.bsp.hashtable = table;
+  cfg.bsp.context = &ctx;
+  cfg.bsp.on_iteration = monitor.callback();
+  (void)core::run_louvain(g, cfg);
+  return monitor.report().json();
+}
+
+TEST(HealthDeterminism, ByteIdenticalAcrossPoolingAndParallelism) {
+  const auto g = gala::testing::small_planted();
+  const std::string reference = bsp_health_json(g, /*parallel=*/false, /*pooling=*/true);
+  EXPECT_EQ(bsp_health_json(g, /*parallel=*/true, /*pooling=*/true), reference);
+  EXPECT_EQ(bsp_health_json(g, /*parallel=*/false, /*pooling=*/false), reference);
+  EXPECT_EQ(bsp_health_json(g, /*parallel=*/true, /*pooling=*/false), reference);
+}
+
+TEST(HealthDeterminism, EachPruningStrategyIsSelfDeterministic) {
+  const auto g = gala::testing::small_planted();
+  for (const auto pruning :
+       {core::PruningStrategy::None, core::PruningStrategy::Strict,
+        core::PruningStrategy::Relaxed, core::PruningStrategy::ModularityGain}) {
+    EXPECT_EQ(bsp_health_json(g, true, true, pruning), bsp_health_json(g, false, true, pruning))
+        << "pruning strategy " << static_cast<int>(pruning);
+  }
+}
+
+/// Strips every "ht_..." member from a health document: the probe-length
+/// series legitimately differs across hashtable policies while the
+/// trajectory (moves, gains, frontier) must not.
+std::string strip_ht_fields(const std::string& json) {
+  const JsonValue doc = parse_json(json);
+  JsonWriter w;
+  const std::function<void(const JsonValue&)> emit = [&](const JsonValue& v) {
+    switch (v.type) {
+      case JsonValue::Type::Object:
+        w.begin_object();
+        for (const auto& [key, value] : v.object) {
+          if (key.rfind("ht_", 0) == 0) continue;
+          w.key(key);
+          emit(value);
+        }
+        w.end_object();
+        return;
+      case JsonValue::Type::Array:
+        w.begin_array();
+        for (const auto& e : v.array) emit(e);
+        w.end_array();
+        return;
+      case JsonValue::Type::String:
+        w.value(v.string);
+        return;
+      case JsonValue::Type::Number:
+        w.value(v.number);
+        return;
+      case JsonValue::Type::Bool:
+        w.value(v.boolean);
+        return;
+      default:
+        w.value(0.0);  // null never appears in health documents
+        return;
+    }
+  };
+  emit(doc);
+  return w.str();
+}
+
+TEST(HealthDeterminism, TrajectoryIdenticalAcrossHashtablePolicies) {
+  const auto g = gala::testing::small_planted();
+  const std::string hier = bsp_health_json(g, false, true, core::PruningStrategy::ModularityGain,
+                                           core::HashTablePolicy::Hierarchical);
+  const std::string global = bsp_health_json(g, false, true, core::PruningStrategy::ModularityGain,
+                                             core::HashTablePolicy::GlobalOnly);
+  EXPECT_EQ(strip_ht_fields(hier), strip_ht_fields(global));
+}
+
+std::string dist_health_json(const graph::Graph& g, bool overlap, bool compress) {
+  HealthMonitor monitor;
+  multigpu::DistributedConfig cfg;
+  cfg.num_gpus = 2;
+  cfg.overlap = overlap;
+  cfg.compress = compress;
+  cfg.on_iteration = monitor.callback();
+  (void)multigpu::distributed_phase1(g, cfg);
+  return monitor.report().json();
+}
+
+TEST(HealthDeterminism, ByteIdenticalAcrossSyncConfigurations) {
+  const auto g = gala::testing::small_planted();
+  const std::string blocking = dist_health_json(g, /*overlap=*/false, /*compress=*/false);
+  EXPECT_EQ(dist_health_json(g, true, false), blocking);
+  EXPECT_EQ(dist_health_json(g, true, true), blocking);
+  EXPECT_EQ(dist_health_json(g, false, true), blocking);
+  // Sanity: the distributed observer fed real iterations.
+  const JsonValue doc = parse_json(blocking);
+  ASSERT_GE(doc.at("levels").array.size(), 1u);
+  EXPECT_GT(doc.at("summary").at("total_iterations").number, 0);
+}
+
+}  // namespace
+}  // namespace gala::metrics

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -206,6 +208,95 @@ TEST(Tracer, ChromeTraceJsonIsValidAndOrdered) {
   }
   EXPECT_EQ(events.array[1].at("args").at("bytes").number, 64);
   EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+}
+
+TEST(Tracer, ChromeTraceEscapesHostileSpanContent) {
+  // Span names/args with quotes, backslashes, newlines, and control bytes
+  // must survive the writer -> DOM parser round trip byte-for-byte.
+  const std::string hostile = "evil \"name\" \\ with\nnewline\tand \x01 control";
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span(tracer, hostile, "cat\"egory");
+    span.arg("bytes", 64);
+  }
+  const JsonValue doc = parse_json(tracer.chrome_trace_json());
+  const JsonValue& e = doc.at("traceEvents").array[0];
+  EXPECT_EQ(e.at("name").string, hostile);
+  EXPECT_EQ(e.at("cat").string, "cat\"egory");
+  EXPECT_EQ(e.at("args").at("bytes").number, 64);
+  // The summary document goes through the same escaping.
+  const JsonValue summary = parse_json(tracer.summary_json());
+  EXPECT_NE(summary.at("spans").find("cat\"egory/" + hostile), nullptr);
+}
+
+TEST(Tracer, RankScopeCreatesPerRankTracksWithMetadata) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan host(tracer, "host-side", "cli");
+  }
+  for (int rank = 0; rank < 2; ++rank) {
+    telemetry::RankScope scope(rank);
+    ScopedSpan span(tracer, "decide", "multigpu");
+  }
+  const JsonValue doc = parse_json(tracer.chrome_trace_json());
+  std::set<double> pids;
+  std::map<double, std::string> track_names;
+  for (const auto& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "X") pids.insert(e.at("pid").number);
+    if (e.at("ph").string == "M" && e.at("name").string == "process_name") {
+      track_names[e.at("pid").number] = e.at("args").at("name").string;
+    }
+  }
+  // Host spans on pid 0, rank r on pid r+1, and every track is named.
+  EXPECT_EQ(pids, (std::set<double>{0, 1, 2}));
+  EXPECT_EQ(track_names.at(0), "host");
+  EXPECT_EQ(track_names.at(1), "rank 0");
+  EXPECT_EQ(track_names.at(2), "rank 1");
+}
+
+TEST(Tracer, HostOnlyTraceKeepsLegacyShapeWithoutMetadata) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    ScopedSpan span(tracer, "solo", "test");
+  }
+  const JsonValue doc = parse_json(tracer.chrome_trace_json());
+  ASSERT_EQ(doc.at("traceEvents").array.size(), 1u);  // no "M" events
+  EXPECT_EQ(doc.at("traceEvents").array[0].at("ph").string, "X");
+}
+
+TEST(Tracer, FlowArrowsLinkPostToComplete) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    telemetry::RankScope scope(0);
+    ScopedSpan post(tracer, "post_gather", "multigpu");
+    post.flow_out(42);
+  }
+  {
+    telemetry::RankScope scope(1);
+    ScopedSpan complete(tracer, "complete_gather", "multigpu");
+    complete.flow_in(42);
+  }
+  const JsonValue doc = parse_json(tracer.chrome_trace_json());
+  const JsonValue* start = nullptr;
+  const JsonValue* finish = nullptr;
+  for (const auto& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "s") start = &e;
+    if (e.at("ph").string == "f") finish = &e;
+  }
+  ASSERT_NE(start, nullptr);
+  ASSERT_NE(finish, nullptr);
+  EXPECT_EQ(start->at("id").number, 42);
+  EXPECT_EQ(finish->at("id").number, 42);
+  EXPECT_EQ(finish->at("bp").string, "e");
+  EXPECT_EQ(start->at("pid").number, 1);   // rank 0's track
+  EXPECT_EQ(finish->at("pid").number, 2);  // rank 1's track
+  // The arrow starts at the posting span's end and lands at the completing
+  // span's begin: ts(start) <= ts(finish).
+  EXPECT_LE(start->at("ts").number, finish->at("ts").number);
 }
 
 TEST(Tracer, SummaryAggregatesByCategoryAndName) {

@@ -8,7 +8,9 @@
 // Graphs are text edge lists ("u v [w]" per line) unless the path ends in
 // .bin (binary snapshot), or "standin:ABBR[:scale]" for the built-in
 // stand-in suite (e.g. standin:LJ:0.5).
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -16,6 +18,8 @@
 #include "gala/common/cli.hpp"
 #include "gala/common/table.hpp"
 #include "gala/common/timer.hpp"
+#include "gala/metrics/health.hpp"
+#include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
 #include "gala/core/gala.hpp"
 #include "gala/core/refinement.hpp"
@@ -72,6 +76,21 @@ core::HashTablePolicy parse_hashtable(const std::string& name) {
   GALA_CHECK(false, "unknown hashtable policy '" << name << "' (global|unified|hierarchical)");
 }
 
+/// Fail fast on unwritable output paths: probe each requested destination
+/// with an append-mode open (no truncation of existing content) before any
+/// pipeline work runs, so a typo'd directory surfaces in milliseconds
+/// instead of after the solve.
+void check_writable_outputs(const ArgParser& args, std::initializer_list<const char*> options) {
+  for (const char* opt : options) {
+    const std::string path = args.get(opt);
+    if (path.empty()) continue;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe.is_open()) {
+      GALA_CHECK(false, path << ": " << std::strerror(errno) << " (--" << opt << ")");
+    }
+  }
+}
+
 int cmd_detect(int argc, const char* const* argv) {
   ArgParser args("gala detect",
                  "Detect communities with the GALA multi-level Louvain pipeline.");
@@ -88,8 +107,16 @@ int cmd_detect(int argc, const char* const* argv) {
       .add_option("trace-out", "write a Chrome-trace/Perfetto JSON of the run here", "")
       .add_option("metrics-out", "write aggregated telemetry (spans + counters) JSON here", "")
       .add_option("profile-out", "write the per-kernel hardware-counter profile JSON here", "")
+      .add_option("flight-out", "write the flight-recorder event window (post-mortem JSON) here",
+                  "")
+      .add_option("flight-depth", "per-thread flight ring depth in events (power of two)",
+                  "4096")
+      .add_option("health-out", "write the algorithm-health report (stall/oscillation/frontier "
+                  "diagnostics) here", "")
       .add_option("faults", "arm a fault-injection plan (JSON, see docs/resilience.md)", "")
       .add_option("max-retries", "supervised: transient-fault retries per level", "2")
+      .add_flag("overlap", "multi-GPU: double-buffered async sync (post/complete with flow arrows)")
+      .add_flag("compress", "multi-GPU: ship sparse syncs as compressed delta frames")
       .add_flag("refine", "Leiden-style refinement before each aggregation")
       .add_flag("follow", "vertex-following preprocessing (merge pendants)")
       .add_flag("supervise", "run under the resilience supervisor (retry/rollback/degrade)")
@@ -97,11 +124,30 @@ int cmd_detect(int argc, const char* const* argv) {
       .add_flag("connected", "report whether every community is connected");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
+  // Every output destination is probed up front: a run that cannot write its
+  // reports should fail before the solve, not after it.
+  check_writable_outputs(
+      args, {"trace-out", "metrics-out", "profile-out", "flight-out", "health-out"});
+
   // Telemetry: tracing is off (null sink) unless an export was requested.
   auto& tracer = telemetry::Tracer::global();
   auto& registry = telemetry::Registry::global();
   const std::string trace_out = args.get("trace-out");
   const std::string metrics_out = args.get("metrics-out");
+  const std::string flight_out = args.get("flight-out");
+  const std::string health_out = args.get("health-out");
+  {
+    const long depth = args.get_int("flight-depth");
+    GALA_CHECK(depth > 0, "--flight-depth must be positive");
+    if (static_cast<std::size_t>(depth) != telemetry::FlightRecorder::kDefaultDepth) {
+      telemetry::FlightRecorder::global().set_depth(static_cast<std::size_t>(depth));
+    }
+  }
+  // The health monitor rides the engines' end-of-iteration hook; it observes
+  // globally-reduced, modeled state only, so its report is byte-identical
+  // across pooling / parallelism / sync configurations.
+  std::optional<metrics::HealthMonitor> health;
+  if (!health_out.empty()) health.emplace();
   if (!trace_out.empty() || !metrics_out.empty()) {
     tracer.reset();
     registry.reset();
@@ -150,6 +196,9 @@ int cmd_detect(int argc, const char* const* argv) {
     cfg.hashtable = parse_hashtable(args.get("hashtable"));
     cfg.resolution = args.get_double("resolution");
     cfg.theta = args.get_double("theta");
+    cfg.overlap = args.has("overlap");
+    cfg.compress = args.has("compress");
+    if (health.has_value()) cfg.on_iteration = health->callback();
     const auto r = multigpu::distributed_phase1(g, cfg);
     assignment = r.community;
     core::renumber_communities(assignment);
@@ -164,6 +213,7 @@ int cmd_detect(int argc, const char* const* argv) {
     cfg.bsp.theta = args.get_double("theta");
     cfg.refine = args.has("refine");
     cfg.vertex_following = args.has("follow");
+    if (health.has_value()) cfg.bsp.on_iteration = health->callback();
     const bool supervised = args.has("supervise") || args.has("faults") || args.has("strict") ||
                             args.has("max-retries");
     core::GalaResult r;
@@ -171,6 +221,11 @@ int cmd_detect(int argc, const char* const* argv) {
       resilience::SupervisorConfig sup;
       sup.max_retries = args.get_int("max-retries");
       sup.strict = args.has("strict");
+      // Incidents (retries, validator failures, fallbacks, rollbacks) dump
+      // the flight window to the same file the end-of-run dump uses; the
+      // final write preserves the incident events (they are still in the
+      // ring) under the freshest reason.
+      sup.flight_dump_path = flight_out;
       const resilience::SupervisedResult sr = resilience::run_louvain_supervised(g, cfg, sup);
       r = sr.result;
       std::printf("supervisor: %d retries%s%s%s\n", sr.retries,
@@ -224,6 +279,21 @@ int cmd_detect(int argc, const char* const* argv) {
     telemetry::write_file(profile_out, prof.report_json());
     std::printf("wrote kernel profile to %s (%zu kernels)\n", profile_out.c_str(),
                 prof.snapshot().size());
+  }
+  if (!flight_out.empty()) {
+    auto& recorder = telemetry::FlightRecorder::global();
+    GALA_CHECK(recorder.write_postmortem(flight_out, "end-of-run"),
+               flight_out << ": cannot write flight dump");
+    std::printf("wrote flight recorder dump to %s (%llu events recorded, depth %zu)\n",
+                flight_out.c_str(), static_cast<unsigned long long>(recorder.recorded()),
+                recorder.depth());
+  }
+  if (health.has_value()) {
+    const metrics::HealthReport report = health->report();
+    report.save(health_out);
+    std::printf("wrote health report to %s (%zu levels, %d stalled, %u oscillating vertices)\n",
+                health_out.c_str(), report.levels.size(), report.stalled_levels(),
+                report.oscillating_vertices());
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 // Usage:
 //   gala_perf_diff <baseline> <current> [--tolerance T] [--ms-tolerance M]
 //                  [--alloc-tolerance A] [--comm-tolerance C]
+//                  [--overhead-tolerance O]
 //
 // <baseline>/<current> are JSON files, or directories compared pairwise by
 // file name (every baseline file must exist on the current side). Documents
@@ -23,6 +24,10 @@
 //     bit-deterministic, so for an unchanged configuration any growth in
 //     wire volume is a communication regression (shrinkage — better
 //     elision or compression — passes),
+//   - keys ending in "_overhead_pct" are compared absolutely, in percentage
+//     points (--overhead-tolerance): the baseline hovers near zero, so a
+//     relative rule would flag noise; the contract is "armed instrumentation
+//     stays under N points of overhead", not "matches the baseline",
 //   - every other number must match within --tolerance in either direction
 //     (the emulated counters are deterministic, so any drift is a change
 //     worth explaining — refresh the baseline deliberately, see
@@ -52,6 +57,7 @@ struct Options {
   double ms_tolerance = 0.10;    // modeled-ms / modeled-cycles growth
   double alloc_tolerance = 0.0;  // "*_allocs" growth (pool misses are exact)
   double comm_tolerance = 0.0;   // "*comm_bytes" growth (wire volume is exact)
+  double overhead_tolerance = 2.0;  // "*_overhead_pct" ceiling, percentage points
 };
 
 struct DiffState {
@@ -87,6 +93,14 @@ void diff_value(const gala::JsonValue& base, const gala::JsonValue& cur, const s
 void diff_number(double base, double cur, const std::string& path, DiffState& state) {
   const std::string key = leaf_key(path);
   if (starts_with(key, "wall")) return;  // nondeterministic by design
+  if (ends_with(key, "_overhead_pct")) {
+    // Overhead rows measure a ratio that should sit at ~0%, where relative
+    // comparison explodes; gate on the absolute ceiling instead.
+    if (cur > base + state.opts->overhead_tolerance) {
+      state.report(path, base, cur, "instrumentation overhead regressed");
+    }
+    return;
+  }
   const double denom = std::max(std::fabs(base), 1e-12);
   const double rel = (cur - base) / denom;
   if (ends_with(key, "_efficiency")) {
@@ -222,6 +236,8 @@ int main(int argc, char** argv) {
       if (!next_double(opts.alloc_tolerance)) return 2;
     } else if (arg == "--comm-tolerance") {
       if (!next_double(opts.comm_tolerance)) return 2;
+    } else if (arg == "--overhead-tolerance") {
+      if (!next_double(opts.overhead_tolerance)) return 2;
     } else {
       positional.push_back(arg);
     }
@@ -229,7 +245,8 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: gala_perf_diff <baseline> <current> [--tolerance T] "
-                 "[--ms-tolerance M] [--alloc-tolerance A] [--comm-tolerance C]\n");
+                 "[--ms-tolerance M] [--alloc-tolerance A] [--comm-tolerance C] "
+                 "[--overhead-tolerance O]\n");
     return 2;
   }
 

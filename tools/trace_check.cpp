@@ -4,11 +4,13 @@
 // failure, so CI can gate on trace validity.
 //
 // Usage:
-//   trace_check <file.json> [--chrome|--metrics|--profile] [--require NAME]...
+//   trace_check <file.json> [--chrome|--metrics|--profile|--flight]
+//               [--require NAME]... [--ranks N]
 //
 //   --chrome        expect Chrome-trace shape ({"traceEvents":[...]});
 //                   default accepts either that or a metrics/summary
 //                   document ({"spans":{...}} or {"spans":[...]}).
+//                   Flow events ("s"/"f") must pair up by id.
 //   --metrics       additionally validate the --metrics-out payload:
 //                   counters non-negative, histogram buckets with strictly
 //                   increasing lower bounds and positive counts, and
@@ -17,9 +19,18 @@
 //                   ceilings, a kernels array with non-negative counters,
 //                   efficiencies in [0, 1], bank_conflict_factor >= 1, and
 //                   monotone probe-histogram lengths.
+//   --flight        validate a flight-recorder post-mortem (--flight-out or
+//                   a supervisor dump): flight_schema, an events array whose
+//                   entries carry seq/kind/tid/rank/a/b, and a strictly
+//                   increasing seq clock (the cross-thread total order).
 //   --require NAME  fail unless a span name (or, with --profile, a kernel
-//                   name) containing NAME (substring) is present. Repeatable.
+//                   name; with --flight, an event kind) containing NAME
+//                   (substring) is present. Repeatable.
+//   --ranks N       with --chrome, require spans on at least N distinct
+//                   rank tracks (pid > 0); with --flight, events from at
+//                   least N distinct ranks >= 0.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -206,6 +217,62 @@ bool check_profile(const gala::JsonValue& doc, const std::string& file) {
   return true;
 }
 
+/// --flight: post-mortem dump shape — schema, event fields, and the global
+/// monotonic event clock.
+bool check_flight(const gala::JsonValue& doc, const std::string& file, int want_ranks) {
+  const gala::JsonValue* schema = doc.find("flight_schema");
+  if (schema == nullptr || !schema->is_number()) {
+    return fail(file, "no flight_schema (not a flight-recorder dump?)");
+  }
+  const gala::JsonValue* reason = doc.find("reason");
+  if (reason == nullptr || !reason->is_string()) return fail(file, "no reason string");
+  if (!check_nonneg(doc, "depth", file, "dump") || !check_nonneg(doc, "recorded", file, "dump") ||
+      !check_nonneg(doc, "dropped", file, "dump")) {
+    return false;
+  }
+  const gala::JsonValue* events = doc.find("events");
+  if (events == nullptr || !events->is_array()) return fail(file, "no events array");
+  double prev_seq = -1;
+  std::set<int> ranks;
+  for (const auto& e : events->array) {
+    for (const char* key : {"seq", "tid", "a", "b"}) {
+      const gala::JsonValue* v = e.find(key);
+      if (v == nullptr || !v->is_number()) {
+        return fail(file, std::string("event missing numeric '") + key + "'");
+      }
+    }
+    const gala::JsonValue* kind = e.find("kind");
+    if (kind == nullptr || !kind->is_string() || kind->string.empty()) {
+      return fail(file, "event without a kind");
+    }
+    const gala::JsonValue* rank = e.find("rank");
+    if (rank == nullptr || !rank->is_number()) return fail(file, "event without a rank");
+    if (rank->number >= 0) ranks.insert(static_cast<int>(rank->number));
+    const double seq = e.at("seq").number;
+    if (seq <= prev_seq) {
+      return fail(file, "event clock is not strictly increasing (seq " +
+                            std::to_string(seq) + " after " + std::to_string(prev_seq) + ")");
+    }
+    prev_seq = seq;
+  }
+  if (want_ranks > 0 && static_cast<int>(ranks.size()) < want_ranks) {
+    return fail(file, "expected events from >= " + std::to_string(want_ranks) +
+                          " ranks, saw " + std::to_string(ranks.size()));
+  }
+  return true;
+}
+
+/// Flight dumps --require against event kinds rather than span names.
+std::set<std::string> collect_flight_kinds(const gala::JsonValue& doc) {
+  std::set<std::string> kinds;
+  if (const gala::JsonValue* events = doc.find("events")) {
+    for (const auto& e : events->array) {
+      if (const gala::JsonValue* k = e.find("kind")) kinds.insert(k->string);
+    }
+  }
+  return kinds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +280,8 @@ int main(int argc, char** argv) {
   bool chrome = false;
   bool metrics = false;
   bool profile = false;
+  bool flight = false;
+  int ranks = 0;
   std::vector<std::string> required;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -222,6 +291,18 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--flight") {
+      flight = true;
+    } else if (arg == "--ranks") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "trace_check: --ranks needs a value\n");
+        return 1;
+      }
+      ranks = std::atoi(argv[i]);
+      if (ranks <= 0) {
+        std::fprintf(stderr, "trace_check: --ranks needs a positive integer\n");
+        return 1;
+      }
     } else if (arg == "--require") {
       if (++i >= argc) {
         std::fprintf(stderr, "trace_check: --require needs a value\n");
@@ -235,10 +316,10 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (file.empty() || (chrome + metrics + profile) > 1) {
+  if (file.empty() || (chrome + metrics + profile + flight) > 1) {
     std::fprintf(stderr,
-                 "usage: trace_check <file.json> [--chrome|--metrics|--profile] "
-                 "[--require NAME]...\n");
+                 "usage: trace_check <file.json> [--chrome|--metrics|--profile|--flight] "
+                 "[--require NAME]... [--ranks N]\n");
     return 1;
   }
 
@@ -268,12 +349,54 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace_check: %s: no traceEvents array\n", file.c_str());
       return 1;
     }
+    // Flow arrows must pair up: each posted edge ("s") needs a consumer ("f")
+    // with the same id, and vice versa — a dangling side means the merge lost
+    // the other rank's half of the hand-off.
+    std::set<std::string> flow_starts;
+    std::set<std::string> flow_finishes;
+    std::set<double> rank_pids;
     for (const auto& e : events->array) {
       if (e.find("name") == nullptr || e.find("ph") == nullptr || e.find("ts") == nullptr) {
         std::fprintf(stderr, "trace_check: %s: malformed trace event\n", file.c_str());
         return 1;
       }
+      const std::string ph = e.at("ph").string;
+      if (ph == "s" || ph == "f") {
+        const gala::JsonValue* id = e.find("id");
+        if (id == nullptr) {
+          std::fprintf(stderr, "trace_check: %s: flow event without an id\n", file.c_str());
+          return 1;
+        }
+        const std::string key = id->is_string() ? id->string : std::to_string(id->number);
+        (ph == "s" ? flow_starts : flow_finishes).insert(key);
+      }
+      if (const gala::JsonValue* pid = e.find("pid")) {
+        if (pid->is_number() && pid->number > 0 && e.at("ph").string != "M") {
+          rank_pids.insert(pid->number);
+        }
+      }
     }
+    for (const auto& id : flow_starts) {
+      if (flow_finishes.count(id) == 0) {
+        std::fprintf(stderr, "trace_check: %s: flow id '%s' posted but never completed\n",
+                     file.c_str(), id.c_str());
+        return 1;
+      }
+    }
+    for (const auto& id : flow_finishes) {
+      if (flow_starts.count(id) == 0) {
+        std::fprintf(stderr, "trace_check: %s: flow id '%s' completed but never posted\n",
+                     file.c_str(), id.c_str());
+        return 1;
+      }
+    }
+    if (ranks > 0 && static_cast<int>(rank_pids.size()) < ranks) {
+      std::fprintf(stderr, "trace_check: %s: expected spans on >= %d rank tracks, saw %zu\n",
+                   file.c_str(), ranks, rank_pids.size());
+      return 1;
+    }
+  } else if (flight) {
+    if (!check_flight(doc, file, ranks)) return 1;
   } else if (metrics) {
     if (!check_metrics(doc, file)) return 1;
   } else if (profile) {
@@ -284,7 +407,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::set<std::string> names = collect_names(doc);
+  const std::set<std::string> names = flight ? collect_flight_kinds(doc) : collect_names(doc);
   for (const auto& want : required) {
     bool found = false;
     for (const auto& name : names) {
@@ -294,15 +417,18 @@ int main(int argc, char** argv) {
       }
     }
     if (!found) {
-      std::fprintf(stderr, "trace_check: %s: required span '%s' not found\n", file.c_str(),
-                   want.c_str());
+      std::fprintf(stderr, "trace_check: %s: required %s '%s' not found\n", file.c_str(),
+                   flight ? "event kind" : "span", want.c_str());
       return 1;
     }
   }
 
-  std::printf("trace_check: %s ok (%zu span name%s", file.c_str(), names.size(),
-              names.size() == 1 ? "" : "s");
+  std::printf("trace_check: %s ok (%zu %s name%s", file.c_str(), names.size(),
+              flight ? "event kind" : "span", names.size() == 1 ? "" : "s");
   if (events != nullptr) std::printf(", %zu events", events->array.size());
+  if (flight) {
+    if (const gala::JsonValue* fe = doc.find("events")) std::printf(", %zu events", fe->array.size());
+  }
   std::printf(")\n");
   return 0;
 }
