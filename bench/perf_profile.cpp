@@ -13,6 +13,7 @@
 #include "bench_util.hpp"
 #include "gala/core/bsp_louvain.hpp"
 #include "gala/graph/generators.hpp"
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/metrics/health.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
@@ -45,8 +46,10 @@ int main() {
       cfg.kernel = core::KernelMode::HashOnly;  // exercise the hashtable counters
       cfg.hashtable = policy;
       cfg.parallel = false;  // sequential launches: no pool scheduling noise
+      memtrace::MemRegistry::global().reset();  // per-row memory accounting
       core::BspLouvainEngine engine(g, cfg);
       const auto r = engine.run();
+      const auto mem = memtrace::MemRegistry::global().report();
       double modeled_ms = 0;
       for (const auto& it : r.iterations) {
         modeled_ms += cfg.device.modeled_ms(it.decide_traffic) +
@@ -67,6 +70,9 @@ int main() {
           .field("ws_heap_allocs", r.workspace.heap_allocs)
           .field("ws_peak_bytes", r.workspace.peak_bytes)
           .field("ws_reuse_efficiency", r.workspace.reuse_rate())
+          .field("peak_ws_bytes", mem.peak_ws_bytes())
+          .field("peak_total_bytes", mem.peak_total_bytes())
+          .field("frag_pct", mem.frag_pct())
           .field("health_stalled", static_cast<std::uint64_t>(health.stalled ? 1 : 0))
           .field("health_frontier_half_life", health.frontier_half_life)
           .field("health_churn_peak", health.churn_peak)
@@ -79,8 +85,10 @@ int main() {
     core::BspConfig cfg;
     cfg.kernel = core::KernelMode::ShuffleOnly;
     cfg.parallel = false;
+    memtrace::MemRegistry::global().reset();
     core::BspLouvainEngine engine(graphs[0].g, cfg);
     const auto r = engine.run();
+    const auto mem = memtrace::MemRegistry::global().report();
     std::printf("%-16s %-13s Q=%.5f, %u communities\n", graphs[0].name, "shuffle",
                 r.modularity, r.num_communities);
     rec.row()
@@ -91,7 +99,10 @@ int main() {
         .field("iterations", static_cast<std::uint64_t>(r.iterations.size()))
         .field("ws_heap_allocs", r.workspace.heap_allocs)
         .field("ws_peak_bytes", r.workspace.peak_bytes)
-        .field("ws_reuse_efficiency", r.workspace.reuse_rate());
+        .field("ws_reuse_efficiency", r.workspace.reuse_rate())
+        .field("peak_ws_bytes", mem.peak_ws_bytes())
+        .field("peak_total_bytes", mem.peak_total_bytes())
+        .field("frag_pct", mem.frag_pct());
   }
   // Distributed rows: the blocking baseline and the async overlap +
   // compressed-delta pipeline on the same graph. Every field is modeled and
@@ -106,7 +117,9 @@ int main() {
       cfg.comm_cost.ring_convention = true;
       cfg.overlap = overlap;
       cfg.compress = overlap;
+      memtrace::MemRegistry::global().reset();
       const auto r = multigpu::distributed_phase1(g, cfg);
+      const auto mem = memtrace::MemRegistry::global().report();
       std::uint64_t comm_bytes = 0;
       double hidden_us = 0, overlap_ratio = 0;
       for (const auto& d : r.devices) {
@@ -137,7 +150,10 @@ int main() {
           .field("overlap_hidden_us", hidden_us)
           .field("overlap_efficiency", overlap_ratio)
           .field("codec_raw_bytes", sync_raw_bytes)
-          .field("codec_packed_bytes", sync_bytes);
+          .field("codec_packed_bytes", sync_bytes)
+          .field("peak_ws_bytes", mem.peak_ws_bytes())
+          .field("peak_total_bytes", mem.peak_total_bytes())
+          .field("frag_pct", mem.frag_pct());
     }
   }
   // Flight-recorder overhead row: the same sequential phase-1 run with the
@@ -189,6 +205,58 @@ int main() {
         .field("wall_ms_armed", wall_ms[1])
         .field("wall_ms_disarmed", wall_ms[0])
         .field("wall_flight_overhead_pct", wall_overhead);
+  }
+  // Memtrace overhead row, same contract as the flight row: the registry
+  // only observes allocation sites (it never changes what the engine
+  // allocates), so the modeled time delta between armed and disarmed runs
+  // must be exactly zero — memtrace_overhead_pct rides the absolute
+  // "_overhead_pct" gate. Wall cost of the accounting map is informational.
+  {
+    double modeled[2] = {0, 0};  // [disarmed, armed]
+    double wall_ms[2] = {0, 0};
+    std::uint64_t tracked_allocs = 0;
+    for (const int armed : {0, 1}) {
+      if (armed) {
+        memtrace::MemRegistry::arm();
+      } else {
+        memtrace::MemRegistry::disarm();
+      }
+      memtrace::MemRegistry::global().reset();
+      core::BspConfig cfg;
+      cfg.parallel = false;
+      Timer t;
+      core::BspLouvainEngine engine(graphs[1].g, cfg);
+      const auto r = engine.run();
+      wall_ms[armed] = t.milliseconds();
+      for (const auto& it : r.iterations) {
+        modeled[armed] += cfg.device.modeled_ms(it.decide_traffic) +
+                          cfg.device.modeled_ms(it.update_traffic);
+      }
+      if (armed) {
+        for (const auto& s : memtrace::MemRegistry::global().report().subsystems) {
+          tracked_allocs += s.allocs;
+        }
+      }
+    }
+    memtrace::MemRegistry::arm();  // leave the process-wide default
+    const double modeled_overhead =
+        modeled[0] > 0 ? 100.0 * (modeled[1] - modeled[0]) / modeled[0] : 0.0;
+    const double wall_overhead =
+        wall_ms[0] > 0 ? 100.0 * (wall_ms[1] - wall_ms[0]) / wall_ms[0] : 0.0;
+    std::printf("%-16s %-13s %.4f modeled ms armed vs %.4f disarmed (%+.3f%%), "
+                "%llu tracked allocs, wall %+.2f%%\n",
+                "memtrace", "overhead", modeled[1], modeled[0], modeled_overhead,
+                static_cast<unsigned long long>(tracked_allocs), wall_overhead);
+    rec.row()
+        .field("graph", "planted")
+        .field("policy", "memtrace_overhead")
+        .field("modeled_ms_armed", modeled[1])
+        .field("modeled_ms_disarmed", modeled[0])
+        .field("memtrace_overhead_pct", modeled_overhead)
+        .field("memtrace_tracked_allocs", tracked_allocs)
+        .field("wall_ms_armed", wall_ms[1])
+        .field("wall_ms_disarmed", wall_ms[0])
+        .field("wall_memtrace_overhead_pct", wall_overhead);
   }
   rec.save();
   return 0;

@@ -5,7 +5,10 @@
 // message on malformed values.
 #pragma once
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -178,5 +181,19 @@ class ArgParser {
   std::vector<std::pair<std::string, std::string>> values_;
   std::string error_;
 };
+
+/// Fail fast on an unwritable output destination: probes `path` with an
+/// append-mode open (no truncation of existing content), throwing a
+/// gala::Error naming the flag and the OS reason on failure. Tools call this
+/// for every --*-out style flag before any real work, so a typo'd directory
+/// surfaces in milliseconds instead of after the solve. Empty paths (flag
+/// not given) are ignored.
+inline void probe_output_path(const std::string& flag, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream probe(path, std::ios::app);
+  if (!probe.is_open()) {
+    GALA_CHECK(false, path << ": " << std::strerror(errno) << " (--" << flag << ")");
+  }
+}
 
 }  // namespace gala

@@ -1,0 +1,40 @@
+// Build provenance stamped into every JSON report this repo writes (trace,
+// metrics, profile, flight, health, mem). A report artifact pulled off a CI
+// failure must answer "which commit, which build type, which schema" without
+// the workflow context that produced it.
+//
+// The values come from compile definitions the top-level CMakeLists injects
+// (GALA_GIT_SHA via `git rev-parse`, GALA_BUILD_TYPE from the configured
+// build type); builds outside git fall back to "unknown". gala_perf_diff
+// only compares numbers, so the provenance strings never trip the perf gate.
+#pragma once
+
+#include <string_view>
+
+#include "gala/common/json.hpp"
+
+namespace gala::provenance {
+
+#ifndef GALA_GIT_SHA
+#define GALA_GIT_SHA "unknown"
+#endif
+#ifndef GALA_BUILD_TYPE
+#define GALA_BUILD_TYPE "unknown"
+#endif
+
+inline constexpr std::string_view git_sha() { return GALA_GIT_SHA; }
+inline constexpr std::string_view build_type() { return GALA_BUILD_TYPE; }
+
+/// Writes the "provenance" member into an open JSON object:
+///   "provenance": {"git_sha": ..., "build_type": ..., "schema": "mem",
+///                  "schema_version": 1}
+inline void append(JsonWriter& w, std::string_view schema, int schema_version) {
+  w.key("provenance").begin_object();
+  w.key("git_sha").value(std::string(git_sha()));
+  w.key("build_type").value(std::string(build_type()));
+  w.key("schema").value(std::string(schema));
+  w.key("schema_version").value(schema_version);
+  w.end_object();
+}
+
+}  // namespace gala::provenance

@@ -4,6 +4,7 @@
 
 #include "gala/common/error.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/memtrace/memtrace.hpp"
 
 namespace gala::core {
 namespace {
@@ -51,6 +52,7 @@ AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> commun
     }
   }
   result.coarse = builder.build();
+  memtrace::set_resident("graph.contraction", result.coarse.memory_bytes());
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "gala/common/error.hpp"
 #include "gala/common/timer.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
@@ -468,6 +469,7 @@ Phase1Result BspLouvainEngine::run() {
     }
 
     telemetry::flight(telemetry::FlightKind::IterationEnd, stats.modularity, stats.delta_q);
+    memtrace::mark_epoch(memtrace::EpochKind::Iteration, iter);
 
     result.iterations.push_back(stats);
     if (observer_) observer_(iter, stats, active, moved);

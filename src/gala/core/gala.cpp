@@ -7,6 +7,7 @@
 #include "gala/core/modularity.hpp"
 #include "gala/core/refinement.hpp"
 #include "gala/core/vertex_following.hpp"
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
@@ -56,6 +57,7 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
   const graph::Graph* current = &g;
   graph::Graph owned;
   wt_t prev_q = -1;  // any first level is an improvement
+  memtrace::set_resident("graph.csr", g.memory_bytes());
 
   for (int level = 0; level < cfg.max_levels; ++level) {
     telemetry::ScopedSpan level_span(telemetry::Tracer::global(), "level", "pipeline");
@@ -87,6 +89,7 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
       prev_q = phase1.modularity;
       lv.wall_seconds = level_timer.seconds();
       result.levels.push_back(lv);
+      memtrace::mark_epoch(memtrace::EpochKind::Level, level);
       break;
     }
     prev_q = phase1.modularity;
@@ -108,6 +111,7 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
     result.assignment = compose_assignment(result.assignment, agg.fine_to_coarse);
     lv.wall_seconds = level_timer.seconds();
     result.levels.push_back(lv);
+    memtrace::mark_epoch(memtrace::EpochKind::Level, level);
 
     if (agg.num_communities == current->num_vertices()) break;  // no compression
     owned = std::move(agg.coarse);

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/resilience/fault_injection.hpp"
 
 namespace gala::core {
@@ -24,6 +25,7 @@ void HashScratch::ensure(std::size_t n) {
     heap_.resize(n);  // value-initialised: empty buckets
     data_ = heap_.data();
     cap_ = heap_.size();
+    memtrace::charge("core.hash_scratch", n * sizeof(HashBucket));
     return;
   }
   // The outgoing slab is fully empty (table invariant), so pool it before

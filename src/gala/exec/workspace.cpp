@@ -70,12 +70,17 @@ void Workspace::give_back(Slab&& slab, std::size_t /*bytes*/, std::uint64_t leas
 }
 
 void Workspace::reset_level() {
-  std::lock_guard lock(mutex_);
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
-  ++stats_.levels;
-  // The new level starts from whatever is still (illegitimately) checked
-  // out; normally zero, since leases must not straddle levels.
-  stats_.level_peak_bytes = stats_.outstanding_bytes;
+  {
+    std::lock_guard lock(mutex_);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    ++stats_.levels;
+    // The new level starts from whatever is still (illegitimately) checked
+    // out; normally zero, since leases must not straddle levels.
+    stats_.level_peak_bytes = stats_.outstanding_bytes;
+  }
+  // Leak detector hook (outside the workspace lock — the registry takes its
+  // own): any tag with live modeled bytes here is a lease straddling levels.
+  if (memtrace::MemRegistry::armed()) memtrace::MemRegistry::global().note_level_reset();
 }
 
 std::size_t Workspace::trim() {

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "gala/common/error.hpp"
+#include "gala/memtrace/memtrace.hpp"
 
 namespace gala::exec {
 
@@ -116,6 +117,7 @@ class Workspace {
         count_ = o.count_;
         epoch_ = o.epoch_;
         same_tag_ = o.same_tag_;
+        tag_ = o.tag_;
         o.ws_ = nullptr;
         o.count_ = 0;
       }
@@ -159,6 +161,9 @@ class Workspace {
 
     void release_quiet() noexcept {
       if (ws_ != nullptr && slab_.data != nullptr) {
+        // Credit memtrace before the slab goes back: the modeled charge is
+        // the request's size class, matching the checkout-side on_alloc.
+        memtrace::on_free(tag_, Workspace::class_bytes(count_ * sizeof(T)));
         ws_->give_back(std::move(slab_), count_ * sizeof(T), epoch_);
       }
       ws_ = nullptr;
@@ -170,6 +175,7 @@ class Workspace {
     std::size_t count_ = 0;
     std::uint64_t epoch_ = 0;
     bool same_tag_ = false;
+    std::string_view tag_;  ///< checkout tag; literals only, so the view is stable
   };
 
   /// Checks out `count` elements of T under `tag`. The slab's capacity is
@@ -181,8 +187,19 @@ class Workspace {
     Lease<T> lease;
     lease.ws_ = this;
     lease.count_ = count;
+    lease.tag_ = tag;
     const std::size_t bytes = count * sizeof(T);
     lease.epoch_ = checkout(bytes, tag_hash(tag), lease.slab_, lease.same_tag_);
+    if (memtrace::MemRegistry::armed()) {
+      // Modeled charge: the request's size class, never the (pool-state
+      // dependent) capacity of the serving slab — that difference is slack,
+      // tracked in the host section.
+      const std::size_t modeled = class_bytes(bytes);
+      memtrace::MemRegistry::global().on_alloc(tag, modeled, bytes, /*workspace=*/true);
+      if (lease.slab_.capacity > modeled) {
+        memtrace::MemRegistry::global().note_slack(lease.slab_.capacity - modeled);
+      }
+    }
     if (fill == Fill::Zero && bytes > 0) std::memset(lease.slab_.data.get(), 0, bytes);
     return lease;
   }

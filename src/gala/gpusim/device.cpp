@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/profiler/profiler.hpp"
 #include "gala/resilience/fault_injection.hpp"
 
@@ -85,7 +86,11 @@ struct ChunkArena {
                   ? ws->take<std::byte>(config.shared_bytes_per_block, "gpusim.shared_arena")
                   : exec::Workspace::Lease<std::byte>{}),
         arena(ws != nullptr ? SharedMemoryArena(pages.span())
-                            : SharedMemoryArena(config.shared_bytes_per_block)) {}
+                            : SharedMemoryArena(config.shared_bytes_per_block)) {
+    // The workspace route is accounted by take(); only the private heap
+    // fallback needs an explicit memtrace charge.
+    if (ws == nullptr) memtrace::charge("gpusim.shared_arena", config.shared_bytes_per_block);
+  }
 };
 
 /// Per-block modeled-cycle buffer (profiler load-imbalance statistics);
@@ -103,6 +108,7 @@ struct CycleBuffer {
     } else {
       heap.assign(num_blocks, 0.0);
       cycles = heap;
+      memtrace::charge("gpusim.block_cycles", num_blocks * sizeof(double));
     }
   }
 };

@@ -71,6 +71,17 @@ class Graph {
 
   vid_t max_out_degree() const { return max_out_degree_; }
 
+  /// Bytes of CSR storage, from element counts (not vector capacities), so
+  /// the figure is a pure function of the graph — memtrace reports it as
+  /// the "graph" subsystem's resident gauge.
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(offsets_.size() * sizeof(eid_t) +
+                                      neighbors_.size() * sizeof(vid_t) +
+                                      weights_.size() * sizeof(wt_t) +
+                                      degrees_.size() * sizeof(wt_t) +
+                                      self_loops_.size() * sizeof(wt_t));
+  }
+
   /// Validates structural invariants (sorted adjacency, symmetry, degree
   /// sums). Intended for tests and after deserialisation; O(V + E log E).
   void validate() const;

@@ -7,6 +7,7 @@
 
 #include "gala/common/error.hpp"
 #include "gala/common/json.hpp"
+#include "gala/common/provenance.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
 
 namespace gala::metrics {
@@ -180,6 +181,7 @@ std::string HealthReport::json() const {
   w.key("oscillation_moves").value(oscillation_moves());
   w.key("frontier_half_life").value(frontier_half_life());
   w.end_object();
+  provenance::append(w, "health", 1);
   w.end_object();
   return w.str();
 }

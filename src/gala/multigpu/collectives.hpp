@@ -62,6 +62,7 @@
 
 #include "gala/common/error.hpp"
 #include "gala/common/types.hpp"
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/resilience/fault_injection.hpp"
 
 namespace gala::multigpu {
@@ -153,6 +154,9 @@ class Communicator {
     GALA_CHECK(rank < num_ranks_,
                "post_gather_v: rank " << rank << " out of range [0, " << num_ranks_ << ")");
     check_abort("post_gather_v");
+    // Staging copies are charged per rank (the caller's RankScope is this
+    // rank's worker thread), outside the communicator lock.
+    memtrace::charge("multigpu.comm_staging", local.size() * sizeof(T));
     {
       std::lock_guard lock(mutex_);
       Chunk& c = staging_[rank];

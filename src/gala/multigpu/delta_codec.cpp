@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "gala/common/error.hpp"
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/multigpu/collectives.hpp"  // CollectiveFault, fnv1a
 
 namespace gala::multigpu {
@@ -187,10 +188,12 @@ void decode_impl(std::span<const std::byte> frames, vid_t num_vertices, MoveVec&
 
 void encode_moves(std::span<const MoveRecord> moves, std::vector<std::byte>& out) {
   encode_impl(moves, out);
+  memtrace::charge("multigpu.codec_frames", out.size());
 }
 
 void encode_moves(std::span<const MoveRecord> moves, exec::PooledVec<std::byte>& out) {
   encode_impl(moves, out);
+  memtrace::charge("multigpu.codec_frames", out.size());
 }
 
 void decode_moves(std::span<const std::byte> frames, vid_t num_vertices,

@@ -9,6 +9,7 @@
 #include "gala/common/timer.hpp"
 #include "gala/core/aggregation.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/multigpu/delta_codec.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
@@ -77,6 +78,8 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
 
   wt_t sum_self_loops = 0;
   for (vid_t v = 0; v < n; ++v) sum_self_loops += g.self_loop(v);
+
+  memtrace::set_resident("graph.csr", g.memory_bytes());
 
   Timer wall_timer;
 
@@ -773,6 +776,10 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       }
       if (rank == 0) {
         telemetry::flight(telemetry::FlightKind::IterationEnd, q, dq, 0);
+        // Residency snapshot while every other rank is parked at the barrier
+        // below: the cross-rank live set is quiescent, so the timeline is
+        // identical across sync modes and host scheduling.
+        memtrace::mark_epoch(memtrace::EpochKind::Iteration, iter);
       }
       comm_world.barrier();  // iteration_log visible before anyone proceeds
 

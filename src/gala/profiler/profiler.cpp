@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gala/common/provenance.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::profiler {
@@ -227,6 +228,7 @@ std::string Profiler::report_json() const {
   JsonWriter w;
   w.begin_object();
   append_report(w);
+  provenance::append(w, "profile", 1);
   w.end_object();
   return w.str();
 }

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "gala/common/json.hpp"
+#include "gala/common/provenance.hpp"
 #include "gala/telemetry/telemetry.hpp"
 
 namespace gala::telemetry {
@@ -224,6 +225,7 @@ std::string FlightRecorder::json(std::string_view reason, std::size_t last_n) co
     w.end_object();
   }
   w.end_array();
+  provenance::append(w, "flight", static_cast<int>(kSchema));
   w.end_object();
   return w.str();
 }

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "gala/common/error.hpp"
+#include "gala/common/provenance.hpp"
 
 namespace gala::telemetry {
 namespace {
@@ -88,15 +89,37 @@ void ChromeTraceSink::on_span(const SpanRecord& span) {
   dirty_ = true;
 }
 
+void ChromeTraceSink::on_counter(const CounterRecord& counter) {
+  std::lock_guard lock(mutex_);
+  counters_.push_back(counter);
+  dirty_ = true;
+}
+
 namespace {
 
 /// Rank-scoped spans render on their own process track: pid = rank + 1, so
 /// pid 0 stays the host/unscoped track and rank r is track r + 1.
 int chrome_pid(const SpanRecord& s) { return s.rank >= 0 ? s.rank + 1 : 0; }
 
-void append_chrome_events(JsonWriter& w, const std::vector<SpanRecord>& spans) {
+void append_chrome_events(JsonWriter& w, const std::vector<SpanRecord>& spans,
+                          const std::vector<CounterRecord>& counters) {
   w.key("traceEvents").begin_array();
   std::set<int> pids;
+  // Counter ("C") events first: each sample renders a stacked byte curve on
+  // its named track (memtrace's "memory"), aligned with the span timeline.
+  for (const auto& c : counters) {
+    const int pid = c.rank >= 0 ? c.rank + 1 : 0;
+    w.begin_object();
+    w.key("name").value(c.name);
+    w.key("cat").value("memory");
+    w.key("ph").value("C");
+    w.key("ts").value(c.ts_us);
+    w.key("pid").value(pid);
+    w.key("tid").value(std::uint64_t{0});
+    w.key("args");
+    append_args_object(w, c.values);
+    w.end_object();
+  }
   for (const auto& s : spans) {
     const int pid = chrome_pid(s);
     pids.insert(pid);
@@ -173,7 +196,8 @@ void ChromeTraceSink::flush() {
   if (!dirty_) return;
   JsonWriter w;
   w.begin_object();
-  append_chrome_events(w, spans_);
+  append_chrome_events(w, spans_, counters_);
+  provenance::append(w, "trace", 1);
   w.end_object();
   write_file(path_, w.str());
   dirty_ = false;
@@ -221,9 +245,24 @@ void Tracer::record(SpanRecord&& span) {
   }
 }
 
+void Tracer::record_counter(CounterRecord&& counter) {
+  std::lock_guard lock(mutex_);
+  for (const auto& s : sinks_) s->on_counter(counter);
+  if (counters_.size() < max_spans_) {
+    counters_.push_back(std::move(counter));
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::vector<SpanRecord> Tracer::snapshot() const {
   std::lock_guard lock(mutex_);
   return spans_;
+}
+
+std::vector<CounterRecord> Tracer::counters_snapshot() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
 }
 
 std::size_t Tracer::span_count() const {
@@ -234,6 +273,7 @@ std::size_t Tracer::span_count() const {
 void Tracer::reset() {
   std::lock_guard lock(mutex_);
   spans_.clear();
+  counters_.clear();
   dropped_.store(0, std::memory_order_relaxed);
   epoch_ = Clock::now();
 }
@@ -246,7 +286,8 @@ std::string Tracer::chrome_trace_json() const {
                    [](const SpanRecord& a, const SpanRecord& b) { return a.seq < b.seq; });
   JsonWriter w;
   w.begin_object();
-  append_chrome_events(w, spans);
+  append_chrome_events(w, spans, counters_snapshot());
+  provenance::append(w, "trace", 1);
   w.end_object();
   return w.str();
 }
@@ -397,6 +438,7 @@ std::string metrics_json(const Tracer& tracer, const Registry& registry) {
   w.begin_object();
   tracer.append_summary(w);
   registry.append_json(w);
+  provenance::append(w, "metrics", 1);
   w.end_object();
   return w.str();
 }

@@ -83,6 +83,16 @@ struct SpanRecord {
   Args args;
 };
 
+/// One counter sample for a Chrome counter ("C") track: named series values
+/// at a point in time. memtrace emits these on its "memory" track so byte
+/// curves line up with the level/iteration spans.
+struct CounterRecord {
+  std::string name;        ///< track name (e.g. "memory")
+  double ts_us = 0;        ///< tracer-epoch-relative timestamp
+  std::int32_t rank = -1;  ///< ambient RankScope at emission (-1 = host)
+  Args values;             ///< series name -> sampled value
+};
+
 /// Receives completed spans as they end. Implementations must tolerate
 /// concurrent on_span calls (the tracer serialises them under its lock, but
 /// flush() may race with a manual flush — keep sinks internally locked or
@@ -91,6 +101,8 @@ class Sink {
  public:
   virtual ~Sink() = default;
   virtual void on_span(const SpanRecord& span) = 0;
+  /// Counter samples; sinks without a counter track ignore them.
+  virtual void on_counter(const CounterRecord& counter) { (void)counter; }
   /// Writes any buffered output. Called by Tracer::flush_sinks and on tracer
   /// shutdown; must be idempotent.
   virtual void flush() {}
@@ -140,12 +152,14 @@ class ChromeTraceSink : public Sink {
     }
   }
   void on_span(const SpanRecord& span) override;
+  void on_counter(const CounterRecord& counter) override;
   void flush() override;
 
  private:
   std::mutex mutex_;
   std::string path_;
   std::vector<SpanRecord> spans_;
+  std::vector<CounterRecord> counters_;
   bool dirty_ = false;
 };
 
@@ -171,8 +185,14 @@ class Tracer {
   /// Records a completed span (normally via ScopedSpan, not directly).
   void record(SpanRecord&& span);
 
+  /// Records a counter sample (Chrome "C" track). Subject to the same
+  /// retention cap as spans; dropped samples count toward dropped().
+  void record_counter(CounterRecord&& counter);
+
   /// Copies out all retained spans, in completion order.
   std::vector<SpanRecord> snapshot() const;
+  /// Copies out all retained counter samples, in emission order.
+  std::vector<CounterRecord> counters_snapshot() const;
   std::size_t span_count() const;
   /// Spans dropped after the retention cap was hit.
   std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
@@ -212,6 +232,7 @@ class Tracer {
 
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
+  std::vector<CounterRecord> counters_;
   std::vector<std::shared_ptr<Sink>> sinks_;
 };
 

@@ -140,14 +140,22 @@ TEST_F(CliE2e, DetectEmitsTraceAndMetrics) {
   ASSERT_TRUE(events.is_array());
   ASSERT_FALSE(events.array.empty());
   std::set<std::string> names;
+  std::size_t counter_events = 0;
   for (const auto& e : events.array) {
     names.insert(e.at("name").string);
-    EXPECT_EQ(e.at("ph").string, "X");
+    // Spans ("X") plus the memtrace residency counter track ("C").
+    const std::string& ph = e.at("ph").string;
+    EXPECT_TRUE(ph == "X" || ph == "C") << ph;
+    if (ph == "C") {
+      EXPECT_EQ(e.at("name").string, "memory");
+      ++counter_events;
+    }
   }
   for (const char* expected :
        {"load-graph", "phase1", "iteration", "decide", "weight-update", "pruning", "level"}) {
     EXPECT_TRUE(names.count(expected)) << "trace missing phase: " << expected;
   }
+  EXPECT_GT(counter_events, 0u) << "trace missing the memory counter track";
 
   // The metrics document carries the aggregated spans and the registry.
   const gala::JsonValue metrics = gala::parse_json(slurp("run.metrics.json"));
@@ -233,11 +241,35 @@ TEST_F(CliE2e, DetectEmitsHealthReport) {
             static_cast<std::size_t>(lv.at("iterations").number));
 }
 
+TEST_F(CliE2e, DetectEmitsMemReport) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --mem-out " + path("run.mem.json"), &out), 0) << out;
+  EXPECT_NE(out.find("wrote memory report to"), std::string::npos);
+
+  std::ifstream in(path("run.mem.json"));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const gala::JsonValue doc = gala::parse_json(ss.str());
+  EXPECT_EQ(doc.at("mem_schema").number, 1);
+  ASSERT_FALSE(doc.at("subsystems").array.empty());
+  std::set<std::string> names;
+  for (const auto& s : doc.at("subsystems").array) names.insert(s.at("name").string);
+  EXPECT_TRUE(names.count("graph"));  // CSR residency is always tracked
+  EXPECT_GT(doc.at("totals").at("peak_total_bytes").number, 0);
+  EXPECT_TRUE(doc.at("leak_check").at("clean").boolean);
+  EXPECT_FALSE(doc.at("timeline").array.empty());
+  const auto& first = doc.at("timeline").array[0];
+  double sum = 0;
+  for (const auto& [name, bytes] : first.at("subsystems").object) sum += bytes.number;
+  EXPECT_EQ(sum, first.at("total").number);
+}
+
 TEST_F(CliE2e, UnwritableOutputPathsFailFastWithFileAndReason) {
-  // Every output flag probes its path up front: the run must fail before any
-  // work happens, naming the file and the OS reason.
-  for (const char* flag : {"--trace-out", "--metrics-out", "--profile-out", "--flight-out",
-                           "--health-out"}) {
+  // Every output flag probes its path up front (one shared
+  // probe_output_path table in the CLI): the run must fail before any work
+  // happens, naming the file and the OS reason.
+  for (const char* flag : {"--output", "--json", "--trace-out", "--metrics-out", "--profile-out",
+                           "--flight-out", "--health-out", "--mem-out"}) {
     std::string out;
     EXPECT_NE(run(std::string("detect standin:HW:0.05 ") + flag +
                       " /nonexistent-dir/out.json",

@@ -18,6 +18,7 @@
 #include "gala/common/cli.hpp"
 #include "gala/common/table.hpp"
 #include "gala/common/timer.hpp"
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/metrics/health.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
@@ -76,19 +77,11 @@ core::HashTablePolicy parse_hashtable(const std::string& name) {
   GALA_CHECK(false, "unknown hashtable policy '" << name << "' (global|unified|hierarchical)");
 }
 
-/// Fail fast on unwritable output paths: probe each requested destination
-/// with an append-mode open (no truncation of existing content) before any
-/// pipeline work runs, so a typo'd directory surfaces in milliseconds
-/// instead of after the solve.
+/// Probes every requested output destination up front (see
+/// gala::probe_output_path): a run that cannot write its reports should fail
+/// before the solve, not after it.
 void check_writable_outputs(const ArgParser& args, std::initializer_list<const char*> options) {
-  for (const char* opt : options) {
-    const std::string path = args.get(opt);
-    if (path.empty()) continue;
-    std::ofstream probe(path, std::ios::app);
-    if (!probe.is_open()) {
-      GALA_CHECK(false, path << ": " << std::strerror(errno) << " (--" << opt << ")");
-    }
-  }
+  for (const char* opt : options) probe_output_path(opt, args.get(opt));
 }
 
 int cmd_detect(int argc, const char* const* argv) {
@@ -113,6 +106,8 @@ int cmd_detect(int argc, const char* const* argv) {
                   "4096")
       .add_option("health-out", "write the algorithm-health report (stall/oscillation/frontier "
                   "diagnostics) here", "")
+      .add_option("mem-out", "write the memory-observability report (per-subsystem bytes, "
+                  "residency timeline, leak check) here", "")
       .add_option("faults", "arm a fault-injection plan (JSON, see docs/resilience.md)", "")
       .add_option("max-retries", "supervised: transient-fault retries per level", "2")
       .add_flag("overlap", "multi-GPU: double-buffered async sync (post/complete with flow arrows)")
@@ -124,10 +119,8 @@ int cmd_detect(int argc, const char* const* argv) {
       .add_flag("connected", "report whether every community is connected");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
-  // Every output destination is probed up front: a run that cannot write its
-  // reports should fail before the solve, not after it.
-  check_writable_outputs(
-      args, {"trace-out", "metrics-out", "profile-out", "flight-out", "health-out"});
+  check_writable_outputs(args, {"output", "json", "trace-out", "metrics-out", "profile-out",
+                                "flight-out", "health-out", "mem-out"});
 
   // Telemetry: tracing is off (null sink) unless an export was requested.
   auto& tracer = telemetry::Tracer::global();
@@ -136,6 +129,10 @@ int cmd_detect(int argc, const char* const* argv) {
   const std::string metrics_out = args.get("metrics-out");
   const std::string flight_out = args.get("flight-out");
   const std::string health_out = args.get("health-out");
+  const std::string mem_out = args.get("mem-out");
+  // Memory accounting is always armed; a requested report starts from a
+  // clean registry so the document covers exactly this run.
+  if (!mem_out.empty()) memtrace::MemRegistry::global().reset();
   {
     const long depth = args.get_int("flight-depth");
     GALA_CHECK(depth > 0, "--flight-depth must be positive");
@@ -294,6 +291,16 @@ int cmd_detect(int argc, const char* const* argv) {
     std::printf("wrote health report to %s (%zu levels, %d stalled, %u oscillating vertices)\n",
                 health_out.c_str(), report.levels.size(), report.stalled_levels(),
                 report.oscillating_vertices());
+  }
+  if (!mem_out.empty()) {
+    const memtrace::MemReport report = memtrace::MemRegistry::global().report();
+    report.save(mem_out);
+    std::printf("wrote memory report to %s (%zu subsystems, peak %llu B workspace / %llu B "
+                "total, %.2f%% fragmentation, leak check %s)\n",
+                mem_out.c_str(), report.subsystems.size(),
+                static_cast<unsigned long long>(report.peak_ws_bytes()),
+                static_cast<unsigned long long>(report.peak_total_bytes()), report.frag_pct(),
+                report.leak_free() ? "clean" : "RETAINED BYTES");
   }
   return 0;
 }

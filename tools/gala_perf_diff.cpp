@@ -4,7 +4,7 @@
 // Usage:
 //   gala_perf_diff <baseline> <current> [--tolerance T] [--ms-tolerance M]
 //                  [--alloc-tolerance A] [--comm-tolerance C]
-//                  [--overhead-tolerance O]
+//                  [--overhead-tolerance O] [--mem-tolerance B] [--strict-new]
 //
 // <baseline>/<current> are JSON files, or directories compared pairwise by
 // file name (every baseline file must exist on the current side). Documents
@@ -28,10 +28,20 @@
 //     points (--overhead-tolerance): the baseline hovers near zero, so a
 //     relative rule would flag noise; the contract is "armed instrumentation
 //     stays under N points of overhead", not "matches the baseline",
+//   - keys matching "peak_*_bytes" are lower-better with a zero default
+//     budget (--mem-tolerance): memory high-water marks are modeled from
+//     deterministic request sequences, so any growth means a subsystem's
+//     footprint regressed (shrinkage passes),
 //   - every other number must match within --tolerance in either direction
 //     (the emulated counters are deterministic, so any drift is a change
 //     worth explaining — refresh the baseline deliberately, see
 //     bench/baseline/README.md).
+//
+// A relative-rule metric whose baseline value is exactly zero is reported as
+// a "new metric" and passes (the row gained a field after the baseline was
+// cut; refresh the baseline to start gating it) unless --strict-new is
+// given. Zero-growth rules (_allocs, comm_bytes, peak_*_bytes) are exempt:
+// there, base 0 -> cur > 0 is precisely the regression being gated.
 //
 // Array elements align by their "name" member when present, else by index.
 // Exit codes: 0 = within tolerance, 1 = regression/drift, 2 = usage or I/O.
@@ -58,6 +68,8 @@ struct Options {
   double alloc_tolerance = 0.0;  // "*_allocs" growth (pool misses are exact)
   double comm_tolerance = 0.0;   // "*comm_bytes" growth (wire volume is exact)
   double overhead_tolerance = 2.0;  // "*_overhead_pct" ceiling, percentage points
+  double mem_tolerance = 0.0;       // "peak_*_bytes" growth (modeled bytes are exact)
+  bool strict_new = false;          // fail on zero-baseline metrics instead of noting them
 };
 
 struct DiffState {
@@ -69,6 +81,20 @@ struct DiffState {
     std::fprintf(stderr, "perf_diff: %s: %s (baseline %.6g, current %.6g, %+.2f%%)\n",
                  path.c_str(), what, base, cur,
                  base != 0 ? 100.0 * (cur - base) / std::fabs(base) : 0.0);
+  }
+
+  /// A metric whose baseline is exactly zero has no meaningful relative
+  /// delta — it usually means the row gained a field after the baseline was
+  /// cut. Note it (and pass) unless --strict-new turns it into a failure.
+  void report_new(const std::string& path, double cur) {
+    if (opts->strict_new) {
+      report(path, 0, cur, "new metric (zero baseline) under --strict-new");
+      return;
+    }
+    std::fprintf(stderr,
+                 "perf_diff: %s: new metric (baseline 0, current %.6g) — refresh the "
+                 "baseline to start gating it\n",
+                 path.c_str(), cur);
   }
 };
 
@@ -104,18 +130,29 @@ void diff_number(double base, double cur, const std::string& path, DiffState& st
   const double denom = std::max(std::fabs(base), 1e-12);
   const double rel = (cur - base) / denom;
   if (ends_with(key, "_efficiency")) {
+    if (base == 0 && cur != 0) return state.report_new(path, cur);
     if (rel < -state.opts->tolerance) state.report(path, base, cur, "efficiency regressed");
   } else if (key == "modeled_ms" || key == "modeled_cycles") {
+    if (base == 0 && cur != 0) return state.report_new(path, cur);
     if (rel > state.opts->ms_tolerance) state.report(path, base, cur, "modeled time regressed");
   } else if (ends_with(key, "_allocs")) {
     // Workspace pool misses are deterministic, so they gate at zero growth
     // by default: any new steady-state allocation is a pooling regression.
+    // A zero baseline is NOT a "new metric" here — base 0 -> cur > 0 is
+    // exactly the regression this rule exists to catch.
     if (rel > state.opts->alloc_tolerance) state.report(path, base, cur, "allocations regressed");
   } else if (ends_with(key, "comm_bytes")) {
     // Distributed wire volume is deterministic: growth for an unchanged
     // configuration means sync payloads, elision, or compression regressed.
     if (rel > state.opts->comm_tolerance) state.report(path, base, cur, "comm bytes regressed");
+  } else if (starts_with(key, "peak_") && ends_with(key, "_bytes")) {
+    // Memory high-water marks are modeled (power-of-two size classes over
+    // deterministic request sequences), so they gate at zero growth by
+    // default: any new peak means a subsystem's footprint grew. Shrinkage
+    // passes. Like _allocs, a zero baseline stays a hard gate.
+    if (rel > state.opts->mem_tolerance) state.report(path, base, cur, "peak bytes regressed");
   } else {
+    if (base == 0 && cur != 0) return state.report_new(path, cur);
     if (std::fabs(rel) > state.opts->tolerance) state.report(path, base, cur, "counter drifted");
   }
 }
@@ -238,6 +275,10 @@ int main(int argc, char** argv) {
       if (!next_double(opts.comm_tolerance)) return 2;
     } else if (arg == "--overhead-tolerance") {
       if (!next_double(opts.overhead_tolerance)) return 2;
+    } else if (arg == "--mem-tolerance") {
+      if (!next_double(opts.mem_tolerance)) return 2;
+    } else if (arg == "--strict-new") {
+      opts.strict_new = true;
     } else {
       positional.push_back(arg);
     }
@@ -246,7 +287,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: gala_perf_diff <baseline> <current> [--tolerance T] "
                  "[--ms-tolerance M] [--alloc-tolerance A] [--comm-tolerance C] "
-                 "[--overhead-tolerance O]\n");
+                 "[--overhead-tolerance O] [--mem-tolerance B] [--strict-new]\n");
     return 2;
   }
 

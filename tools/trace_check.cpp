@@ -4,7 +4,7 @@
 // failure, so CI can gate on trace validity.
 //
 // Usage:
-//   trace_check <file.json> [--chrome|--metrics|--profile|--flight]
+//   trace_check <file.json> [--chrome|--metrics|--profile|--flight|--health|--mem]
 //               [--require NAME]... [--ranks N]
 //
 //   --chrome        expect Chrome-trace shape ({"traceEvents":[...]});
@@ -23,9 +23,18 @@
 //                   a supervisor dump): flight_schema, an events array whose
 //                   entries carry seq/kind/tid/rank/a/b, and a strictly
 //                   increasing seq clock (the cross-thread total order).
+//   --health        validate a --health-out payload: health_schema, per-level
+//                   diagnostics whose series arrays match the iteration
+//                   count, churn in [0, 1], and a summary consistent with
+//                   the per-level entries.
+//   --mem           validate a --mem-out payload: mem_schema, per-subsystem
+//                   byte accounting with live <= peak, totals with frag_pct
+//                   in [0, 100], a consistent leak_check, and a residency
+//                   timeline whose entry totals equal their subsystem sums.
 //   --require NAME  fail unless a span name (or, with --profile, a kernel
-//                   name; with --flight, an event kind) containing NAME
-//                   (substring) is present. Repeatable.
+//                   name; with --flight, an event kind; with --mem, a
+//                   subsystem or tag name) containing NAME (substring) is
+//                   present. Repeatable.
 //   --ranks N       with --chrome, require spans on at least N distinct
 //                   rank tracks (pid > 0); with --flight, events from at
 //                   least N distinct ranks >= 0.
@@ -273,6 +282,193 @@ std::set<std::string> collect_flight_kinds(const gala::JsonValue& doc) {
   return kinds;
 }
 
+/// --health: health_schema-1 report shape — config, per-level diagnostics
+/// with series arrays matching the iteration count, and a summary whose
+/// totals agree with the levels.
+bool check_health(const gala::JsonValue& doc, const std::string& file) {
+  const gala::JsonValue* schema = doc.find("health_schema");
+  if (schema == nullptr || !schema->is_number()) {
+    return fail(file, "no health_schema (not a --health-out payload?)");
+  }
+  const gala::JsonValue* config = doc.find("config");
+  if (config == nullptr || !config->is_object()) return fail(file, "no config object");
+  for (const char* key : {"stall_epsilon", "stall_window"}) {
+    const gala::JsonValue* v = config->find(key);
+    if (v == nullptr || !v->is_number() || v->number < 0) {
+      return fail(file, std::string("config: '") + key + "' is not a non-negative number");
+    }
+  }
+  const gala::JsonValue* levels = doc.find("levels");
+  if (levels == nullptr || !levels->is_array()) return fail(file, "no levels array");
+  double total_iterations = 0;
+  for (const auto& lv : levels->array) {
+    const gala::JsonValue* level = lv.find("level");
+    if (level == nullptr || !level->is_number()) return fail(file, "level without an index");
+    const std::string where = "level " + std::to_string(static_cast<int>(level->number));
+    const gala::JsonValue* iters = lv.find("iterations");
+    if (iters == nullptr || !iters->is_number() || iters->number < 0) {
+      return fail(file, where + ": 'iterations' is not a non-negative number");
+    }
+    total_iterations += iters->number;
+    for (const char* key : {"vertices", "stall_iterations", "oscillating_vertices",
+                            "oscillation_moves", "frontier_half_life"}) {
+      if (!check_nonneg(lv, key, file, where)) return false;
+    }
+    const gala::JsonValue* stalled = lv.find("stalled");
+    if (stalled == nullptr || stalled->type != gala::JsonValue::Type::Bool) {
+      return fail(file, where + ": 'stalled' is not a boolean");
+    }
+    for (const char* key : {"churn_peak", "churn_mean"}) {
+      const gala::JsonValue* v = lv.find(key);
+      if (v == nullptr || !v->is_number() || v->number < 0 || v->number > 1.0) {
+        return fail(file, where + ": '" + key + "' is not in [0, 1]");
+      }
+    }
+    const gala::JsonValue* series = lv.find("series");
+    if (series == nullptr || !series->is_object()) {
+      return fail(file, where + ": no series object");
+    }
+    for (const char* key : {"modularity", "delta_q", "active", "moved", "flip_flops",
+                            "ht_mean_probe_length"}) {
+      const gala::JsonValue* arr = series->find(key);
+      if (arr == nullptr || !arr->is_array()) {
+        return fail(file, where + ": series '" + key + "' is not an array");
+      }
+      if (static_cast<double>(arr->array.size()) != iters->number) {
+        return fail(file, where + ": series '" + key + "' has " +
+                              std::to_string(arr->array.size()) + " entries for " +
+                              std::to_string(static_cast<int>(iters->number)) + " iterations");
+      }
+    }
+  }
+  const gala::JsonValue* summary = doc.find("summary");
+  if (summary == nullptr || !summary->is_object()) return fail(file, "no summary object");
+  const gala::JsonValue* sum_levels = summary->find("levels");
+  if (sum_levels == nullptr || !sum_levels->is_number() ||
+      sum_levels->number != static_cast<double>(levels->array.size())) {
+    return fail(file, "summary.levels does not equal the number of level entries");
+  }
+  const gala::JsonValue* sum_iters = summary->find("total_iterations");
+  if (sum_iters == nullptr || !sum_iters->is_number() || sum_iters->number != total_iterations) {
+    return fail(file, "summary.total_iterations does not equal the per-level sum");
+  }
+  return true;
+}
+
+/// --mem: mem_schema-1 report shape — per-subsystem gauges with live <= peak,
+/// consistent totals, a leak_check section, and a well-formed timeline.
+bool check_mem(const gala::JsonValue& doc, const std::string& file) {
+  const gala::JsonValue* schema = doc.find("mem_schema");
+  if (schema == nullptr || !schema->is_number()) {
+    return fail(file, "no mem_schema (not a --mem-out payload?)");
+  }
+  const gala::JsonValue* subsystems = doc.find("subsystems");
+  if (subsystems == nullptr || !subsystems->is_array()) return fail(file, "no subsystems array");
+  for (const auto& s : subsystems->array) {
+    const gala::JsonValue* name = s.find("name");
+    if (name == nullptr || !name->is_string()) return fail(file, "subsystem without a name");
+    const std::string where = "subsystem '" + name->string + "'";
+    for (const char* key : {"allocs", "bytes_total", "live", "peak", "waste", "resident",
+                            "resident_peak"}) {
+      const gala::JsonValue* v = s.find(key);
+      if (v == nullptr || !v->is_number() || v->number < 0) {
+        return fail(file, where + ": '" + key + "' is not a non-negative number");
+      }
+    }
+    if (s.at("live").number > s.at("peak").number) {
+      return fail(file, where + ": live exceeds peak");
+    }
+    if (s.at("resident").number > s.at("resident_peak").number) {
+      return fail(file, where + ": resident exceeds resident_peak");
+    }
+    const gala::JsonValue* tags = s.find("tags");
+    if (tags == nullptr || !tags->is_array() || tags->array.empty()) {
+      return fail(file, where + ": no tags array");
+    }
+    for (const auto& t : tags->array) {
+      const gala::JsonValue* tname = t.find("name");
+      if (tname == nullptr || !tname->is_string()) {
+        return fail(file, where + ": tag without a name");
+      }
+      for (const char* key : {"allocs", "frees", "live", "peak", "retained"}) {
+        if (!check_nonneg(t, key, file, "tag '" + tname->string + "'")) return false;
+      }
+    }
+  }
+  const gala::JsonValue* totals = doc.find("totals");
+  if (totals == nullptr || !totals->is_object()) return fail(file, "no totals object");
+  for (const char* key : {"peak_ws_bytes", "peak_total_bytes", "live_bytes"}) {
+    const gala::JsonValue* v = totals->find(key);
+    if (v == nullptr || !v->is_number() || v->number < 0) {
+      return fail(file, std::string("totals: '") + key + "' is not a non-negative number");
+    }
+  }
+  if (totals->at("peak_ws_bytes").number > totals->at("peak_total_bytes").number) {
+    return fail(file, "totals: peak_ws_bytes exceeds peak_total_bytes");
+  }
+  const gala::JsonValue* frag = totals->find("frag_pct");
+  if (frag == nullptr || !frag->is_number() || frag->number < 0 || frag->number > 100.0) {
+    return fail(file, "totals: frag_pct is not in [0, 100]");
+  }
+  const gala::JsonValue* leak = doc.find("leak_check");
+  if (leak == nullptr || !leak->is_object()) return fail(file, "no leak_check object");
+  const gala::JsonValue* clean = leak->find("clean");
+  const gala::JsonValue* leaked = leak->find("leaked_tags");
+  if (clean == nullptr || clean->type != gala::JsonValue::Type::Bool || leaked == nullptr ||
+      !leaked->is_array()) {
+    return fail(file, "leak_check: missing clean flag or leaked_tags array");
+  }
+  if (clean->boolean != leaked->array.empty()) {
+    return fail(file, "leak_check: clean flag contradicts leaked_tags");
+  }
+  const gala::JsonValue* timeline = doc.find("timeline");
+  if (timeline == nullptr || !timeline->is_array()) return fail(file, "no timeline array");
+  for (const auto& e : timeline->array) {
+    const gala::JsonValue* kind = e.find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        (kind->string != "iteration" && kind->string != "level")) {
+      return fail(file, "timeline entry with kind not in {iteration, level}");
+    }
+    for (const char* key : {"index", "total"}) {
+      const gala::JsonValue* v = e.find(key);
+      if (v == nullptr || !v->is_number() || v->number < 0) {
+        return fail(file, std::string("timeline: '") + key + "' is not a non-negative number");
+      }
+    }
+    const gala::JsonValue* per = e.find("subsystems");
+    if (per == nullptr || !per->is_object()) {
+      return fail(file, "timeline entry without a subsystems object");
+    }
+    double sum = 0;
+    for (const auto& [sname, bytes] : per->object) {
+      if (!bytes.is_number() || bytes.number < 0) {
+        return fail(file, "timeline subsystem '" + sname + "' is not a non-negative number");
+      }
+      sum += bytes.number;
+    }
+    if (sum != e.at("total").number) {
+      return fail(file, "timeline entry total does not equal the subsystem sum");
+    }
+  }
+  return true;
+}
+
+/// Mem reports --require against subsystem and tag names.
+std::set<std::string> collect_mem_names(const gala::JsonValue& doc) {
+  std::set<std::string> names;
+  if (const gala::JsonValue* subsystems = doc.find("subsystems")) {
+    for (const auto& s : subsystems->array) {
+      if (const gala::JsonValue* n = s.find("name")) names.insert(n->string);
+      if (const gala::JsonValue* tags = s.find("tags")) {
+        for (const auto& t : tags->array) {
+          if (const gala::JsonValue* n = t.find("name")) names.insert(n->string);
+        }
+      }
+    }
+  }
+  return names;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +477,8 @@ int main(int argc, char** argv) {
   bool metrics = false;
   bool profile = false;
   bool flight = false;
+  bool health = false;
+  bool mem = false;
   int ranks = 0;
   std::vector<std::string> required;
   for (int i = 1; i < argc; ++i) {
@@ -293,6 +491,10 @@ int main(int argc, char** argv) {
       profile = true;
     } else if (arg == "--flight") {
       flight = true;
+    } else if (arg == "--health") {
+      health = true;
+    } else if (arg == "--mem") {
+      mem = true;
     } else if (arg == "--ranks") {
       if (++i >= argc) {
         std::fprintf(stderr, "trace_check: --ranks needs a value\n");
@@ -316,9 +518,10 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (file.empty() || (chrome + metrics + profile + flight) > 1) {
+  if (file.empty() || (chrome + metrics + profile + flight + health + mem) > 1) {
     std::fprintf(stderr,
-                 "usage: trace_check <file.json> [--chrome|--metrics|--profile|--flight] "
+                 "usage: trace_check <file.json> "
+                 "[--chrome|--metrics|--profile|--flight|--health|--mem] "
                  "[--require NAME]... [--ranks N]\n");
     return 1;
   }
@@ -397,6 +600,10 @@ int main(int argc, char** argv) {
     }
   } else if (flight) {
     if (!check_flight(doc, file, ranks)) return 1;
+  } else if (health) {
+    if (!check_health(doc, file)) return 1;
+  } else if (mem) {
+    if (!check_mem(doc, file)) return 1;
   } else if (metrics) {
     if (!check_metrics(doc, file)) return 1;
   } else if (profile) {
@@ -407,7 +614,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::set<std::string> names = flight ? collect_flight_kinds(doc) : collect_names(doc);
+  const std::set<std::string> names = flight ? collect_flight_kinds(doc)
+                                     : mem   ? collect_mem_names(doc)
+                                             : collect_names(doc);
+  const char* noun = flight ? "event kind" : mem ? "subsystem" : "span";
   for (const auto& want : required) {
     bool found = false;
     for (const auto& name : names) {
@@ -417,14 +627,14 @@ int main(int argc, char** argv) {
       }
     }
     if (!found) {
-      std::fprintf(stderr, "trace_check: %s: required %s '%s' not found\n", file.c_str(),
-                   flight ? "event kind" : "span", want.c_str());
+      std::fprintf(stderr, "trace_check: %s: required %s '%s' not found\n", file.c_str(), noun,
+                   want.c_str());
       return 1;
     }
   }
 
-  std::printf("trace_check: %s ok (%zu %s name%s", file.c_str(), names.size(),
-              flight ? "event kind" : "span", names.size() == 1 ? "" : "s");
+  std::printf("trace_check: %s ok (%zu %s name%s", file.c_str(), names.size(), noun,
+              names.size() == 1 ? "" : "s");
   if (events != nullptr) std::printf(", %zu events", events->array.size());
   if (flight) {
     if (const gala::JsonValue* fe = doc.find("events")) std::printf(", %zu events", fe->array.size());
