@@ -12,6 +12,7 @@
 //   GALA_BENCH_JSON_DIR=<dir> GALA_BENCH_PROFILE=1 ./perf_profile
 #include "bench_util.hpp"
 #include "gala/core/bsp_louvain.hpp"
+#include "gala/governor/governor.hpp"
 #include "gala/graph/generators.hpp"
 #include "gala/memtrace/memtrace.hpp"
 #include "gala/metrics/health.hpp"
@@ -257,6 +258,46 @@ int main() {
         .field("wall_ms_armed", wall_ms[1])
         .field("wall_ms_disarmed", wall_ms[0])
         .field("wall_memtrace_overhead_pct", wall_overhead);
+  }
+  // Governor rows: the minimum feasible budget for each stand-in graph under
+  // the default sequential config. The probe is a pure function of modeled
+  // bytes (binary search over 4096-byte granules, each trial checked for
+  // completion + bit-identical partition + peak within budget), so it
+  // baselines bit-identically. min_feasible_* rides gala_perf_diff's
+  // zero-growth rule: a higher floor means the degradation ladder lost
+  // headroom — a robustness regression, not a tuning knob.
+  for (const auto& [name, g] : graphs) {
+    const auto solve = [&g] {
+      core::BspConfig cfg;
+      cfg.parallel = false;
+      memtrace::MemRegistry::global().reset();
+      core::BspLouvainEngine engine(g, cfg);
+      return engine.run().community;
+    };
+    const std::vector<cid_t> reference = solve();
+    const std::uint64_t peak = memtrace::MemRegistry::global().report().peak_total_bytes();
+    const auto feasible = [&](std::uint64_t budget) {
+      governor::BudgetConfig cfg;
+      cfg.total_bytes = budget;
+      governor::ScopedBudget scoped(cfg);
+      std::vector<cid_t> partition;
+      try {
+        partition = solve();
+      } catch (const ResourceExhausted&) {
+        return false;
+      }
+      return memtrace::MemRegistry::global().report().peak_total_bytes() <= budget &&
+             partition == reference;
+    };
+    const std::uint64_t floor = governor::min_feasible_budget(peak, feasible);
+    std::printf("%-16s %-13s min feasible budget %llu B (unlimited peak %llu B)\n", name,
+                "governor_floor", static_cast<unsigned long long>(floor),
+                static_cast<unsigned long long>(peak));
+    rec.row()
+        .field("graph", name)
+        .field("policy", "governor_floor")
+        .field("min_feasible_budget_bytes", floor)
+        .field("unlimited_peak_bytes", peak);
   }
   rec.save();
   return 0;

@@ -92,6 +92,14 @@ class JsonWriter {
     out_ << (v ? "true" : "false");
     return *this;
   }
+  /// Splices a pre-rendered JSON value verbatim (no escaping, no
+  /// validation). For embedding a fragment another writer produced — e.g.
+  /// the governor section inside the mem report.
+  JsonWriter& raw(const std::string& fragment) {
+    prefix();
+    out_ << fragment;
+    return *this;
+  }
 
   std::string str() const { return out_.str(); }
 

@@ -7,6 +7,7 @@
 #include "gala/common/error.hpp"
 #include "gala/common/timer.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/governor/governor.hpp"
 #include "gala/memtrace/memtrace.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
 #include "gala/telemetry/telemetry.hpp"
@@ -124,16 +125,13 @@ void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
                                     std::span<Decision> decisions,
                                     IterationStats& iter_stats) {
   const vid_t n = g_.num_vertices();
-  const DecideDispatch dispatch{config_.kernel, config_.hashtable, config_.shuffle_degree_limit};
-  // Workload-aware dispatch: split the active set by degree. The lists are
-  // pooled members — clear() keeps capacity, so steady-state iterations
-  // rebuild them without touching the allocator.
-  shuffle_list_.clear();
-  hash_list_.clear();
-  for (vid_t v = 0; v < n; ++v) {
-    if (!active[v]) continue;
-    (use_shuffle_kernel(g_, v, dispatch) ? shuffle_list_ : hash_list_).push_back(v);
-  }
+  // Governor rung 2: GlobalOnly is the exact-parity fallback (decisions are
+  // policy-independent), so forcing it sheds shared-arena pages without
+  // moving a single vertex differently.
+  const HashTablePolicy table = governor::Governor::global().force_global_only()
+                                    ? HashTablePolicy::GlobalOnly
+                                    : config_.hashtable;
+  const DecideDispatch dispatch{config_.kernel, table, config_.shuffle_degree_limit};
 
   const DecideInput input{&g_, comm_, comm_total_, g_.two_m(), config_.resolution};
 
@@ -171,23 +169,48 @@ void BspLouvainEngine::decide_phase(std::span<const std::uint8_t> active,
 
   telemetry::ScopedSpan span(telemetry::Tracer::global(), "decide", "phase1");
   gpusim::LaunchStats total;
-  if (!shuffle_list_.empty()) {
-    total += launch((shuffle_list_.size() + kWarpsPerBlock - 1) / kWarpsPerBlock, run_shuffle,
-                    "decide_shuffle");
+  std::size_t shuffle_total = 0;
+  std::size_t hash_total = 0;
+  const auto flush = [&] {
+    if (!shuffle_list_.empty()) {
+      total += launch((shuffle_list_.size() + kWarpsPerBlock - 1) / kWarpsPerBlock, run_shuffle,
+                      "decide_shuffle");
+      shuffle_total += shuffle_list_.size();
+      shuffle_list_.clear();
+    }
+    if (!hash_list_.empty()) {
+      total += launch(hash_list_.size(), run_hash, "decide_hash");
+      hash_total += hash_list_.size();
+      hash_list_.clear();
+    }
+  };
+
+  // Workload-aware dispatch: split the active set by degree. The lists are
+  // pooled members — clear() keeps capacity, so steady-state iterations
+  // rebuild them without touching the allocator. Governor rung 4 bounds the
+  // materialised window: each decision is a per-vertex function of the same
+  // pre-iteration community state (applied later, in apply_phase), so
+  // chunked launches compute exactly what one launch would.
+  const std::size_t window = governor::Governor::global().frontier_chunk();
+  shuffle_list_.clear();
+  hash_list_.clear();
+  for (vid_t v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    (use_shuffle_kernel(g_, v, dispatch) ? shuffle_list_ : hash_list_).push_back(v);
+    if (window > 0 && shuffle_list_.size() + hash_list_.size() >= window) flush();
   }
-  if (!hash_list_.empty()) {
-    total += launch(hash_list_.size(), run_hash, "decide_hash");
-  }
+  flush();
+
   iter_stats.decide_traffic += total.traffic;
   iter_stats.decide_wall += total.wall_seconds;
   iter_stats.ht_maintenance_rate = total.traffic.maintenance_rate();
   iter_stats.ht_access_rate = total.traffic.access_rate();
   iter_stats.ht_mean_probe_length = total.traffic.mean_probe_length();
-  telemetry::flight(telemetry::FlightKind::Decide, static_cast<double>(shuffle_list_.size()),
-                    static_cast<double>(hash_list_.size()));
+  telemetry::flight(telemetry::FlightKind::Decide, static_cast<double>(shuffle_total),
+                    static_cast<double>(hash_total));
   if (span.active()) {
-    span.arg("shuffle_vertices", static_cast<double>(shuffle_list_.size()));
-    span.arg("hash_vertices", static_cast<double>(hash_list_.size()));
+    span.arg("shuffle_vertices", static_cast<double>(shuffle_total));
+    span.arg("hash_vertices", static_cast<double>(hash_total));
     span.arg("modeled_ms", config_.device.modeled_ms(total.traffic));
     gpusim::attach_traffic(span, total.traffic);
   }

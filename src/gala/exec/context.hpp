@@ -26,6 +26,7 @@
 
 #include "gala/common/thread_pool.hpp"
 #include "gala/exec/workspace.hpp"
+#include "gala/governor/governor.hpp"
 #include "gala/gpusim/device.hpp"
 
 namespace gala::exec {
@@ -36,7 +37,15 @@ class ExecutionContext {
                             std::uint64_t seed = 7, bool pooling = true,
                             ThreadPool* pool = nullptr)
       : workspace_(pooling), device_(device_config, &workspace_), seed_(seed),
-        pool_(pool != nullptr ? pool : &ThreadPool::global()) {}
+        pool_(pool != nullptr ? pool : &ThreadPool::global()) {
+    // Rung 1 of the governor's degradation ladder trims idle pooled slabs;
+    // each context volunteers its workspace (trim() is thread-safe and only
+    // touches free lists, never outstanding leases).
+    governor::Governor::global().register_reclaimer(
+        this, [this] { return static_cast<std::uint64_t>(workspace_.trim()); });
+  }
+
+  ~ExecutionContext() { governor::Governor::global().unregister_reclaimer(this); }
 
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;

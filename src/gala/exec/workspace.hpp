@@ -184,11 +184,15 @@ class Workspace {
   /// every pooled element type.
   template <typename T>
   Lease<T> take(std::size_t count, std::string_view tag, Fill fill = Fill::Dirty) {
+    const std::size_t bytes = count * sizeof(T);
+    // Budget admission runs before any slab moves: a governor refusal
+    // (gala::ResourceExhausted) unwinds with the lease still empty, so the
+    // destructor has nothing to credit back.
+    memtrace::admit(tag, class_bytes(bytes), /*may_throw=*/true);
     Lease<T> lease;
     lease.ws_ = this;
     lease.count_ = count;
     lease.tag_ = tag;
-    const std::size_t bytes = count * sizeof(T);
     lease.epoch_ = checkout(bytes, tag_hash(tag), lease.slab_, lease.same_tag_);
     if (memtrace::MemRegistry::armed()) {
       // Modeled charge: the request's size class, never the (pool-state

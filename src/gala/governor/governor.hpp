@@ -1,0 +1,197 @@
+// gala::governor — enforceable memory budgets with a deterministic
+// graceful-degradation ladder.
+//
+// The memtrace registry (PR 7) answers "where do the bytes live"; the
+// governor turns that accounting into an enforceable contract. Installing a
+// budget arms an admission hook that memtrace invokes before any modeled
+// bytes go live (Workspace checkouts, one-shot charges, resident gauges).
+// Instead of failing at the wall, the governor walks a degradation ladder,
+// each rung trading performance for footprint while preserving bit-identical
+// partitions:
+//
+//   rung 1  reclaim-slabs     trim idle pooled Workspace slabs (host bytes;
+//                             the modeled charge is unchanged — this rung
+//                             frees the slack the pool was hoarding)
+//   rung 2  global-only-hash  downgrade Hierarchical hashtables to
+//                             GlobalOnly (PR 3's exact-parity fallback), so
+//                             shared-arena pages stop being charged
+//   rung 3  sparse-sync       force sparse+compressed sync staging in the
+//                             distributed engine (snapshot at level grain so
+//                             every rank agrees on collective shapes)
+//   rung 4  chunked-frontier  process the phase-1 decide frontier through a
+//                             bounded window instead of materialising the
+//                             whole active list
+//   rung 5  host-fallback     the floor: refuse the checkout by throwing
+//                             ResourceExhausted, which the resilience
+//                             supervisor retries and then degrades to the
+//                             sequential host path
+//
+// Determinism: every decision keys off *modeled* bytes (live checked-out +
+// resident), never host capacities, so a fixed (graph, config, budget)
+// triple walks the same rungs in the same order run after run under
+// sequential launches. Rungs are sticky — the ladder only escalates, never
+// de-escalates mid-run — so rung events in flight dumps are monotonically
+// non-decreasing, which trace_check --flight validates.
+//
+// Thresholds: rungs 1-4 engage at 80/85/90/95% projected utilisation. They
+// have to engage *below* the wall because each rung only shrinks future
+// allocations; waiting for an overrun would collapse the whole ladder into
+// the rung-5 throw. The throw itself fires only on may-throw admissions
+// (Workspace checkouts, where unwinding is clean); charges and resident
+// gauges observe-and-escalate but never throw mid-collective.
+//
+// Fault site: `budget-shrink` (gala::resilience) cuts the budget mid-run to
+// max(live, budget/2) on a seeded FaultPlan schedule, exercising the
+// supervisor's retry/rollback machinery under genuine memory pressure.
+//
+// Cost discipline: uninstalled, the memtrace hook pointer is null and every
+// allocation site pays one relaxed load. Installed, an admission is a couple
+// of relaxed loads plus a compare; the mutex is only taken on escalation,
+// shrink, and reclaim — all rare.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gala/common/error.hpp"
+
+namespace gala::governor {
+
+/// Degradation ladder rungs, ordered by severity. The governor's current
+/// rung is the highest it has escalated to; flags for rungs 2-4 are derived
+/// (rung() >= that rung).
+enum class Rung : std::uint8_t {
+  None = 0,
+  ReclaimSlabs = 1,
+  GlobalOnlyHash = 2,
+  SparseSync = 3,
+  ChunkedFrontier = 4,
+  HostFallback = 5,
+};
+
+const char* to_string(Rung rung);
+
+struct BudgetConfig {
+  /// Hard modeled-bytes budget; 0 means unlimited (governor still observes).
+  std::uint64_t total_bytes = 0;
+  /// Optional per-subsystem caps, keyed by tag prefix ("phase1", "gpusim",
+  /// ...). A cap overrun escalates the ladder exactly like the total.
+  std::vector<std::pair<std::string, std::uint64_t>> subsystem_caps;
+  /// Decide-frontier window applied at rung 4 (vertices per kernel launch).
+  std::size_t frontier_chunk = 4096;
+};
+
+/// One ladder escalation, recorded for the report.
+struct RungTransition {
+  Rung rung = Rung::None;
+  std::uint64_t projected = 0;  ///< modeled bytes that triggered it
+  std::uint64_t budget = 0;     ///< budget in force at that moment
+};
+
+/// Process-wide budget enforcer. Install once (CLI --mem-budget, tests,
+/// bench probes); every memtrace-instrumented allocation site then funnels
+/// through admit() via the registry's admission hook.
+class Governor {
+ public:
+  static Governor& global();
+
+  /// True when a budget is installed (one relaxed load).
+  static bool enabled() { return enabled_flag_.load(std::memory_order_relaxed); }
+
+  /// Installs `config`, resets ladder state, and arms the memtrace admission
+  /// hook. Budgets must be enforceable, so memtrace is armed as a side
+  /// effect (modeled live bytes are the enforcement input).
+  void install(BudgetConfig config);
+  /// Removes the hook and clears the budget; ladder state and stats stay
+  /// readable until the next install().
+  void uninstall();
+
+  /// Admission check for `bytes` modeled bytes under `tag`. Escalates the
+  /// ladder when projected utilisation crosses a threshold; on a may-throw
+  /// site whose projected total still exceeds the budget after reclaim, the
+  /// floor throws gala::ResourceExhausted. Non-throwing sites record the
+  /// overrun and escalate only. Evaluates the `budget-shrink` fault site.
+  void admit(std::string_view tag, std::uint64_t bytes, bool may_throw);
+
+  Rung rung() const { return static_cast<Rung>(rung_.load(std::memory_order_relaxed)); }
+  /// Rung 2+: decide kernels must run the GlobalOnly hashtable policy.
+  bool force_global_only() const { return rung() >= Rung::GlobalOnlyHash; }
+  /// Rung 3+: the distributed engine must use sparse+compressed staging.
+  bool force_sparse_sync() const { return rung() >= Rung::SparseSync; }
+  /// Rung 4+: the decide-frontier window, in vertices; 0 when unchunked.
+  std::size_t frontier_chunk() const {
+    return rung() >= Rung::ChunkedFrontier ? chunk_.load(std::memory_order_relaxed) : 0;
+  }
+
+  std::uint64_t budget_total() const { return total_.load(std::memory_order_relaxed); }
+  /// Cuts the budget to `new_total` (the budget-shrink fault path, also
+  /// callable directly by tests). Never raises it.
+  void shrink_budget(std::uint64_t new_total);
+
+  /// Registers a slab reclaimer (Workspace::trim) under `key`; rung 1
+  /// invokes every registered reclaimer once per escalation. The callback
+  /// returns host bytes freed.
+  void register_reclaimer(const void* key, std::function<std::uint64_t()> fn);
+  void unregister_reclaimer(const void* key);
+
+  /// Statistics for the report (deterministic under sequential launches).
+  std::uint64_t admits() const { return admits_.load(std::memory_order_relaxed); }
+  std::uint64_t denials() const { return denials_.load(std::memory_order_relaxed); }
+  std::uint64_t shrinks() const { return shrinks_.load(std::memory_order_relaxed); }
+  std::uint64_t reclaims() const { return reclaims_.load(std::memory_order_relaxed); }
+
+  /// The "governor" JSON object fragment embedded in the --mem-out report
+  /// and written standalone by --governor-out: budget, current rung, counts,
+  /// and the ordered transition list.
+  std::string section_json() const;
+
+ private:
+  Governor() = default;
+
+  void escalate_to(Rung target, std::uint64_t projected, std::uint64_t budget);
+  std::uint64_t run_reclaimers();
+  void maybe_shrink(std::string_view tag);
+
+  static inline std::atomic<bool> enabled_flag_{false};
+
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> initial_total_{0};
+  std::atomic<std::uint8_t> rung_{0};
+  std::atomic<std::size_t> chunk_{4096};
+  std::atomic<std::uint64_t> admits_{0};
+  std::atomic<std::uint64_t> denials_{0};
+  std::atomic<std::uint64_t> shrinks_{0};
+  std::atomic<std::uint64_t> reclaims_{0};
+
+  mutable std::mutex mutex_;  // escalation, reclaimers, caps, transitions
+  std::vector<std::pair<std::string, std::uint64_t>> subsystem_caps_;
+  std::vector<std::pair<const void*, std::function<std::uint64_t()>>> reclaimers_;
+  std::vector<RungTransition> transitions_;
+};
+
+/// Binary-searches the smallest budget in [granularity, hi] for which
+/// `feasible` holds, assuming feasibility is monotone in the budget. Returns
+/// 0 when even `hi` is infeasible. `feasible` typically runs the full solve
+/// under an installed budget and checks completion + partition parity +
+/// peak <= budget (see bench/perf_profile.cpp and the CLI's
+/// --probe-min-budget).
+std::uint64_t min_feasible_budget(std::uint64_t hi,
+                                  const std::function<bool(std::uint64_t)>& feasible,
+                                  std::uint64_t granularity = 4096);
+
+/// RAII install/uninstall for tests and probes (exception-safe).
+class ScopedBudget {
+ public:
+  explicit ScopedBudget(BudgetConfig config) { Governor::global().install(std::move(config)); }
+  ~ScopedBudget() { Governor::global().uninstall(); }
+  ScopedBudget(const ScopedBudget&) = delete;
+  ScopedBudget& operator=(const ScopedBudget&) = delete;
+};
+
+}  // namespace gala::governor

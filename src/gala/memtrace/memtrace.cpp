@@ -52,6 +52,7 @@ void MemRegistry::on_alloc(std::string_view tag, std::uint64_t modeled,
   c.peak = std::max(c.peak, c.live);
   if (modeled > requested) c.waste += modeled - requested;
   c.workspace = c.workspace || workspace;
+  live_total_.fetch_add(modeled, std::memory_order_relaxed);
 }
 
 void MemRegistry::on_free(std::string_view tag, std::uint64_t modeled) noexcept {
@@ -64,7 +65,9 @@ void MemRegistry::on_free(std::string_view tag, std::uint64_t modeled) noexcept 
   if (it == cells_.end()) return;
   Cell& c = it->second;
   ++c.frees;
-  c.live -= std::min(c.live, modeled);
+  const std::uint64_t delta = std::min(c.live, modeled);
+  c.live -= delta;
+  live_total_.fetch_sub(delta, std::memory_order_relaxed);
 }
 
 void MemRegistry::charge(std::string_view tag, std::uint64_t modeled) {
@@ -78,8 +81,22 @@ void MemRegistry::charge(std::string_view tag, std::uint64_t modeled) {
 void MemRegistry::set_resident(std::string_view tag, std::uint64_t bytes) {
   std::lock_guard lock(mutex_);
   Cell& c = cell(tag);
+  if (bytes >= c.resident) {
+    live_total_.fetch_add(bytes - c.resident, std::memory_order_relaxed);
+  } else {
+    live_total_.fetch_sub(c.resident - bytes, std::memory_order_relaxed);
+  }
   c.resident = bytes;
   c.resident_peak = std::max(c.resident_peak, bytes);
+}
+
+std::uint64_t MemRegistry::live_subsystem(std::string_view subsys) const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : cells_) {
+    if (subsystem_of(key.tag) == subsys) total += c.live + c.resident;
+  }
+  return total;
 }
 
 void MemRegistry::note_slack(std::uint64_t bytes) {
@@ -190,6 +207,7 @@ void MemRegistry::reset() {
   timeline_dropped_ = 0;
   level_resets_ = 0;
   slack_bytes_ = 0;
+  live_total_.store(0, std::memory_order_relaxed);
 }
 
 // --------------------------------------------------------------------------
@@ -304,6 +322,11 @@ std::string MemReport::json(bool include_host) const {
   }
   w.end_array();
   w.key("timeline_dropped").value(timeline_dropped);
+  if (!governor.empty()) {
+    // Pre-rendered by gala::governor::section_json(); absent when no budget
+    // was installed, preserving the historical report shape.
+    w.key("governor").raw(governor);
+  }
   if (include_host) {
     // Host section: actual-slab-capacity facts that depend on pool state
     // (excluded from the byte-identity guarantee).

@@ -117,6 +117,10 @@ struct MemReport {
   std::vector<EpochSnapshot> timeline;
   std::uint64_t timeline_dropped = 0;
   std::uint64_t level_resets = 0;
+  /// Pre-rendered "governor" JSON object (gala::governor::section_json).
+  /// Empty when no budget was installed — the key is then absent, which
+  /// keeps the historical json(false) byte-identity surface unchanged.
+  std::string governor;
   /// Host section (pool-state dependent, excluded from byte-identity):
   /// actual-slab-capacity slack beyond the modeled size class.
   std::uint64_t pool_slack_bytes = 0;
@@ -150,6 +154,22 @@ class MemRegistry {
   static bool armed() { return armed_flag_.load(std::memory_order_relaxed); }
   static void arm() { armed_flag_.store(true, std::memory_order_relaxed); }
   static void disarm() { armed_flag_.store(false, std::memory_order_relaxed); }
+
+  /// Admission hook, installed by gala::governor to veto allocations before
+  /// their modeled bytes go live. `may_throw` marks sites where a refusal
+  /// can unwind cleanly (Workspace checkouts); other sites must be observed
+  /// without throwing. Null (the default) costs one relaxed load per site.
+  using AdmitHook = void (*)(std::string_view tag, std::uint64_t modeled, bool may_throw);
+  static void set_admit_hook(AdmitHook hook) {
+    admit_hook_.store(hook, std::memory_order_relaxed);
+  }
+  static AdmitHook admit_hook() { return admit_hook_.load(std::memory_order_relaxed); }
+
+  /// Modeled bytes live right now (checked out + resident), summed across
+  /// all tags and ranks: the budget-enforcement input. One relaxed load.
+  std::uint64_t live_total() const { return live_total_.load(std::memory_order_relaxed); }
+  /// Modeled live+resident bytes for one subsystem (tag prefix).
+  std::uint64_t live_subsystem(std::string_view subsys) const;
 
   /// A buffer went live under `tag`: `modeled` is its size-class charge,
   /// `requested` the raw request (their difference accumulates as waste).
@@ -212,7 +232,9 @@ class MemRegistry {
   Cell& cell(std::string_view tag);  // caller holds mutex_
 
   static inline std::atomic<bool> armed_flag_{true};
+  static inline std::atomic<AdmitHook> admit_hook_{nullptr};
 
+  std::atomic<std::uint64_t> live_total_{0};
   mutable std::mutex mutex_;
   std::map<Key, Cell, KeyLess> cells_;
   std::vector<EpochSnapshot> timeline_;
@@ -220,6 +242,14 @@ class MemRegistry {
   std::uint64_t level_resets_ = 0;
   std::uint64_t slack_bytes_ = 0;
 };
+
+/// Admission check: allocation sites call this BEFORE the bytes go live.
+/// With no governor installed it is one relaxed load. `may_throw` sites
+/// (Workspace checkouts) let the governor refuse by throwing
+/// gala::ResourceExhausted; all other sites are observe-and-escalate only.
+inline void admit(std::string_view tag, std::uint64_t modeled, bool may_throw = false) {
+  if (MemRegistry::AdmitHook hook = MemRegistry::admit_hook()) hook(tag, modeled, may_throw);
+}
 
 /// Convenience wrappers: one relaxed load when disarmed.
 inline void on_alloc(std::string_view tag, std::uint64_t modeled, std::uint64_t requested,
@@ -232,10 +262,12 @@ inline void on_free(std::string_view tag, std::uint64_t modeled) noexcept {
   MemRegistry::global().on_free(tag, modeled);
 }
 inline void charge(std::string_view tag, std::uint64_t modeled) {
+  admit(tag, modeled, /*may_throw=*/false);
   if (!MemRegistry::armed()) return;
   MemRegistry::global().charge(tag, modeled);
 }
 inline void set_resident(std::string_view tag, std::uint64_t bytes) {
+  admit(tag, bytes, /*may_throw=*/false);
   if (!MemRegistry::armed()) return;
   MemRegistry::global().set_resident(tag, bytes);
 }

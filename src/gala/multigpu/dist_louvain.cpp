@@ -9,6 +9,7 @@
 #include "gala/common/timer.hpp"
 #include "gala/core/aggregation.hpp"
 #include "gala/core/modularity.hpp"
+#include "gala/governor/governor.hpp"
 #include "gala/memtrace/memtrace.hpp"
 #include "gala/multigpu/delta_codec.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
@@ -81,6 +82,13 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
 
   memtrace::set_resident("graph.csr", g.memory_bytes());
 
+  // Governor rung 3 is snapshotted once, before the rank threads spawn: the
+  // sync mode and compression flag feed collective shapes, so every rank
+  // must agree on them for the whole phase-1 call. A mid-phase per-rank read
+  // would desynchronise the collectives; escalation instead takes effect at
+  // the next level's phase 1.
+  const bool governor_sparse = governor::Governor::global().force_sparse_sync();
+
   Timer wall_timer;
 
   auto rank_main = [&](std::size_t rank) {
@@ -125,7 +133,11 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
     std::vector<std::uint8_t> elig_flag(n, 0);  // this iteration's eligible set
     std::vector<std::uint8_t> spec_flag(n, 0);  // set speculated in the last window
     const bool overlap_on = config.overlap;
-    const bool compress_on = config.compress && config.sync != SyncMode::Dense;
+    // Rung 3 forces sparse+compressed staging even in configurations that
+    // asked for dense; with the governor engaged, Dense no longer vetoes
+    // compression because the staging is sparse regardless.
+    const bool effective_dense = config.sync == SyncMode::Dense && !governor_sparse;
+    const bool compress_on = (config.compress || governor_sparse) && !effective_dense;
 
     // Per-rank execution context: each simulated device owns a private
     // pooled workspace, so the arena pages, hash scratch, and every sync
@@ -348,7 +360,7 @@ DistributedResult distributed_phase1(const graph::Graph& g, const DistributedCon
       const std::uint64_t sparse_bytes =
           compress_on ? static_cast<std::uint64_t>(encoded_total_d) : raw_sparse_bytes;
       const std::uint64_t dense_bytes = static_cast<std::uint64_t>(n) * sizeof(cid_t);
-      const bool use_sparse = config.sync == SyncMode::Sparse ||
+      const bool use_sparse = governor_sparse || config.sync == SyncMode::Sparse ||
                               (config.sync == SyncMode::Adaptive && sparse_bytes < dense_bytes);
 
       // Retry loop around the sync: a CollectiveFault is thrown identically

@@ -24,6 +24,8 @@ std::string to_string(FaultSite site) {
       return "collective-timeout";
     case FaultSite::CollectiveCorrupt:
       return "collective-corrupt";
+    case FaultSite::BudgetShrink:
+      return "budget-shrink";
   }
   return "?";
 }
@@ -35,10 +37,11 @@ FaultSite fault_site_from_string(std::string_view name) {
   if (name == "collective-drop") return FaultSite::CollectiveDrop;
   if (name == "collective-timeout") return FaultSite::CollectiveTimeout;
   if (name == "collective-corrupt") return FaultSite::CollectiveCorrupt;
+  if (name == "budget-shrink") return FaultSite::BudgetShrink;
   GALA_CHECK(false, "unknown fault site '" << std::string(name)
                                            << "' (kernel-launch|shared-alloc|scratch-grow|"
                                               "collective-drop|collective-timeout|"
-                                              "collective-corrupt)");
+                                              "collective-corrupt|budget-shrink)");
 }
 
 FaultPlan FaultPlan::from_json(std::string_view text) {

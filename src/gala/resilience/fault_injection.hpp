@@ -47,6 +47,7 @@ enum class FaultSite {
   CollectiveDrop,     ///< a rank's collective contribution is lost
   CollectiveTimeout,  ///< a rank stalls past the collective deadline
   CollectiveCorrupt,  ///< a rank's payload is corrupted on the wire
+  BudgetShrink,       ///< the governor's memory budget is cut mid-run
 };
 
 std::string to_string(FaultSite site);

@@ -65,6 +65,10 @@ const char* to_string(FlightKind kind) {
       return "health-stall";
     case FlightKind::HealthOscillation:
       return "health-oscillation";
+    case FlightKind::GovernorRung:
+      return "governor-rung";
+    case FlightKind::GovernorShrink:
+      return "governor-shrink";
   }
   return "?";
 }

@@ -54,6 +54,8 @@ namespace gala::telemetry {
 ///   WorkspaceAlloc      a = bytes,          b = cumulative heap allocs
 ///   HealthStall         a = level,          b = first stalled iteration
 ///   HealthOscillation   a = level,          b = oscillating vertices
+///   GovernorRung        a = rung ordinal,   b = projected modeled bytes
+///   GovernorShrink      a = new budget,     b = old budget
 enum class FlightKind : std::uint16_t {
   LevelBegin = 1,
   IterationBegin,
@@ -71,6 +73,8 @@ enum class FlightKind : std::uint16_t {
   WorkspaceAlloc,
   HealthStall,
   HealthOscillation,
+  GovernorRung,
+  GovernorShrink,
 };
 
 const char* to_string(FlightKind kind);

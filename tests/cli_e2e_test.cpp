@@ -269,7 +269,7 @@ TEST_F(CliE2e, UnwritableOutputPathsFailFastWithFileAndReason) {
   // probe_output_path table in the CLI): the run must fail before any work
   // happens, naming the file and the OS reason.
   for (const char* flag : {"--output", "--json", "--trace-out", "--metrics-out", "--profile-out",
-                           "--flight-out", "--health-out", "--mem-out"}) {
+                           "--flight-out", "--health-out", "--mem-out", "--governor-out"}) {
     std::string out;
     EXPECT_NE(run(std::string("detect standin:HW:0.05 ") + flag +
                       " /nonexistent-dir/out.json",
@@ -280,6 +280,72 @@ TEST_F(CliE2e, UnwritableOutputPathsFailFastWithFileAndReason) {
     EXPECT_NE(out.find("No such file or directory"), std::string::npos) << out;
     EXPECT_NE(out.find(flag), std::string::npos) << out;  // which flag was at fault
   }
+}
+
+TEST_F(CliE2e, GovernedDetectEmitsGovernorSectionAndReport) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --mem-budget 1G --mem-out " + path("gov.mem.json") +
+                    " --governor-out " + path("gov.json"),
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("governor: enforcing budget 1073741824 B"), std::string::npos) << out;
+  EXPECT_NE(out.find("governor: budget"), std::string::npos) << out;
+  EXPECT_NE(out.find("wrote governor report to"), std::string::npos) << out;
+
+  const auto slurp = [this](const std::string& name) {
+    std::ifstream in(path(name));
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  // A generous budget engages no rungs, but the governor section must still
+  // land in both documents with the budget and zeroed ladder state.
+  const gala::JsonValue mem = gala::parse_json(slurp("gov.mem.json"));
+  ASSERT_NE(mem.find("governor"), nullptr) << "mem report missing governor section";
+  EXPECT_EQ(mem.at("governor").at("budget_total").number, 1073741824.0);
+  EXPECT_EQ(mem.at("governor").at("rung").string, "none");
+  EXPECT_EQ(mem.at("governor").at("denials").number, 0);
+  EXPECT_GT(mem.at("governor").at("admits").number, 0);
+
+  const gala::JsonValue gov = gala::parse_json(slurp("gov.json"));
+  EXPECT_EQ(gov.at("governor").at("budget_total").number, 1073741824.0);
+  EXPECT_EQ(gov.at("provenance").at("schema").string, "governor");
+}
+
+TEST_F(CliE2e, ProbeMinBudgetReportsAFeasibleFloor) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --probe-min-budget --governor-out " + path("probe.json"),
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("min feasible budget:"), std::string::npos) << out;
+
+  std::ifstream in(path("probe.json"));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const gala::JsonValue doc = gala::parse_json(ss.str());
+  const double min_feasible = doc.at("min_feasible_budget_bytes").number;
+  const double peak = doc.at("unlimited_peak_bytes").number;
+  EXPECT_GT(min_feasible, 0) << "probe found no feasible budget";
+  EXPECT_GT(peak, 0);
+  // The floor can round up past the raw peak (granule ceiling + ladder
+  // effects) but never collapses to nothing or explodes past it.
+  EXPECT_LE(min_feasible, peak + 2 * 4096);
+}
+
+TEST_F(CliE2e, InvalidBudgetsAreRejectedWithFlagAndReason) {
+  for (const char* bad : {"0", "abc", "-5", "12Q", "4096X"}) {
+    std::string out;
+    EXPECT_NE(run(std::string("detect standin:HW:0.05 --mem-budget '") + bad + "'", &out), 0)
+        << "accepted --mem-budget " << bad;
+    EXPECT_NE(out.find("mem-budget"), std::string::npos) << out;
+  }
+  std::string out;
+  EXPECT_NE(run("detect standin:HW:0.05 --mem-budget-sub phase1", &out), 0);
+  EXPECT_NE(out.find("is not subsystem=bytes"), std::string::npos) << out;
+  EXPECT_NE(run("detect standin:HW:0.05 --mem-budget-sub phase1=0", &out), 0);
+  EXPECT_NE(out.find("must be positive"), std::string::npos) << out;
 }
 
 TEST_F(CliE2e, InvalidFlightDepthIsRejected) {

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "gala/core/bsp_louvain.hpp"
+#include "gala/governor/governor.hpp"
 #include "gala/graph/generators.hpp"
+#include "gala/memtrace/memtrace.hpp"
 #include "gala/multigpu/delta_codec.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
 #include "test_util.hpp"
@@ -191,6 +193,56 @@ TEST(DistDifferential, FullPolicyGridOnFixedGraph) {
           }
         }
       }
+    }
+  }
+}
+
+TEST(DistDifferential, BudgetSweepKeepsEveryEngineBitIdentical) {
+  // Memory pressure must never change the answer: the governor's ladder
+  // (global-only tables, forced sparse sync, chunked frontiers) is exercised
+  // by sweeping budgets from the unbudgeted peak down to the minimum
+  // feasible one, on both the single engine and P=4 overlapped, and every
+  // governed partition must equal the ungoverned single-engine reference.
+  const auto g = gala::testing::small_planted(61, 300, 8, 0.25);
+  DistributedConfig proto;  // defaults: MG pruning, hierarchical tables
+  const auto reference = single_reference(g, proto);
+
+  const auto run_dist = [&g, &proto](std::size_t P, bool overlap) {
+    DistributedConfig cfg = proto;
+    cfg.num_gpus = P;
+    cfg.overlap = overlap;
+    cfg.compress = overlap;
+    memtrace::MemRegistry::global().reset();
+    return distributed_phase1(g, cfg).community;
+  };
+  for (const auto& [P, overlap] : {std::pair<std::size_t, bool>{1, false}, {4, true}}) {
+    ASSERT_EQ(run_dist(P, overlap), reference.community) << "ungoverned P=" << P;
+    const std::uint64_t peak = memtrace::MemRegistry::global().report().peak_total_bytes();
+    ASSERT_GT(peak, 0u);
+
+    const auto feasible = [&](std::uint64_t budget) {
+      governor::BudgetConfig cfg;
+      cfg.total_bytes = budget;
+      governor::ScopedBudget scoped(cfg);
+      std::vector<cid_t> partition;
+      try {
+        partition = run_dist(P, overlap);
+      } catch (const ResourceExhausted&) {
+        return false;
+      }
+      const auto rep = memtrace::MemRegistry::global().report();
+      return rep.peak_total_bytes() <= budget && rep.leak_free() &&
+             partition == reference.community;
+    };
+    const std::uint64_t min_budget = governor::min_feasible_budget(peak, feasible);
+    ASSERT_GT(min_budget, 0u) << "P=" << P << " overlap=" << overlap
+                              << ": even the unbudgeted peak was infeasible";
+    for (const std::uint64_t budget :
+         {std::max(peak, min_budget), std::max(peak * 3 / 4, min_budget),
+          std::max(peak / 2, min_budget), min_budget}) {
+      EXPECT_TRUE(feasible(budget)) << "P=" << P << " overlap=" << overlap
+                                    << " budget=" << budget << " peak=" << peak
+                                    << " min_feasible=" << min_budget;
     }
   }
 }

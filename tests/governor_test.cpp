@@ -1,0 +1,267 @@
+// gala::governor — enforceable memory budgets with a deterministic
+// degradation ladder. Covers the threshold schedule (80/85/90/95% projected
+// utilisation), rung stickiness (escalate-only, monotone transition list),
+// the may-throw floor (ResourceExhausted on a Workspace checkout the budget
+// cannot admit), subsystem caps, budget shrink (both direct and via the
+// budget-shrink fault site), reclaimer registration, the report fragment,
+// and the min-feasible-budget binary search.
+#include "gala/governor/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gala/common/json.hpp"
+#include "gala/core/gala.hpp"
+#include "gala/exec/context.hpp"
+#include "gala/exec/workspace.hpp"
+#include "gala/memtrace/memtrace.hpp"
+#include "gala/resilience/fault_injection.hpp"
+#include "test_util.hpp"
+
+namespace gala::governor {
+namespace {
+
+/// Fresh registry + installed budget for every test (ScopedBudget uninstalls
+/// on scope exit, so a failing test cannot leak an armed hook into the next).
+struct GovernorFixture : ::testing::Test {
+  void SetUp() override { memtrace::MemRegistry::global().reset(); }
+  void TearDown() override {
+    Governor::global().uninstall();
+    memtrace::MemRegistry::global().reset();
+  }
+};
+
+using GovernorLadder = GovernorFixture;
+using GovernorShrink = GovernorFixture;
+using GovernorEnforce = GovernorFixture;
+
+TEST_F(GovernorLadder, EscalatesAtThresholdSchedule) {
+  BudgetConfig cfg;
+  cfg.total_bytes = 1000;
+  ScopedBudget scoped(cfg);
+  auto& gov = Governor::global();
+
+  gov.admit("test.x", 790, /*may_throw=*/false);  // 79%: below every rung
+  EXPECT_EQ(gov.rung(), Rung::None);
+  EXPECT_EQ(gov.frontier_chunk(), 0u);
+
+  gov.admit("test.x", 820, false);  // 82%
+  EXPECT_EQ(gov.rung(), Rung::ReclaimSlabs);
+  gov.admit("test.x", 870, false);  // 87%
+  EXPECT_EQ(gov.rung(), Rung::GlobalOnlyHash);
+  EXPECT_TRUE(gov.force_global_only());
+  EXPECT_FALSE(gov.force_sparse_sync());
+  gov.admit("test.x", 920, false);  // 92%
+  EXPECT_EQ(gov.rung(), Rung::SparseSync);
+  EXPECT_TRUE(gov.force_sparse_sync());
+  gov.admit("test.x", 960, false);  // 96%
+  EXPECT_EQ(gov.rung(), Rung::ChunkedFrontier);
+  EXPECT_EQ(gov.frontier_chunk(), 4096u);
+
+  // Over budget on a non-throwing site: denial recorded, no throw, and the
+  // ladder does not reach the floor.
+  gov.admit("test.x", 1100, false);
+  EXPECT_EQ(gov.denials(), 1u);
+  EXPECT_EQ(gov.rung(), Rung::ChunkedFrontier);
+
+  // The floor: a may-throw site the budget cannot admit refuses by throwing.
+  EXPECT_THROW(gov.admit("test.x", 1100, /*may_throw=*/true), ResourceExhausted);
+  EXPECT_EQ(gov.rung(), Rung::HostFallback);
+  EXPECT_EQ(gov.admits(), 7u);
+}
+
+TEST_F(GovernorLadder, RungsAreStickyAndTransitionsMonotone) {
+  BudgetConfig cfg;
+  cfg.total_bytes = 1000;
+  ScopedBudget scoped(cfg);
+  auto& gov = Governor::global();
+
+  gov.admit("test.x", 960, false);  // jumps straight through rungs 1-4
+  EXPECT_EQ(gov.rung(), Rung::ChunkedFrontier);
+  gov.admit("test.x", 10, false);  // pressure released: the ladder stays put
+  EXPECT_EQ(gov.rung(), Rung::ChunkedFrontier);
+
+  const JsonValue doc = parse_json(gov.section_json());
+  const auto& transitions = doc.at("transitions").array;
+  ASSERT_EQ(transitions.size(), 4u);
+  double prev = 0;
+  for (const auto& t : transitions) {
+    EXPECT_GT(t.at("ordinal").number, prev);
+    prev = t.at("ordinal").number;
+  }
+}
+
+TEST_F(GovernorLadder, SubsystemCapEscalatesWithoutTotalBudget) {
+  BudgetConfig cfg;  // total stays 0 (unlimited): only the cap enforces
+  cfg.subsystem_caps.emplace_back("phase1", 1000);
+  ScopedBudget scoped(cfg);
+  auto& gov = Governor::global();
+
+  gov.admit("gpusim.arena", 5000, false);  // other subsystems are uncapped
+  EXPECT_EQ(gov.rung(), Rung::None);
+  gov.admit("phase1.delta", 900, false);  // 90% of the phase1 cap
+  EXPECT_EQ(gov.rung(), Rung::SparseSync);
+  EXPECT_THROW(gov.admit("phase1.delta", 1100, true), ResourceExhausted);
+}
+
+TEST_F(GovernorLadder, ReclaimersRunOnFirstEscalation) {
+  BudgetConfig cfg;
+  cfg.total_bytes = 1000;
+  ScopedBudget scoped(cfg);
+  auto& gov = Governor::global();
+  int calls = 0;
+  gov.register_reclaimer(&calls, [&calls] {
+    ++calls;
+    return std::uint64_t{64};
+  });
+  gov.admit("test.x", 820, false);  // crosses the reclaim threshold
+  EXPECT_EQ(calls, 1);
+  EXPECT_GE(gov.reclaims(), 1u);
+  gov.unregister_reclaimer(&calls);
+  gov.admit("test.x", 1100, false);  // denial path re-runs reclaimers
+  EXPECT_EQ(calls, 1);              // unregistered: not called again
+}
+
+TEST_F(GovernorShrink, ShrinkNeverRaisesAndNeverDisables) {
+  BudgetConfig cfg;
+  cfg.total_bytes = 1000;
+  ScopedBudget scoped(cfg);
+  auto& gov = Governor::global();
+
+  gov.shrink_budget(400);
+  EXPECT_EQ(gov.budget_total(), 400u);
+  EXPECT_EQ(gov.shrinks(), 1u);
+  gov.shrink_budget(600);  // raising is refused
+  EXPECT_EQ(gov.budget_total(), 400u);
+  EXPECT_EQ(gov.shrinks(), 1u);
+  gov.shrink_budget(0);  // 0 would mean unlimited; clamps to 1 instead
+  EXPECT_EQ(gov.budget_total(), 1u);
+}
+
+TEST_F(GovernorShrink, BudgetShrinkFaultSiteCutsTheBudgetDeterministically) {
+  resilience::FaultPlan plan;
+  resilience::FaultRule rule;
+  rule.site = resilience::FaultSite::BudgetShrink;
+  rule.max_fires = 1;
+  plan.rules.push_back(rule);
+  resilience::ScopedFaultPlan armed(plan);
+
+  BudgetConfig cfg;
+  cfg.total_bytes = 1000;
+  ScopedBudget scoped(cfg);
+  auto& gov = Governor::global();
+
+  gov.admit("test.x", 10, false);  // the fault fires here: cut to max(live, 500)
+  EXPECT_EQ(gov.budget_total(), 500u);
+  EXPECT_EQ(gov.shrinks(), 1u);
+  gov.admit("test.x", 10, false);  // max_fires exhausted: budget holds
+  EXPECT_EQ(gov.budget_total(), 500u);
+  EXPECT_EQ(gov.shrinks(), 1u);
+
+  const JsonValue doc = parse_json(gov.section_json());
+  EXPECT_EQ(doc.at("budget_initial").number, 1000.0);
+  EXPECT_EQ(doc.at("budget_total").number, 500.0);
+}
+
+TEST_F(GovernorEnforce, WorkspaceCheckoutOverBudgetThrowsAndRecoversOnUninstall) {
+  exec::Workspace ws(/*pooling=*/true);
+  {
+    BudgetConfig cfg;
+    cfg.total_bytes = 1024;
+    ScopedBudget scoped(cfg);
+    EXPECT_THROW(ws.take<std::uint64_t>(1000, "test.denied"), ResourceExhausted);
+    EXPECT_EQ(Governor::global().rung(), Rung::HostFallback);
+    EXPECT_GE(Governor::global().denials(), 1u);
+  }
+  // Budget gone: the same checkout is admitted.
+  auto lease = ws.take<std::uint64_t>(1000, "test.granted");
+  EXPECT_EQ(lease.span().size(), 1000u);
+}
+
+TEST_F(GovernorEnforce, HookIsNullWhenUninstalled) {
+  EXPECT_EQ(memtrace::MemRegistry::admit_hook(), nullptr);
+  EXPECT_FALSE(Governor::enabled());
+  {
+    BudgetConfig cfg;
+    cfg.total_bytes = 1 << 20;
+    ScopedBudget scoped(cfg);
+    EXPECT_NE(memtrace::MemRegistry::admit_hook(), nullptr);
+    EXPECT_TRUE(Governor::enabled());
+  }
+  EXPECT_EQ(memtrace::MemRegistry::admit_hook(), nullptr);
+}
+
+TEST_F(GovernorEnforce, SectionJsonShape) {
+  BudgetConfig cfg;
+  cfg.total_bytes = 2048;
+  cfg.subsystem_caps.emplace_back("phase1", 1024);
+  ScopedBudget scoped(cfg);
+  Governor::global().admit("test.x", 100, false);
+
+  const JsonValue doc = parse_json(Governor::global().section_json());
+  EXPECT_EQ(doc.at("budget_total").number, 2048.0);
+  EXPECT_EQ(doc.at("rung").string, "none");
+  EXPECT_EQ(doc.at("rung_ordinal").number, 0.0);
+  EXPECT_EQ(doc.at("admits").number, 1.0);
+  EXPECT_EQ(doc.at("frontier_chunk").number, 4096.0);
+  ASSERT_EQ(doc.at("subsystem_caps").array.size(), 1u);
+  EXPECT_EQ(doc.at("subsystem_caps").array[0].at("name").string, "phase1");
+  EXPECT_EQ(doc.at("subsystem_caps").array[0].at("cap").number, 1024.0);
+  EXPECT_TRUE(doc.at("transitions").array.empty());
+}
+
+// ---------------------------------------------------------------------------
+// min_feasible_budget: monotone binary search over granules.
+
+TEST(MinFeasibleBudget, FindsTheSmallestFeasibleGranule) {
+  int probes = 0;
+  const auto feasible = [&probes](std::uint64_t b) {
+    ++probes;
+    return b >= 37000;
+  };
+  // 9 * 4096 = 36864 is infeasible, 10 * 4096 = 40960 is the first granule up.
+  EXPECT_EQ(min_feasible_budget(100000, feasible, 4096), 40960u);
+  EXPECT_LE(probes, 8);  // log2(25 granules) + the two endpoint probes
+}
+
+TEST(MinFeasibleBudget, InfeasibleCeilingReturnsZero) {
+  EXPECT_EQ(min_feasible_budget(100000, [](std::uint64_t) { return false; }, 4096), 0u);
+}
+
+TEST(MinFeasibleBudget, TriviallyFeasibleReturnsOneGranule) {
+  EXPECT_EQ(min_feasible_budget(100000, [](std::uint64_t) { return true; }, 4096), 4096u);
+}
+
+TEST(MinFeasibleBudget, ZeroGranularityIsClampedToOneByte) {
+  EXPECT_EQ(min_feasible_budget(8, [](std::uint64_t b) { return b >= 5; }, 0), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a budget generous enough never to deny still produces the
+// exact partition and mem accounting of an unbudgeted run.
+
+TEST(GovernorEndToEnd, GenerousBudgetIsInvisible) {
+  const auto g = gala::testing::small_planted();
+  const auto run = [&g] {
+    exec::ExecutionContext ctx({}, /*seed=*/7, /*pooling=*/true);
+    core::GalaConfig cfg;
+    cfg.bsp.parallel = false;
+    cfg.bsp.context = &ctx;
+    memtrace::MemRegistry::global().reset();
+    return core::run_louvain(g, cfg).assignment;
+  };
+  const std::vector<cid_t> reference = run();
+
+  BudgetConfig cfg;
+  cfg.total_bytes = 1ull << 32;
+  ScopedBudget scoped(cfg);
+  EXPECT_EQ(run(), reference);
+  EXPECT_EQ(Governor::global().rung(), Rung::None);
+  EXPECT_EQ(Governor::global().denials(), 0u);
+  EXPECT_GT(Governor::global().admits(), 0u);
+}
+
+}  // namespace
+}  // namespace gala::governor

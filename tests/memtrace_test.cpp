@@ -17,6 +17,7 @@
 #include "gala/core/gala.hpp"
 #include "gala/exec/context.hpp"
 #include "gala/exec/workspace.hpp"
+#include "gala/governor/governor.hpp"
 #include "gala/metrics/health.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
 #include "gala/profiler/profiler.hpp"
@@ -269,6 +270,55 @@ TEST(MemTimeline, EmitsChromeCounterEventsOnMemoryTrack) {
 }
 
 // ---------------------------------------------------------------------------
+// Budget sweep: every budget from the unbudgeted peak down to the minimum
+// feasible one must produce the exact unbudgeted partition, keep the modeled
+// peak within the budget, and leave the leak check clean — whatever ladder
+// rungs the pressure engages, and for both pooling modes.
+
+TEST(MemBudgetSweep, PartitionsAreBitIdenticalDownToMinFeasible) {
+  const auto g = gala::testing::small_planted();
+  for (const bool pooling : {true, false}) {
+    const auto run = [&g, pooling] {
+      exec::ExecutionContext ctx({}, /*seed=*/7, pooling);
+      core::GalaConfig cfg;
+      cfg.bsp.parallel = false;
+      cfg.bsp.context = &ctx;
+      MemRegistry::global().reset();
+      return core::run_louvain(g, cfg).assignment;
+    };
+    const std::vector<cid_t> reference = run();
+    const std::uint64_t peak = MemRegistry::global().report().peak_total_bytes();
+    ASSERT_GT(peak, 0u);
+
+    const auto feasible = [&](std::uint64_t budget) {
+      governor::BudgetConfig cfg;
+      cfg.total_bytes = budget;
+      governor::ScopedBudget scoped(cfg);
+      std::vector<cid_t> partition;
+      try {
+        partition = run();
+      } catch (const ResourceExhausted&) {
+        return false;
+      }
+      const MemReport rep = MemRegistry::global().report();
+      return rep.peak_total_bytes() <= budget && rep.leak_free() && partition == reference;
+    };
+    const std::uint64_t min_budget = governor::min_feasible_budget(peak, feasible);
+    ASSERT_GT(min_budget, 0u) << "pooling=" << pooling
+                              << ": even the unbudgeted peak was infeasible";
+
+    // 100% / 75% / 50% of the unbudgeted peak, clamped to the feasibility
+    // floor the probe just established, plus the floor itself.
+    for (const std::uint64_t budget :
+         {std::max(peak, min_budget), std::max(peak * 3 / 4, min_budget),
+          std::max(peak / 2, min_budget), min_budget}) {
+      EXPECT_TRUE(feasible(budget)) << "pooling=" << pooling << " budget=" << budget
+                                    << " peak=" << peak << " min_feasible=" << min_budget;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Report document shape and cross-writer provenance.
 
 void expect_provenance(const std::string& json, const std::string& schema) {
@@ -308,6 +358,19 @@ TEST(MemReportTest, JsonShapeAndSanity) {
   // The deterministic surface must not carry the pool-state dependent host
   // section.
   EXPECT_EQ(parse_json(rep.json(false)).find("host"), nullptr);
+}
+
+TEST(MemReportTest, GovernorSectionSplicesInAndIsAbsentWhenEmpty) {
+  MemRegistry reg;
+  reg.on_alloc("a.b", 64, 64, /*workspace=*/false);
+  MemReport rep = reg.report();
+  EXPECT_EQ(parse_json(rep.json(false)).find("governor"), nullptr)
+      << "an ungoverned report must not grow a governor key (byte-identity pin)";
+  rep.governor = "{\"budget_total\":123,\"rung\":\"none\"}";
+  const JsonValue doc = parse_json(rep.json(false));
+  ASSERT_NE(doc.find("governor"), nullptr);
+  EXPECT_EQ(doc.at("governor").at("budget_total").number, 123.0);
+  EXPECT_EQ(doc.at("governor").at("rung").string, "none");
 }
 
 TEST(ProvenanceTest, EveryReportWriterIsStamped) {

@@ -16,8 +16,11 @@
 
 #include "gala/baselines/label_propagation.hpp"
 #include "gala/common/cli.hpp"
+#include "gala/common/json.hpp"
+#include "gala/common/provenance.hpp"
 #include "gala/common/table.hpp"
 #include "gala/common/timer.hpp"
+#include "gala/governor/governor.hpp"
 #include "gala/memtrace/memtrace.hpp"
 #include "gala/metrics/health.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
@@ -84,6 +87,55 @@ void check_writable_outputs(const ArgParser& args, std::initializer_list<const c
   for (const char* opt : options) probe_output_path(opt, args.get(opt));
 }
 
+/// Parses a byte count for the budget flags: a positive integer, optionally
+/// suffixed K/M/G (binary multiples). Zero, negatives, and non-numeric text
+/// fail fast with the flag name and reason, matching the fail-fast style of
+/// the output-path probes and gala_perf_diff's tolerance validation.
+std::uint64_t parse_budget_bytes(const std::string& flag, const std::string& text) {
+  const bool leading_digit = !text.empty() && text[0] >= '0' && text[0] <= '9';
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = leading_digit ? std::strtoull(text.c_str(), &end, 10) : 0;
+  std::uint64_t mult = 1;
+  bool ok = leading_digit && end != text.c_str() && errno == 0;
+  if (ok && *end != '\0') {
+    const char suffix = *end;
+    ok = end[1] == '\0';
+    if (suffix == 'K' || suffix == 'k') {
+      mult = 1024ull;
+    } else if (suffix == 'M' || suffix == 'm') {
+      mult = 1024ull * 1024;
+    } else if (suffix == 'G' || suffix == 'g') {
+      mult = 1024ull * 1024 * 1024;
+    } else {
+      ok = false;
+    }
+  }
+  GALA_CHECK(ok, "--" << flag << ": '" << text
+                      << "' is not a byte count (positive integer, optional K/M/G suffix)");
+  GALA_CHECK(v > 0, "--" << flag << ": budget must be positive, got '" << text << "'");
+  return static_cast<std::uint64_t>(v) * mult;
+}
+
+/// Parses --mem-budget-sub's "subsystem=bytes[,subsystem=bytes...]" form.
+std::vector<std::pair<std::string, std::uint64_t>> parse_subsystem_caps(const std::string& text) {
+  std::vector<std::pair<std::string, std::uint64_t>> caps;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(pos, comma - pos);
+    const std::size_t eq = entry.find('=');
+    GALA_CHECK(eq != std::string::npos && eq > 0,
+               "--mem-budget-sub: '" << entry << "' is not subsystem=bytes");
+    caps.emplace_back(entry.substr(0, eq),
+                      parse_budget_bytes("mem-budget-sub", entry.substr(eq + 1)));
+    pos = comma + 1;
+  }
+  GALA_CHECK(!caps.empty(), "--mem-budget-sub: no subsystem caps given");
+  return caps;
+}
+
 int cmd_detect(int argc, const char* const* argv) {
   ArgParser args("gala detect",
                  "Detect communities with the GALA multi-level Louvain pipeline.");
@@ -108,6 +160,12 @@ int cmd_detect(int argc, const char* const* argv) {
                   "diagnostics) here", "")
       .add_option("mem-out", "write the memory-observability report (per-subsystem bytes, "
                   "residency timeline, leak check) here", "")
+      .add_option("mem-budget", "hard modeled-bytes budget for the memory governor (positive "
+                  "integer, optional K/M/G suffix)", "")
+      .add_option("mem-budget-sub", "per-subsystem governor caps, comma-separated tag=bytes "
+                  "pairs (e.g. phase1=8M,gpusim=2M)", "")
+      .add_option("governor-out", "write the governor report (budget, rung ladder, transitions) "
+                  "here", "")
       .add_option("faults", "arm a fault-injection plan (JSON, see docs/resilience.md)", "")
       .add_option("max-retries", "supervised: transient-fault retries per level", "2")
       .add_flag("overlap", "multi-GPU: double-buffered async sync (post/complete with flow arrows)")
@@ -116,11 +174,13 @@ int cmd_detect(int argc, const char* const* argv) {
       .add_flag("follow", "vertex-following preprocessing (merge pendants)")
       .add_flag("supervise", "run under the resilience supervisor (retry/rollback/degrade)")
       .add_flag("strict", "supervised: fail closed on the first fault (no recovery)")
+      .add_flag("probe-min-budget", "after the run, binary-search the smallest feasible budget "
+                "(completes unsupervised, bit-identical partition, peak within budget)")
       .add_flag("connected", "report whether every community is connected");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
   check_writable_outputs(args, {"output", "json", "trace-out", "metrics-out", "profile-out",
-                                "flight-out", "health-out", "mem-out"});
+                                "flight-out", "health-out", "mem-out", "governor-out"});
 
   // Telemetry: tracing is off (null sink) unless an export was requested.
   auto& tracer = telemetry::Tracer::global();
@@ -168,6 +228,24 @@ int cmd_detect(int argc, const char* const* argv) {
     std::printf("armed fault plan %s\n", plan_path.c_str());
   }
 
+  // Memory governor: install the budget before the graph loads so the very
+  // first modeled allocation is already admitted.
+  const std::string governor_out = args.get("governor-out");
+  governor::BudgetConfig gov_cfg;
+  if (const std::string b = args.get("mem-budget"); !b.empty()) {
+    gov_cfg.total_bytes = parse_budget_bytes("mem-budget", b);
+  }
+  if (const std::string s = args.get("mem-budget-sub"); !s.empty()) {
+    gov_cfg.subsystem_caps = parse_subsystem_caps(s);
+  }
+  const bool governed = gov_cfg.total_bytes != 0 || !gov_cfg.subsystem_caps.empty();
+  if (governed) {
+    governor::Governor::global().install(gov_cfg);
+    std::printf("governor: enforcing budget %llu B with %zu subsystem caps\n",
+                static_cast<unsigned long long>(gov_cfg.total_bytes),
+                gov_cfg.subsystem_caps.size());
+  }
+
   PhaseTimer load_timer;
   graph::Graph g;
   {
@@ -179,6 +257,10 @@ int cmd_detect(int argc, const char* const* argv) {
               load_timer.total_seconds());
 
   std::vector<cid_t> assignment;
+  // --probe-min-budget replays the solve under trial budgets; each Louvain
+  // branch stashes a replayable unsupervised configuration here (health
+  // callback cleared so the probe never pollutes the health report).
+  std::function<std::vector<cid_t>()> probe_solve;
   if (args.get("algorithm") == "lpa") {
     baselines::LpaOptions opts;
     const auto r = baselines::label_propagation(g, opts);
@@ -196,6 +278,15 @@ int cmd_detect(int argc, const char* const* argv) {
     cfg.overlap = args.has("overlap");
     cfg.compress = args.has("compress");
     if (health.has_value()) cfg.on_iteration = health->callback();
+    {
+      multigpu::DistributedConfig probe_cfg = cfg;
+      probe_cfg.on_iteration = nullptr;
+      probe_solve = [&g, probe_cfg] {
+        auto pr = multigpu::distributed_phase1(g, probe_cfg);
+        core::renumber_communities(pr.community);
+        return pr.community;
+      };
+    }
     const auto r = multigpu::distributed_phase1(g, cfg);
     assignment = r.community;
     core::renumber_communities(assignment);
@@ -211,6 +302,11 @@ int cmd_detect(int argc, const char* const* argv) {
     cfg.refine = args.has("refine");
     cfg.vertex_following = args.has("follow");
     if (health.has_value()) cfg.bsp.on_iteration = health->callback();
+    {
+      core::GalaConfig probe_cfg = cfg;
+      probe_cfg.bsp.on_iteration = nullptr;
+      probe_solve = [&g, probe_cfg] { return core::run_louvain(g, probe_cfg).assignment; };
+    }
     const bool supervised = args.has("supervise") || args.has("faults") || args.has("strict") ||
                             args.has("max-retries");
     core::GalaResult r;
@@ -293,7 +389,8 @@ int cmd_detect(int argc, const char* const* argv) {
                 report.oscillating_vertices());
   }
   if (!mem_out.empty()) {
-    const memtrace::MemReport report = memtrace::MemRegistry::global().report();
+    memtrace::MemReport report = memtrace::MemRegistry::global().report();
+    if (governed) report.governor = governor::Governor::global().section_json();
     report.save(mem_out);
     std::printf("wrote memory report to %s (%zu subsystems, peak %llu B workspace / %llu B "
                 "total, %.2f%% fragmentation, leak check %s)\n",
@@ -301,6 +398,69 @@ int cmd_detect(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(report.peak_ws_bytes()),
                 static_cast<unsigned long long>(report.peak_total_bytes()), report.frag_pct(),
                 report.leak_free() ? "clean" : "RETAINED BYTES");
+  }
+
+  // Governor epilogue: summary line, then the optional min-feasible-budget
+  // probe (which resets the memory registry per trial, so it must run after
+  // every report above has been written), then the standalone report.
+  std::string governor_section;
+  if (governed) {
+    auto& gov = governor::Governor::global();
+    governor_section = gov.section_json();
+    std::printf("governor: budget %llu B, rung %s, %llu admits, %llu denials, %llu shrinks, "
+                "%llu reclaims\n",
+                static_cast<unsigned long long>(gov.budget_total()),
+                governor::to_string(gov.rung()),
+                static_cast<unsigned long long>(gov.admits()),
+                static_cast<unsigned long long>(gov.denials()),
+                static_cast<unsigned long long>(gov.shrinks()),
+                static_cast<unsigned long long>(gov.reclaims()));
+    gov.uninstall();
+  }
+
+  std::uint64_t min_feasible = 0;
+  std::uint64_t unlimited_peak = 0;
+  if (args.has("probe-min-budget")) {
+    GALA_CHECK(probe_solve != nullptr, "--probe-min-budget requires algorithm=louvain");
+    // A still-armed fault plan would fire inside the trial runs and break the
+    // probe's monotone-feasibility assumption; the main run is over, drop it.
+    armed_plan.reset();
+    auto& mem = memtrace::MemRegistry::global();
+    mem.reset();
+    const std::vector<cid_t> reference = probe_solve();
+    unlimited_peak = mem.report().peak_total_bytes();
+    const auto feasible = [&](std::uint64_t budget) {
+      mem.reset();
+      governor::BudgetConfig trial;
+      trial.total_bytes = budget;
+      governor::ScopedBudget scoped(trial);
+      std::vector<cid_t> partition;
+      try {
+        partition = probe_solve();
+      } catch (const ResourceExhausted&) {
+        return false;
+      }
+      return memtrace::MemRegistry::global().report().peak_total_bytes() <= budget &&
+             partition == reference;
+    };
+    min_feasible = governor::min_feasible_budget(unlimited_peak, feasible);
+    std::printf("min feasible budget: %llu B (unlimited peak %llu B)\n",
+                static_cast<unsigned long long>(min_feasible),
+                static_cast<unsigned long long>(unlimited_peak));
+  }
+
+  if (!governor_out.empty()) {
+    JsonWriter w;
+    w.begin_object();
+    if (!governor_section.empty()) w.key("governor").raw(governor_section);
+    if (args.has("probe-min-budget")) {
+      w.key("min_feasible_budget_bytes").value(min_feasible);
+      w.key("unlimited_peak_bytes").value(unlimited_peak);
+    }
+    provenance::append(w, "governor", 1);
+    w.end_object();
+    telemetry::write_file(governor_out, w.str());
+    std::printf("wrote governor report to %s\n", governor_out.c_str());
   }
   return 0;
 }

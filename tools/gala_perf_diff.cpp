@@ -32,6 +32,10 @@
 //     budget (--mem-tolerance): memory high-water marks are modeled from
 //     deterministic request sequences, so any growth means a subsystem's
 //     footprint regressed (shrinkage passes),
+//   - keys starting with "min_feasible" are lower-better with the same zero
+//     default budget (--mem-tolerance): the smallest enforceable memory
+//     budget is binary-searched from modeled bytes, so growth means the
+//     governor's degradation ladder lost headroom (shrinkage passes),
 //   - every other number must match within --tolerance in either direction
 //     (the emulated counters are deterministic, so any drift is a change
 //     worth explaining — refresh the baseline deliberately, see
@@ -40,8 +44,9 @@
 // A relative-rule metric whose baseline value is exactly zero is reported as
 // a "new metric" and passes (the row gained a field after the baseline was
 // cut; refresh the baseline to start gating it) unless --strict-new is
-// given. Zero-growth rules (_allocs, comm_bytes, peak_*_bytes) are exempt:
-// there, base 0 -> cur > 0 is precisely the regression being gated.
+// given. Zero-growth rules (_allocs, comm_bytes, peak_*_bytes,
+// min_feasible*) are exempt: there, base 0 -> cur > 0 is precisely the
+// regression being gated.
 //
 // Array elements align by their "name" member when present, else by index.
 // Exit codes: 0 = within tolerance, 1 = regression/drift, 2 = usage or I/O.
@@ -145,6 +150,14 @@ void diff_number(double base, double cur, const std::string& path, DiffState& st
     // Distributed wire volume is deterministic: growth for an unchanged
     // configuration means sync payloads, elision, or compression regressed.
     if (rel > state.opts->comm_tolerance) state.report(path, base, cur, "comm bytes regressed");
+  } else if (starts_with(key, "min_feasible")) {
+    // The smallest budget that still completes with a reference-identical
+    // partition is modeled and deterministic; growth means the degradation
+    // ladder lost headroom somewhere. Shrinkage passes. A zero baseline
+    // stays a hard gate, like the other byte budgets.
+    if (rel > state.opts->mem_tolerance) {
+      state.report(path, base, cur, "min feasible budget regressed");
+    }
   } else if (starts_with(key, "peak_") && ends_with(key, "_bytes")) {
     // Memory high-water marks are modeled (power-of-two size classes over
     // deterministic request sequences), so they gate at zero growth by

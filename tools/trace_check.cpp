@@ -5,7 +5,7 @@
 //
 // Usage:
 //   trace_check <file.json> [--chrome|--metrics|--profile|--flight|--health|--mem]
-//               [--require NAME]... [--ranks N]
+//               [--require NAME]... [--ranks N] [--budget BYTES]
 //
 //   --chrome        expect Chrome-trace shape ({"traceEvents":[...]});
 //                   default accepts either that or a metrics/summary
@@ -38,6 +38,13 @@
 //   --ranks N       with --chrome, require spans on at least N distinct
 //                   rank tracks (pid > 0); with --flight, events from at
 //                   least N distinct ranks >= 0.
+//   --budget BYTES  with --mem, require the modeled footprint to respect a
+//                   governor budget: every residency-timeline epoch total and
+//                   the peak_total_bytes gauge must be <= BYTES.
+//
+// --flight additionally checks the governor contract: governor-rung events
+// carry the rung ordinal in 'a', and the ladder is sticky (escalate-only),
+// so the ordinals must be monotonically non-decreasing across the dump.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -242,6 +249,7 @@ bool check_flight(const gala::JsonValue& doc, const std::string& file, int want_
   const gala::JsonValue* events = doc.find("events");
   if (events == nullptr || !events->is_array()) return fail(file, "no events array");
   double prev_seq = -1;
+  double prev_rung = -1;
   std::set<int> ranks;
   for (const auto& e : events->array) {
     for (const char* key : {"seq", "tid", "a", "b"}) {
@@ -263,6 +271,17 @@ bool check_flight(const gala::JsonValue& doc, const std::string& file, int want_
                             std::to_string(seq) + " after " + std::to_string(prev_seq) + ")");
     }
     prev_seq = seq;
+    // The degradation ladder is escalate-only, so rung ordinals (payload 'a')
+    // must never decrease within one dump.
+    if (kind->string == "governor-rung") {
+      const double rung = e.at("a").number;
+      if (rung < prev_rung) {
+        return fail(file, "governor-rung de-escalated (rung " +
+                              std::to_string(static_cast<int>(rung)) + " after " +
+                              std::to_string(static_cast<int>(prev_rung)) + ")");
+      }
+      prev_rung = rung;
+    }
   }
   if (want_ranks > 0 && static_cast<int>(ranks.size()) < want_ranks) {
     return fail(file, "expected events from >= " + std::to_string(want_ranks) +
@@ -356,8 +375,9 @@ bool check_health(const gala::JsonValue& doc, const std::string& file) {
 }
 
 /// --mem: mem_schema-1 report shape — per-subsystem gauges with live <= peak,
-/// consistent totals, a leak_check section, and a well-formed timeline.
-bool check_mem(const gala::JsonValue& doc, const std::string& file) {
+/// consistent totals, a leak_check section, and a well-formed timeline. With
+/// `budget` > 0 the modeled footprint must respect it at every epoch.
+bool check_mem(const gala::JsonValue& doc, const std::string& file, std::uint64_t budget) {
   const gala::JsonValue* schema = doc.find("mem_schema");
   if (schema == nullptr || !schema->is_number()) {
     return fail(file, "no mem_schema (not a --mem-out payload?)");
@@ -410,6 +430,12 @@ bool check_mem(const gala::JsonValue& doc, const std::string& file) {
   if (frag == nullptr || !frag->is_number() || frag->number < 0 || frag->number > 100.0) {
     return fail(file, "totals: frag_pct is not in [0, 100]");
   }
+  if (budget > 0 && totals->at("peak_total_bytes").number > static_cast<double>(budget)) {
+    return fail(file, "totals: peak_total_bytes " +
+                          std::to_string(static_cast<std::uint64_t>(
+                              totals->at("peak_total_bytes").number)) +
+                          " exceeds the budget " + std::to_string(budget));
+  }
   const gala::JsonValue* leak = doc.find("leak_check");
   if (leak == nullptr || !leak->is_object()) return fail(file, "no leak_check object");
   const gala::JsonValue* clean = leak->find("clean");
@@ -449,6 +475,12 @@ bool check_mem(const gala::JsonValue& doc, const std::string& file) {
     if (sum != e.at("total").number) {
       return fail(file, "timeline entry total does not equal the subsystem sum");
     }
+    if (budget > 0 && e.at("total").number > static_cast<double>(budget)) {
+      return fail(file, "timeline " + e.at("kind").string + " " +
+                            std::to_string(static_cast<int>(e.at("index").number)) + ": total " +
+                            std::to_string(static_cast<std::uint64_t>(e.at("total").number)) +
+                            " exceeds the budget " + std::to_string(budget));
+    }
   }
   return true;
 }
@@ -480,6 +512,7 @@ int main(int argc, char** argv) {
   bool health = false;
   bool mem = false;
   int ranks = 0;
+  std::uint64_t budget = 0;
   std::vector<std::string> required;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -505,6 +538,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "trace_check: --ranks needs a positive integer\n");
         return 1;
       }
+    } else if (arg == "--budget") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "trace_check: --budget needs a value\n");
+        return 1;
+      }
+      char* end = nullptr;
+      budget = std::strtoull(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || budget == 0) {
+        std::fprintf(stderr, "trace_check: --budget needs a positive byte count, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
     } else if (arg == "--require") {
       if (++i >= argc) {
         std::fprintf(stderr, "trace_check: --require needs a value\n");
@@ -522,7 +567,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: trace_check <file.json> "
                  "[--chrome|--metrics|--profile|--flight|--health|--mem] "
-                 "[--require NAME]... [--ranks N]\n");
+                 "[--require NAME]... [--ranks N] [--budget BYTES]\n");
     return 1;
   }
 
@@ -603,7 +648,7 @@ int main(int argc, char** argv) {
   } else if (health) {
     if (!check_health(doc, file)) return 1;
   } else if (mem) {
-    if (!check_mem(doc, file)) return 1;
+    if (!check_mem(doc, file, budget)) return 1;
   } else if (metrics) {
     if (!check_metrics(doc, file)) return 1;
   } else if (profile) {
