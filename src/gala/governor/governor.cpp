@@ -128,30 +128,34 @@ void Governor::admit(std::string_view tag, std::uint64_t bytes, bool may_throw) 
 
 void Governor::escalate_to(Rung target, std::uint64_t projected, std::uint64_t budget) {
   const auto t = static_cast<std::uint8_t>(target);
-  std::uint8_t cur = rung_.load(std::memory_order_relaxed);
-  do {
-    if (cur >= t) return;
-  } while (!rung_.compare_exchange_weak(cur, t, std::memory_order_relaxed));
-  // This thread performed the escalation; record it exactly once.
-  if (target == Rung::ReclaimSlabs) run_reclaimers();
+  if (rung_.load(std::memory_order_relaxed) >= t) return;
   {
+    // Rung store, transition record, and flight event form ONE critical
+    // section: concurrent escalations serialise here, so flight sequence
+    // numbers are assigned in rung order and trace_check --flight's
+    // monotonicity check holds even when ranks race up the ladder.
     std::lock_guard lock(mutex_);
+    if (rung_.load(std::memory_order_relaxed) >= t) return;
+    rung_.store(t, std::memory_order_relaxed);
     transitions_.push_back({target, projected, budget});
+    telemetry::flight(telemetry::FlightKind::GovernorRung, static_cast<double>(t),
+                      static_cast<double>(projected));
   }
   telemetry::Registry::global().counter("governor.rung_transitions").add(1);
-  telemetry::flight(telemetry::FlightKind::GovernorRung, static_cast<double>(t),
-                    static_cast<double>(projected));
+  if (target == Rung::ReclaimSlabs) run_reclaimers();
 }
 
 std::uint64_t Governor::run_reclaimers() {
-  std::vector<std::function<std::uint64_t()>> fns;
-  {
-    std::lock_guard lock(mutex_);
-    fns.reserve(reclaimers_.size());
-    for (const auto& [key, fn] : reclaimers_) fns.push_back(fn);
-  }
   std::uint64_t freed = 0;
-  for (const auto& fn : fns) freed += fn();
+  {
+    // Reclaimers are invoked while holding mutex_: unregister_reclaimer()
+    // takes the same lock, so a context tearing down blocks until any
+    // in-flight invocation of its reclaimer has drained and the captured
+    // `this` can never dangle. The callbacks only trim pool free lists and
+    // never re-enter the governor, so holding the lock across them is safe.
+    std::lock_guard lock(mutex_);
+    for (const auto& [key, fn] : reclaimers_) freed += fn();
+  }
   reclaims_.fetch_add(1, std::memory_order_relaxed);
   if (freed > 0) {
     telemetry::Registry::global().counter("governor.reclaimed_bytes").add(freed);

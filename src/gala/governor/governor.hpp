@@ -136,8 +136,13 @@ class Governor {
 
   /// Registers a slab reclaimer (Workspace::trim) under `key`; rung 1
   /// invokes every registered reclaimer once per escalation. The callback
-  /// returns host bytes freed.
+  /// returns host bytes freed. Reclaimers run under the governor mutex, so
+  /// they must be brief and must never call back into the governor.
   void register_reclaimer(const void* key, std::function<std::uint64_t()> fn);
+  /// Removes `key`'s reclaimer. Blocks until any in-flight invocation has
+  /// drained (invocations hold the same mutex), so the callback's captures
+  /// may be destroyed as soon as this returns — ~ExecutionContext relies on
+  /// this to unregister a reclaimer that captures the dying context.
   void unregister_reclaimer(const void* key);
 
   /// Statistics for the report (deterministic under sequential launches).

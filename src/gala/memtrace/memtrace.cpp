@@ -99,6 +99,13 @@ std::uint64_t MemRegistry::live_subsystem(std::string_view subsys) const {
   return total;
 }
 
+std::uint64_t MemRegistry::resident_of(std::string_view tag) const {
+  std::lock_guard lock(mutex_);
+  const std::pair<std::string_view, int> key{tag, telemetry::RankScope::current()};
+  const auto it = cells_.find(key);
+  return it == cells_.end() ? 0 : it->second.resident;
+}
+
 void MemRegistry::note_slack(std::uint64_t bytes) {
   std::lock_guard lock(mutex_);
   slack_bytes_ += bytes;

@@ -170,6 +170,10 @@ class MemRegistry {
   std::uint64_t live_total() const { return live_total_.load(std::memory_order_relaxed); }
   /// Modeled live+resident bytes for one subsystem (tag prefix).
   std::uint64_t live_subsystem(std::string_view subsys) const;
+  /// Current set_resident() gauge for `tag` under the ambient RankScope
+  /// (0 when the cell does not exist yet). Used by the admission wrapper to
+  /// charge only the gauge's increase.
+  std::uint64_t resident_of(std::string_view tag) const;
 
   /// A buffer went live under `tag`: `modeled` is its size-class charge,
   /// `requested` the raw request (their difference accumulates as waste).
@@ -267,7 +271,15 @@ inline void charge(std::string_view tag, std::uint64_t modeled) {
   MemRegistry::global().charge(tag, modeled);
 }
 inline void set_resident(std::string_view tag, std::uint64_t bytes) {
-  admit(tag, bytes, /*may_throw=*/false);
+  if (MemRegistry::admit_hook() != nullptr) {
+    // The governor projects live_total() + charge, and live_total_ already
+    // includes this gauge's current value — admit only the increase, or a
+    // re-set each level (e.g. "graph.contraction") double-counts the old
+    // value and escalates the ladder spuriously. A shrinking re-set is a
+    // release and can never be refused.
+    const std::uint64_t current = MemRegistry::global().resident_of(tag);
+    admit(tag, bytes > current ? bytes - current : 0, /*may_throw=*/false);
+  }
   if (!MemRegistry::armed()) return;
   MemRegistry::global().set_resident(tag, bytes);
 }

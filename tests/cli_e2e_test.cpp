@@ -335,7 +335,10 @@ TEST_F(CliE2e, ProbeMinBudgetReportsAFeasibleFloor) {
 }
 
 TEST_F(CliE2e, InvalidBudgetsAreRejectedWithFlagAndReason) {
-  for (const char* bad : {"0", "abc", "-5", "12Q", "4096X"}) {
+  // 18000000000000000000K wraps past 2^64 if multiplied unchecked; the parser
+  // must refuse it rather than silently enforcing a tiny budget.
+  for (const char* bad : {"0", "abc", "-5", "12Q", "4096X", "18000000000000000000K",
+                          "99999999999999999999"}) {
     std::string out;
     EXPECT_NE(run(std::string("detect standin:HW:0.05 --mem-budget '") + bad + "'", &out), 0)
         << "accepted --mem-budget " << bad;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "gala/common/json.hpp"
@@ -178,6 +179,64 @@ TEST_F(GovernorEnforce, WorkspaceCheckoutOverBudgetThrowsAndRecoversOnUninstall)
   // Budget gone: the same checkout is admitted.
   auto lease = ws.take<std::uint64_t>(1000, "test.granted");
   EXPECT_EQ(lease.span().size(), 1000u);
+}
+
+TEST_F(GovernorEnforce, GaugeResetAdmitsOnlyTheIncrease) {
+  BudgetConfig cfg;
+  cfg.total_bytes = 1000;
+  ScopedBudget scoped(cfg);
+  auto& gov = Governor::global();
+
+  memtrace::set_resident("test.gauge", 600);  // 60%: below every rung
+  EXPECT_EQ(gov.rung(), Rung::None);
+  // Re-setting an existing gauge must not project old + new (1200 here):
+  // live_total already carries the 600, so the admission charge is zero.
+  memtrace::set_resident("test.gauge", 600);
+  memtrace::set_resident("test.gauge", 700);  // genuine growth: 70%
+  EXPECT_EQ(gov.rung(), Rung::None);
+  EXPECT_EQ(gov.denials(), 0u);
+
+  memtrace::set_resident("test.gauge", 100);  // shrinking re-set releases
+  memtrace::set_resident("test.gauge", 820);  // 100 live + 720 delta = 82%
+  EXPECT_EQ(gov.rung(), Rung::ReclaimSlabs);
+  EXPECT_EQ(memtrace::MemRegistry::global().live_total(), 820u);
+}
+
+TEST_F(GovernorEnforce, ConcurrentEscalationsStayMonotoneAndTeardownIsSafe) {
+  BudgetConfig cfg;
+  cfg.total_bytes = 1000;
+  ScopedBudget scoped(cfg);
+  auto& gov = Governor::global();
+
+  // Threads race up the ladder while registering and tearing down stack-owned
+  // reclaimers (standing in for rank ExecutionContexts unwinding mid-run);
+  // unregister_reclaimer must drain in-flight invocations before the capture
+  // dies, and concurrent escalations must still record in rung order.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&gov, t] {
+      for (int i = 0; i < 50; ++i) {
+        int local = 0;
+        gov.register_reclaimer(&local, [&local] {
+          ++local;
+          return std::uint64_t{0};
+        });
+        gov.admit("test.race", 820 + 45 * t, /*may_throw=*/false);  // 82..95.5%
+        gov.unregister_reclaimer(&local);  // `local` leaves scope right after
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(gov.rung(), Rung::ChunkedFrontier);
+
+  const JsonValue doc = parse_json(gov.section_json());
+  const auto& transitions = doc.at("transitions").array;
+  ASSERT_EQ(transitions.size(), 4u);
+  double prev = 0;
+  for (const auto& t : transitions) {
+    EXPECT_GT(t.at("ordinal").number, prev);
+    prev = t.at("ordinal").number;
+  }
 }
 
 TEST_F(GovernorEnforce, HookIsNullWhenUninstalled) {

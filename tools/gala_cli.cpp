@@ -13,6 +13,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "gala/baselines/label_propagation.hpp"
 #include "gala/common/cli.hpp"
@@ -114,6 +115,8 @@ std::uint64_t parse_budget_bytes(const std::string& flag, const std::string& tex
   GALA_CHECK(ok, "--" << flag << ": '" << text
                       << "' is not a byte count (positive integer, optional K/M/G suffix)");
   GALA_CHECK(v > 0, "--" << flag << ": budget must be positive, got '" << text << "'");
+  GALA_CHECK(static_cast<std::uint64_t>(v) <= std::numeric_limits<std::uint64_t>::max() / mult,
+             "--" << flag << ": '" << text << "' overflows a 64-bit byte count");
   return static_cast<std::uint64_t>(v) * mult;
 }
 
