@@ -11,6 +11,8 @@
 // Run with:
 //   GALA_BENCH_JSON_DIR=<dir> GALA_BENCH_PROFILE=1 ./perf_profile
 #include "bench_util.hpp"
+#include "gala/core/aggregation.hpp"
+#include "gala/core/blas_louvain.hpp"
 #include "gala/core/bsp_louvain.hpp"
 #include "gala/governor/governor.hpp"
 #include "gala/graph/generators.hpp"
@@ -104,6 +106,58 @@ int main() {
         .field("peak_ws_bytes", mem.peak_ws_bytes())
         .field("peak_total_bytes", mem.peak_total_bytes())
         .field("frag_pct", mem.frag_pct());
+  }
+  // Blas-engine rows: phase 1 through the linear-algebra formulation, then
+  // the shared SpGEMM contraction of the resulting partition — one row per
+  // accumulator. Everything is modeled (traffic, flops, probe chains,
+  // occupancy), so the rows baseline bit-identically; the phase-1 trajectory
+  // is engine-independent, so modularity/iterations match the BSP rows above.
+  for (const auto& [name, g] : graphs) {
+    for (const auto acc : {blas::Accumulator::Hash, blas::Accumulator::Sorted}) {
+      core::BspConfig cfg;
+      cfg.parallel = false;
+      blas::Tuning tuning;
+      tuning.accumulator = acc;
+      memtrace::MemRegistry::global().reset();
+      core::BlasPhase1Stats phase_stats;
+      const auto r = core::blas_phase1(g, cfg, tuning, &phase_stats);
+      blas::SpgemmStats spgemm;
+      const auto agg = core::aggregate(g, r.community, nullptr, tuning, &spgemm);
+      const auto mem = memtrace::MemRegistry::global().report();
+      double modeled_ms = 0;
+      for (const auto& it : r.iterations) {
+        modeled_ms += cfg.device.modeled_ms(it.decide_traffic) +
+                      cfg.device.modeled_ms(it.update_traffic);
+      }
+      const char* policy = acc == blas::Accumulator::Hash ? "blas_hash" : "blas_sorted";
+      std::printf("%-16s %-13s Q=%.5f, %u communities, %.4f modeled ms, "
+                  "%llu spgemm flops\n",
+                  name, policy, r.modularity, r.num_communities, modeled_ms,
+                  static_cast<unsigned long long>(spgemm.flops));
+      rec.row()
+          .field("graph", name)
+          .field("policy", policy)
+          .field("modularity", r.modularity)
+          .field("communities", static_cast<std::uint64_t>(r.num_communities))
+          .field("iterations", static_cast<std::uint64_t>(r.iterations.size()))
+          .field("modeled_ms", modeled_ms)
+          .field("pull_iterations", static_cast<std::uint64_t>(phase_stats.pull_iterations))
+          .field("push_iterations", static_cast<std::uint64_t>(phase_stats.push_iterations))
+          .field("direction_switches", static_cast<std::uint64_t>(phase_stats.direction_switches))
+          .field("gathered_rows", phase_stats.gathered_rows)
+          .field("spgemm_flops", spgemm.flops)
+          .field("spgemm_nnz", spgemm.nnz)
+          .field("spgemm_max_row_nnz", spgemm.max_row_nnz)
+          .field("spgemm_hash_probes", spgemm.hash_probes)
+          .field("spgemm_mean_occupancy", spgemm.mean_occupancy)
+          .field("coarse_vertices", static_cast<std::uint64_t>(agg.coarse.num_vertices()))
+          .field("ws_heap_allocs", r.workspace.heap_allocs)
+          .field("ws_peak_bytes", r.workspace.peak_bytes)
+          .field("ws_reuse_efficiency", r.workspace.reuse_rate())
+          .field("peak_ws_bytes", mem.peak_ws_bytes())
+          .field("peak_total_bytes", mem.peak_total_bytes())
+          .field("frag_pct", mem.frag_pct());
+    }
   }
   // Distributed rows: the blocking baseline and the async overlap +
   // compressed-delta pipeline on the same graph. Every field is modeled and

@@ -5,6 +5,7 @@
 
 #include "gala/baselines/generic_bsp.hpp"
 #include "gala/common/timer.hpp"
+#include "gala/core/blas_louvain.hpp"
 #include "gala/core/modularity.hpp"
 
 namespace gala::baselines {
@@ -305,6 +306,27 @@ BaselineResult run_gala(const graph::Graph& g, const BaselineOptions& opts) {
   return from_engine(g, cfg, "GALA");
 }
 
+BaselineResult run_gala_blas(const graph::Graph& g, const BaselineOptions& opts) {
+  core::BspConfig cfg;
+  cfg.theta = opts.theta;
+  cfg.max_iterations = opts.max_iterations;
+  cfg.parallel = opts.parallel;
+  cfg.seed = opts.seed;
+  cfg.device = opts.device;
+  Timer timer;
+  const auto r = core::blas_phase1(g, cfg);
+  BaselineResult out;
+  out.name = "GALA (blas)";
+  out.community = r.community;
+  out.modularity = r.modularity;
+  out.iterations = static_cast<int>(r.iterations.size());
+  out.wall_seconds = timer.seconds();
+  out.traffic = r.total_traffic;
+  out.modeled_ms = cfg.device.cost_model.milliseconds(
+      r.total_traffic, cfg.device.model_parallel_lanes, cfg.device.model_clock_ghz);
+  return out;
+}
+
 std::vector<BaselineResult> run_all_systems(const graph::Graph& g, const BaselineOptions& opts) {
   std::vector<BaselineResult> results;
   results.push_back(run_cugraph_like(g, opts));
@@ -313,6 +335,7 @@ std::vector<BaselineResult> run_all_systems(const graph::Graph& g, const Baselin
   results.push_back(run_grappolo_gpu(g, opts));
   results.push_back(run_grappolo_gpu_star(g, opts));
   results.push_back(run_grappolo_cpu(g, opts));
+  results.push_back(run_gala_blas(g, opts));
   results.push_back(run_gala(g, opts));
   return results;
 }

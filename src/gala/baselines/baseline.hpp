@@ -63,6 +63,12 @@ BaselineResult run_grappolo_cpu(const graph::Graph& g, const BaselineOptions& op
 /// GALA itself under the same harness (phase 1 of round 1), for Fig. 5 rows.
 BaselineResult run_gala(const graph::Graph& g, const BaselineOptions& opts = {});
 
+/// GALA's linear-algebra engine (blas backend) under the same harness — the
+/// masked-SpMV formulation of DecideAndMove. Produces the same partition as
+/// run_gala (the engines are trajectory-identical); only traffic and modeled
+/// time differ.
+BaselineResult run_gala_blas(const graph::Graph& g, const BaselineOptions& opts = {});
+
 /// All systems in the paper's Fig. 5 order (GALA last).
 std::vector<BaselineResult> run_all_systems(const graph::Graph& g,
                                             const BaselineOptions& opts = {});

@@ -1,13 +1,12 @@
-#include "gala/multigpu/delta_codec.hpp"
+#include "gala/codec/delta_codec.hpp"
 
 #include <cstdint>
 #include <unordered_map>
 
 #include "gala/common/error.hpp"
 #include "gala/memtrace/memtrace.hpp"
-#include "gala/multigpu/collectives.hpp"  // CollectiveFault, fnv1a
 
-namespace gala::multigpu {
+namespace gala::codec {
 namespace {
 
 constexpr std::size_t kMaxVarint32 = 5;  // LEB128 bytes for a 32-bit value
@@ -42,16 +41,16 @@ struct Cursor {
   std::uint32_t varint32() {
     std::uint32_t v = 0;
     for (std::size_t i = 0; i < kMaxVarint32; ++i) {
-      if (p == end) GALA_THROW(CollectiveFault, "sparse-delta codec: varint truncated");
+      if (p == end) GALA_THROW(CodecFault, "sparse-delta codec: varint truncated");
       const auto b = static_cast<std::uint32_t>(*p++);
       if (i == kMaxVarint32 - 1 && (b & 0x7f) > 0x0f) {
-        GALA_THROW(CollectiveFault, "sparse-delta codec: varint overflows 32 bits");
+        GALA_THROW(CodecFault, "sparse-delta codec: varint overflows 32 bits");
       }
       v |= (b & 0x7f) << (7 * i);
       if ((b & 0x80) == 0) return v;
     }
-    GALA_THROW(CollectiveFault, "sparse-delta codec: varint longer than " << kMaxVarint32
-                                                                          << " bytes");
+    GALA_THROW(CodecFault, "sparse-delta codec: varint longer than " << kMaxVarint32
+                                                                     << " bytes");
   }
 };
 
@@ -108,43 +107,42 @@ void decode_impl(std::span<const std::byte> frames, vid_t num_vertices, MoveVec&
   const std::byte* p = frames.data();
   const std::byte* const end = p + frames.size();
   while (p != end) {
-    if (end - p < 4) GALA_THROW(CollectiveFault, "sparse-delta codec: truncated frame header");
+    if (end - p < 4) GALA_THROW(CodecFault, "sparse-delta codec: truncated frame header");
     const std::uint32_t body_bytes = read_u32(p);
     p += 4;
     if (static_cast<std::size_t>(end - p) < body_bytes) {
-      GALA_THROW(CollectiveFault, "sparse-delta codec: frame body truncated (need "
-                                      << body_bytes << " bytes, have " << (end - p) << ")");
+      GALA_THROW(CodecFault, "sparse-delta codec: frame body truncated (need "
+                                 << body_bytes << " bytes, have " << (end - p) << ")");
     }
     if (body_bytes < 2 + 8) {
-      GALA_THROW(CollectiveFault, "sparse-delta codec: frame body impossibly short ("
-                                      << body_bytes << " bytes)");
+      GALA_THROW(CodecFault, "sparse-delta codec: frame body impossibly short ("
+                                 << body_bytes << " bytes)");
     }
     // Verify the trailer checksum before interpreting a single field, so a
     // bit flip anywhere in the frame is caught up front.
     const std::byte* const body = p;
     const std::byte* const trailer = body + body_bytes - 8;
     if (fnv1a(std::span<const std::byte>(body, trailer)) != read_u64(trailer)) {
-      GALA_THROW(CollectiveFault, "sparse-delta codec: frame checksum mismatch");
+      GALA_THROW(CodecFault, "sparse-delta codec: frame checksum mismatch");
     }
     Cursor cur{body, trailer};
     const std::uint32_t count = cur.varint32();
     const std::uint32_t dict_size = cur.varint32();
     if (count > num_vertices) {
-      GALA_THROW(CollectiveFault, "sparse-delta codec: record count " << count
-                                                                      << " exceeds vertex count "
-                                                                      << num_vertices);
+      GALA_THROW(CodecFault, "sparse-delta codec: record count " << count
+                                                                 << " exceeds vertex count "
+                                                                 << num_vertices);
     }
     if (dict_size > count) {
-      GALA_THROW(CollectiveFault, "sparse-delta codec: dictionary size " << dict_size
-                                                                         << " exceeds record count "
-                                                                         << count);
+      GALA_THROW(CodecFault, "sparse-delta codec: dictionary size " << dict_size
+                                                                    << " exceeds record count "
+                                                                    << count);
     }
     std::vector<cid_t> dict(dict_size);
     for (std::uint32_t i = 0; i < dict_size; ++i) {
       dict[i] = cur.varint32();
       if (dict[i] >= num_vertices) {
-        GALA_THROW(CollectiveFault,
-                   "sparse-delta codec: community id " << dict[i] << " out of range");
+        GALA_THROW(CodecFault, "sparse-delta codec: community id " << dict[i] << " out of range");
       }
     }
     std::vector<vid_t> vertices(count);
@@ -155,15 +153,15 @@ void decode_impl(std::span<const std::byte> frames, vid_t num_vertices, MoveVec&
         vertices[i] = raw;
       } else {
         if (raw == 0) {
-          GALA_THROW(CollectiveFault, "sparse-delta codec: vertex stream not strictly ascending");
+          GALA_THROW(CodecFault, "sparse-delta codec: vertex stream not strictly ascending");
         }
         if (raw > num_vertices - prev) {
-          GALA_THROW(CollectiveFault, "sparse-delta codec: vertex id overflows vertex count");
+          GALA_THROW(CodecFault, "sparse-delta codec: vertex id overflows vertex count");
         }
         vertices[i] = prev + raw;
       }
       if (vertices[i] >= num_vertices) {
-        GALA_THROW(CollectiveFault,
+        GALA_THROW(CodecFault,
                    "sparse-delta codec: vertex id " << vertices[i] << " out of range");
       }
       prev = vertices[i];
@@ -171,14 +169,14 @@ void decode_impl(std::span<const std::byte> frames, vid_t num_vertices, MoveVec&
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint32_t idx = cur.varint32();
       if (idx >= dict_size) {
-        GALA_THROW(CollectiveFault,
+        GALA_THROW(CodecFault,
                    "sparse-delta codec: dictionary index " << idx << " out of range");
       }
       out.push_back({vertices[i], dict[idx]});
     }
     if (cur.p != trailer) {
-      GALA_THROW(CollectiveFault, "sparse-delta codec: " << cur.remaining()
-                                                         << " unconsumed bytes in frame body");
+      GALA_THROW(CodecFault, "sparse-delta codec: " << cur.remaining()
+                                                    << " unconsumed bytes in frame body");
     }
     p = body + body_bytes;
   }
@@ -186,6 +184,9 @@ void decode_impl(std::span<const std::byte> frames, vid_t num_vertices, MoveVec&
 
 }  // namespace
 
+// The charge tag keeps the "multigpu.codec_frames" name the codec was born
+// with: the committed perf baselines and the memtrace subsystem breakdown pin
+// it, and the multi-GPU sync remains the dominant producer of frames.
 void encode_moves(std::span<const MoveRecord> moves, std::vector<std::byte>& out) {
   encode_impl(moves, out);
   memtrace::charge("multigpu.codec_frames", out.size());
@@ -206,4 +207,4 @@ void decode_moves(std::span<const std::byte> frames, vid_t num_vertices,
   decode_impl(frames, num_vertices, out);
 }
 
-}  // namespace gala::multigpu
+}  // namespace gala::codec

@@ -30,30 +30,23 @@ vid_t renumber_pooled(std::span<cid_t> community, exec::Workspace* ws) {
 }  // namespace
 
 AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community,
-                            exec::Workspace* workspace) {
+                            exec::Workspace* workspace, const blas::Tuning& tuning,
+                            blas::SpgemmStats* stats) {
   const vid_t n = g.num_vertices();
   GALA_CHECK(community.size() == n, "assignment size mismatch");
 
   AggregationResult result;
   result.fine_to_coarse.assign(community.begin(), community.end());
   result.num_communities = renumber_pooled(result.fine_to_coarse, workspace);
-
-  graph::GraphBuilder builder(result.num_communities);
-  for (vid_t v = 0; v < n; ++v) {
-    const cid_t cv = result.fine_to_coarse[v];
-    auto nbrs = g.neighbors(v);
-    auto ws = g.weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const vid_t u = nbrs[i];
-      // Emit each undirected edge once (adjacency holds both directions for
-      // u != v, and self-loops once).
-      if (u < v) continue;
-      builder.add_edge(cv, result.fine_to_coarse[u], ws[i]);
-    }
-  }
-  result.coarse = builder.build();
+  result.coarse = blas::contract_csr(g, result.fine_to_coarse, result.num_communities, workspace,
+                                     tuning, stats);
   memtrace::set_resident("graph.contraction", result.coarse.memory_bytes());
   return result;
+}
+
+AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community,
+                            exec::Workspace* workspace) {
+  return aggregate(g, community, workspace, blas::Tuning{}, nullptr);
 }
 
 std::vector<cid_t> compose_assignment(std::span<const cid_t> fine_to_coarse,

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "gala/blas/spgemm.hpp"
 #include "gala/common/types.hpp"
 #include "gala/exec/workspace.hpp"
 #include "gala/graph/csr.hpp"
@@ -26,6 +27,16 @@ struct AggregationResult {
 /// workspace is given, the level-transition renumber scratch is checked out
 /// of it (tag "phase2.renumber") instead of heap-allocated, so successive
 /// levels of the pipeline recycle one slab. Results are identical.
+///
+/// The contraction itself is S^T·A·S through the shared SpGEMM
+/// (blas::contract_csr); `tuning` selects its accumulator and `stats`, when
+/// given, receives the kernel counters. The historical edge-list builder
+/// produced the same graph — the SpGEMM replicates its counting conventions
+/// (see blas/spgemm.hpp) — so exact-weight contractions are bit-identical
+/// to the pre-SpGEMM output.
+AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community,
+                            exec::Workspace* workspace, const blas::Tuning& tuning,
+                            blas::SpgemmStats* stats = nullptr);
 AggregationResult aggregate(const graph::Graph& g, std::span<const cid_t> community,
                             exec::Workspace* workspace = nullptr);
 

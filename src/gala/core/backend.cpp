@@ -1,0 +1,68 @@
+#include "gala/core/backend.hpp"
+
+#include "gala/core/blas_louvain.hpp"
+
+namespace gala::core {
+namespace {
+
+class BspBackend final : public LouvainBackend {
+ public:
+  explicit BspBackend(const blas::Tuning& tuning) : tuning_(tuning) {}
+
+  const char* name() const override { return "bsp"; }
+
+  Phase1Result run_level(const graph::Graph& g, const BspConfig& config) override {
+    return bsp_phase1(g, config);
+  }
+
+  AggregationResult contract(const graph::Graph& g, std::span<const cid_t> community,
+                             exec::Workspace* workspace) override {
+    return aggregate(g, community, workspace, tuning_);
+  }
+
+ private:
+  blas::Tuning tuning_;
+};
+
+class BlasBackend final : public LouvainBackend {
+ public:
+  explicit BlasBackend(const blas::Tuning& tuning) : tuning_(tuning) {}
+
+  const char* name() const override { return "blas"; }
+
+  Phase1Result run_level(const graph::Graph& g, const BspConfig& config) override {
+    return blas_phase1(g, config, tuning_);
+  }
+
+  AggregationResult contract(const graph::Graph& g, std::span<const cid_t> community,
+                             exec::Workspace* workspace) override {
+    return aggregate(g, community, workspace, tuning_);
+  }
+
+ private:
+  blas::Tuning tuning_;
+};
+
+}  // namespace
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::Bsp:
+      return "bsp";
+    case Backend::Blas:
+      return "blas";
+  }
+  return "?";
+}
+
+std::unique_ptr<LouvainBackend> make_backend(Backend backend, const blas::Tuning& tuning) {
+  switch (backend) {
+    case Backend::Blas:
+      return std::make_unique<BlasBackend>(tuning);
+    case Backend::Bsp:
+      break;
+  }
+  return std::make_unique<BspBackend>(tuning);
+}
+
+}  // namespace gala::core

@@ -49,6 +49,7 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
     cfg.bsp.context = owned_ctx.get();
   }
   exec::Workspace& ws = cfg.bsp.context->workspace();
+  const std::unique_ptr<LouvainBackend> engine = make_backend(cfg.backend, cfg.blas);
 
   const vid_t n = g.num_vertices();
   result.assignment.resize(n);
@@ -64,7 +65,7 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
     telemetry::flight(telemetry::FlightKind::LevelBegin, static_cast<double>(level),
                       static_cast<double>(current->num_vertices()));
     Timer level_timer;
-    Phase1Result phase1 = bsp_phase1(*current, cfg.bsp);
+    Phase1Result phase1 = engine->run_level(*current, cfg.bsp);
     if (level == 0 && config.keep_first_round) result.first_round = phase1;
     if (level_span.active()) {
       level_span.arg("level", static_cast<double>(level));
@@ -84,7 +85,7 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
       // Fold the final phase-1 partition so the reported assignment matches
       // the reported modularity exactly (matters when refinement made the
       // previously-folded partition finer than phase 1's).
-      const AggregationResult last = aggregate(*current, phase1.community, &ws);
+      const AggregationResult last = engine->contract(*current, phase1.community, &ws);
       result.assignment = compose_assignment(result.assignment, last.fine_to_coarse);
       prev_q = phase1.modularity;
       lv.wall_seconds = level_timer.seconds();
@@ -103,10 +104,10 @@ GalaResult run_louvain(const graph::Graph& g, const GalaConfig& config) {
                                    cfg.bsp.seed ^ (level + 1));
       }
       telemetry::ScopedSpan agg_span(telemetry::Tracer::global(), "aggregate", "phase2");
-      agg = aggregate(*current, refined.refined, &ws);
+      agg = engine->contract(*current, refined.refined, &ws);
     } else {
       telemetry::ScopedSpan agg_span(telemetry::Tracer::global(), "aggregate", "phase2");
-      agg = aggregate(*current, phase1.community, &ws);
+      agg = engine->contract(*current, phase1.community, &ws);
     }
     result.assignment = compose_assignment(result.assignment, agg.fine_to_coarse);
     lv.wall_seconds = level_timer.seconds();

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "gala/core/backend.hpp"
 #include "gala/core/bsp_louvain.hpp"
 
 namespace gala::core {
@@ -20,6 +21,13 @@ namespace gala::core {
 struct GalaConfig {
   /// Phase-1 engine configuration (pruning, kernels, hashtable, ...).
   BspConfig bsp{};
+  /// Which engine runs every level (core/backend.hpp): the BSP kernels or
+  /// the gala::blas linear-algebra formulation. Both contract through the
+  /// shared SpGEMM and follow the same trajectory rules.
+  Backend backend = Backend::Bsp;
+  /// blas primitive tuning (SpGEMM accumulator, pull/push threshold); the
+  /// contraction honours it under either backend.
+  blas::Tuning blas{};
   /// Stop when a level improves modularity by less than this.
   double level_theta = 1e-6;
   int max_levels = 30;

@@ -15,19 +15,6 @@ using gpusim::LaneMask;
 using gpusim::MemoryStats;
 using gpusim::WarpValues;
 
-/// Candidate tracker with the shared tie-break rule (smaller community id).
-struct BestTracker {
-  cid_t best = kInvalidCid;
-  wt_t score = 0;
-
-  void offer(cid_t c, wt_t s) {
-    if (best == kInvalidCid || s > score || (s == score && c < best)) {
-      best = c;
-      score = s;
-    }
-  }
-};
-
 /// (community, partial d_C(v)) pair spilled by chunk leaders.
 struct SpillEntry {
   cid_t community;

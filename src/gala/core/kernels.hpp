@@ -48,6 +48,22 @@ struct Decision {
   wt_t weight_to_curr = 0;      ///< e_{v,C[v]} — reused by the weight-update stage
 };
 
+/// Candidate tracker with the tie-break rule every engine shares (smaller
+/// community id on equal scores). The rule is enumeration-order independent,
+/// which is what lets the blas gather — whose candidate order differs from
+/// the hash table's iteration order — reach identical decisions.
+struct BestTracker {
+  cid_t best = kInvalidCid;
+  wt_t score = 0;
+
+  void offer(cid_t c, wt_t s) {
+    if (best == kInvalidCid || s > score || (s == score && c < best)) {
+      best = c;
+      score = s;
+    }
+  }
+};
+
 /// Warp-level shuffle-based kernel. `spill_arena` is only touched when
 /// out_degree(v) exceeds a warp (shuffle-only mode on large vertices).
 Decision shuffle_decide(const DecideInput& in, vid_t v, gpusim::SharedMemoryArena& spill_arena,

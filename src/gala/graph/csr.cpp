@@ -77,6 +77,46 @@ Graph GraphBuilder::build() {
   return g;
 }
 
+Graph GraphBuilder::from_sorted_csr(vid_t num_vertices, std::vector<eid_t> offsets,
+                                    std::vector<vid_t> neighbors, std::vector<wt_t> weights) {
+  GALA_CHECK(offsets.size() == static_cast<std::size_t>(num_vertices) + 1,
+             "from_sorted_csr: offset array size mismatch");
+  GALA_CHECK(neighbors.size() == weights.size(), "from_sorted_csr: adjacency/weight size mismatch");
+  GALA_CHECK(offsets.back() == static_cast<eid_t>(neighbors.size()),
+             "from_sorted_csr: final offset != adjacency size");
+
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  g.weights_ = std::move(weights);
+  g.self_loops_.assign(num_vertices, 0);
+  g.degrees_.assign(num_vertices, 0);
+
+  // Same derived-field formulas as build(): d(v) = row sum + self-loop (so
+  // loops count twice), adj_weight counts each non-loop edge twice and each
+  // loop once.
+  wt_t adj_weight = 0;
+  wt_t loop_weight = 0;
+  eid_t loops = 0;
+  for (vid_t v = 0; v < num_vertices; ++v) {
+    wt_t d = 0;
+    for (eid_t e = g.offsets_[v]; e < g.offsets_[v + 1]; ++e) {
+      if (g.neighbors_[e] == v) {
+        g.self_loops_[v] = g.weights_[e];
+        ++loops;
+      }
+      d += g.weights_[e];
+    }
+    adj_weight += d;
+    loop_weight += g.self_loops_[v];
+    g.degrees_[v] = d + g.self_loops_[v];
+    g.max_out_degree_ = std::max(g.max_out_degree_, g.out_degree(v));
+  }
+  g.total_weight_ = (adj_weight - loop_weight) / 2 + loop_weight;
+  g.num_undirected_edges_ = (g.num_adjacency() - loops) / 2 + loops;
+  return g;
+}
+
 void Graph::validate() const {
   const vid_t n = num_vertices();
   GALA_CHECK(offsets_.size() == static_cast<std::size_t>(n) + 1 || (n == 0 && offsets_.empty()),

@@ -115,6 +115,16 @@ class GraphBuilder {
   /// Builds the CSR graph. The builder is left empty afterwards.
   Graph build();
 
+  /// Builds a Graph directly from already-assembled CSR arrays, bypassing
+  /// the edge-list expand/sort/merge. The arrays must follow the directed
+  /// adjacency convention (both directions for u != v, self-loops once),
+  /// with each row strictly sorted by neighbour id and duplicates merged —
+  /// exactly what build() emits and what the blas SpGEMM produces. Derived
+  /// fields (degrees, self-loops, totals, edge counts) are computed with the
+  /// same formulas as build(), so a graph assembled either way is identical.
+  static Graph from_sorted_csr(vid_t num_vertices, std::vector<eid_t> offsets,
+                               std::vector<vid_t> neighbors, std::vector<wt_t> weights);
+
  private:
   struct RawEdge {
     vid_t src;

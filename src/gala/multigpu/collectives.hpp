@@ -60,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "gala/codec/delta_codec.hpp"
 #include "gala/common/error.hpp"
 #include "gala/common/types.hpp"
 #include "gala/memtrace/memtrace.hpp"
@@ -69,11 +70,11 @@ namespace gala::multigpu {
 
 /// A collective failed (injected drop/timeout/corruption, a malformed
 /// sparse-delta payload, or a peer rank aborted). Retryable: the supervisor
-/// and the distributed engine's sync fallback catch it.
-class CollectiveFault : public resilience::TransientFault {
- public:
-  using TransientFault::TransientFault;
-};
+/// and the distributed engine's sync fallback catch it. An alias of the
+/// shared codec's fault type — decode errors and collective errors are the
+/// same failure domain to every retry loop, and the alias keeps them one
+/// type now that the codec lives below this library.
+using CollectiveFault = codec::CodecFault;
 
 struct CommCostModel {
   double alpha_us = 5.0;       ///< per-collective latency, microseconds
@@ -110,15 +111,9 @@ struct CommStats {
   }
 };
 
-/// FNV-1a over a byte span — the sync-message integrity check.
-inline std::uint64_t fnv1a(std::span<const std::byte> bytes) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const std::byte b : bytes) {
-    h ^= static_cast<std::uint64_t>(b);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+/// FNV-1a over a byte span — the sync-message integrity check. Shared with
+/// the frame codec; re-exported here for the staging-checksum call sites.
+using codec::fnv1a;
 
 /// One communicator shared by all participants (like an ncclComm_t set).
 /// Methods are *collective*: every rank must call them in the same order.

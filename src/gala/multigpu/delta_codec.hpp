@@ -1,74 +1,18 @@
-// Compressed sparse-delta wire codec for the community sync (paper §4.3).
-//
-// The sparse synchronisation ships (vertex, new community) move records.
-// Raw records cost 8 bytes each; this codec exploits the two regularities
-// the move stream always has — vertex ids are sorted (the decide loop walks
-// the owned range in order) and the set of destination communities is far
-// smaller than the set of movers — to shrink the wire payload:
-//
-//   - vertex ids are delta-encoded (first id raw, then successor gaps) and
-//     LEB128-varint packed, so dense move runs cost ~1 byte per vertex,
-//   - communities are dictionary-mapped: each distinct destination id is
-//     stored once (first-appearance order) and records carry the varint
-//     dictionary index.
-//
-// One rank's moves form a self-delimiting *frame*; an all-gather of frames
-// concatenates in rank order and decode_moves() walks the concatenation.
-//
-//   u32 LE   body length N (bytes following this field)
-//   body:
-//     varint record count
-//     varint dictionary size
-//     dict entries       — varint community id each, first-appearance order
-//     vertex stream      — varint first id, then varint gaps (gap >= 1)
-//     community stream   — varint dictionary index per record
-//     u64 LE  FNV-1a checksum over the body bytes before this trailer
-//
-// Decoding is fail-closed: a truncated buffer, a varint running past the
-// frame, a checksum mismatch, a non-monotone vertex stream, an
-// out-of-range id, or leftover bytes all raise CollectiveFault — a
-// corrupted payload is never decoded into garbage moves. The frame
-// checksum makes the codec self-verifying even outside the communicator's
-// own staging checksum (which guards the same bytes in transit).
-//
-// The charged wire size is the encoded size: the caller gathers the frame
-// bytes through the communicator, so the alpha-beta cost model and the
-// adaptive dense/sparse crossover see the real compressed payload.
+// Thin re-export of the sparse-delta wire codec, which now lives in
+// gala::codec (gala/codec/delta_codec.hpp) so it can be shared beyond the
+// distributed engine. Format, preconditions, and fault semantics are
+// documented there; the wire format is unchanged by the move. CollectiveFault
+// (collectives.hpp) aliases codec::CodecFault, so decode failures still land
+// in the sync path's existing catch sites.
 #pragma once
 
-#include <cstddef>
-#include <span>
-#include <vector>
-
-#include "gala/common/types.hpp"
-#include "gala/exec/workspace.hpp"
+#include "gala/codec/delta_codec.hpp"
 
 namespace gala::multigpu {
 
-/// Sparse-sync wire record: one moved vertex.
-struct MoveRecord {
-  vid_t vertex;
-  cid_t community;
-};
+using codec::MoveRecord;
 
-inline bool operator==(const MoveRecord& a, const MoveRecord& b) {
-  return a.vertex == b.vertex && a.community == b.community;
-}
-
-/// Appends one frame encoding `moves` to `out`. Preconditions (checked):
-/// vertex ids strictly ascending. Encoding an empty set yields a valid
-/// (minimal) frame; callers normally skip it and contribute zero bytes.
-void encode_moves(std::span<const MoveRecord> moves, std::vector<std::byte>& out);
-void encode_moves(std::span<const MoveRecord> moves, exec::PooledVec<std::byte>& out);
-
-/// Decodes a concatenation of frames (rank order), appending every record
-/// to `out`. `num_vertices` bounds both vertex and community ids and the
-/// per-frame record count. Throws CollectiveFault on any malformed input;
-/// `out` may hold records from frames decoded before the fault — callers
-/// clear it on retry.
-void decode_moves(std::span<const std::byte> frames, vid_t num_vertices,
-                  std::vector<MoveRecord>& out);
-void decode_moves(std::span<const std::byte> frames, vid_t num_vertices,
-                  exec::PooledVec<MoveRecord>& out);
+using codec::decode_moves;
+using codec::encode_moves;
 
 }  // namespace gala::multigpu

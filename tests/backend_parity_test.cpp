@@ -1,0 +1,69 @@
+// BSP vs blas backend parity over the full stand-in suite (the CI
+// backend-parity job runs exactly this binary).
+//
+// The two engines share the move rule, pruning, convergence test, and the
+// SpGEMM contraction, and both accumulate per-community weights in adjacency
+// encounter order — so on the integer-weight stand-ins their trajectories
+// are bit-identical: same assignment, same modularity, level for level.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gala/core/gala.hpp"
+#include "gala/graph/standin.hpp"
+
+namespace gala {
+namespace {
+
+constexpr double kScale = 0.05;
+
+class BackendParity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BackendParity, BlasMatchesBspOnStandIn) {
+  const graph::Graph g = graph::make_standin(GetParam(), kScale);
+
+  core::GalaConfig cfg;
+  cfg.bsp.parallel = false;
+  cfg.backend = core::Backend::Bsp;
+  const core::GalaResult bsp = core::run_louvain(g, cfg);
+
+  cfg.backend = core::Backend::Blas;
+  const core::GalaResult blas1 = core::run_louvain(g, cfg);
+  const core::GalaResult blas2 = core::run_louvain(g, cfg);
+
+  // Determinism of the blas backend across runs.
+  EXPECT_EQ(blas1.assignment, blas2.assignment);
+  EXPECT_EQ(blas1.modularity, blas2.modularity);
+
+  // Cross-backend parity: identical hierarchy on exact-weight graphs.
+  EXPECT_EQ(bsp.assignment, blas1.assignment);
+  EXPECT_EQ(bsp.num_communities, blas1.num_communities);
+  EXPECT_NEAR(bsp.modularity, blas1.modularity, 1e-9);
+  ASSERT_EQ(bsp.levels.size(), blas1.levels.size());
+  for (std::size_t i = 0; i < bsp.levels.size(); ++i) {
+    EXPECT_EQ(bsp.levels[i].communities, blas1.levels[i].communities) << "level " << i;
+    EXPECT_EQ(bsp.levels[i].iterations, blas1.levels[i].iterations) << "level " << i;
+    EXPECT_NEAR(bsp.levels[i].modularity, blas1.levels[i].modularity, 1e-9) << "level " << i;
+  }
+  EXPECT_GT(blas1.modularity, 0.2);
+}
+
+TEST_P(BackendParity, BlasCompletesUnderParallelExecution) {
+  const graph::Graph g = graph::make_standin(GetParam(), kScale);
+  core::GalaConfig cfg;
+  cfg.backend = core::Backend::Blas;
+  cfg.bsp.parallel = true;
+  const core::GalaResult result = core::run_louvain(g, cfg);
+  EXPECT_GT(result.modularity, 0.2);
+  EXPECT_GT(result.num_communities, 0u);
+  EXPECT_EQ(result.workspace.outstanding_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(StandInSuite, BackendParity,
+                         ::testing::ValuesIn(graph::standin_abbrs()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace gala

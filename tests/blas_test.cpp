@@ -1,0 +1,230 @@
+// gala::blas primitives and the linear-algebra engine: SpGEMM contraction
+// parity against the historical edge-list builder, hash/sorted accumulator
+// bit-identity, governor-forced degradation, pull/push direction
+// equivalence, determinism, and the steady-state zero-allocation gate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gala/blas/blas.hpp"
+#include "gala/blas/spgemm.hpp"
+#include "gala/core/aggregation.hpp"
+#include "gala/core/blas_louvain.hpp"
+#include "gala/core/bsp_louvain.hpp"
+#include "gala/core/gala.hpp"
+#include "gala/core/modularity.hpp"
+#include "gala/exec/context.hpp"
+#include "gala/governor/governor.hpp"
+#include "gala/memtrace/memtrace.hpp"
+#include "test_util.hpp"
+
+namespace gala {
+namespace {
+
+using exec::ExecutionContext;
+
+/// The pre-SpGEMM contraction, verbatim: emit each undirected fine edge once
+/// from the u >= v side into the edge-list builder. The SpGEMM must
+/// reproduce this graph bit-for-bit on exact-weight inputs.
+graph::Graph legacy_contract(const graph::Graph& g, std::span<const cid_t> fine_to_coarse,
+                             vid_t num_coarse) {
+  graph::GraphBuilder builder(num_coarse);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const cid_t cv = fine_to_coarse[v];
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const vid_t u = nbrs[i];
+      if (u < v) continue;
+      builder.add_edge(cv, fine_to_coarse[u], ws[i]);
+    }
+  }
+  return builder.build();
+}
+
+void expect_same_graph(const graph::Graph& a, const graph::Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_adjacency(), b.num_adjacency());
+  EXPECT_EQ(a.total_weight(), b.total_weight());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.max_out_degree(), b.max_out_degree());
+  for (vid_t v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.degree(v), b.degree(v)) << "degree of " << v;
+    EXPECT_EQ(a.self_loop(v), b.self_loop(v)) << "self-loop of " << v;
+    const auto an = a.neighbors(v);
+    const auto bn = b.neighbors(v);
+    ASSERT_EQ(an.size(), bn.size()) << "row " << v;
+    const auto aw = a.weights(v);
+    const auto bw = b.weights(v);
+    for (std::size_t i = 0; i < an.size(); ++i) {
+      EXPECT_EQ(an[i], bn[i]) << "row " << v << " entry " << i;
+      EXPECT_EQ(aw[i], bw[i]) << "row " << v << " entry " << i;
+    }
+  }
+}
+
+/// A dense community map with a mix of singletons, merged pairs, and one
+/// large community — deterministic in n.
+std::vector<cid_t> mixed_partition(vid_t n, vid_t num_coarse) {
+  std::vector<cid_t> fc(n);
+  for (vid_t v = 0; v < n; ++v) fc[v] = (v * 7 + 3) % num_coarse;
+  return fc;
+}
+
+TEST(BlasSpgemm, ContractMatchesLegacyBuilderBitExact) {
+  for (const auto& g :
+       {testing::two_triangles(), testing::small_planted(5, 300, 6, 0.2)}) {
+    const vid_t num_coarse = std::max<vid_t>(2, g.num_vertices() / 7);
+    const auto fc = mixed_partition(g.num_vertices(), num_coarse);
+    const graph::Graph reference = legacy_contract(g, fc, num_coarse);
+    for (const blas::Accumulator acc : {blas::Accumulator::Hash, blas::Accumulator::Sorted}) {
+      blas::Tuning tuning;
+      tuning.accumulator = acc;
+      blas::SpgemmStats stats;
+      const graph::Graph coarse =
+          blas::contract_csr(g, fc, num_coarse, nullptr, tuning, &stats);
+      SCOPED_TRACE(blas::to_string(acc));
+      expect_same_graph(reference, coarse);
+      EXPECT_EQ(stats.accumulator, acc);
+      EXPECT_FALSE(stats.governor_forced);
+      EXPECT_EQ(stats.nnz, coarse.num_adjacency());
+      EXPECT_GT(stats.flops, 0u);
+    }
+  }
+}
+
+TEST(BlasSpgemm, WorkspaceAndHeapScratchAgree) {
+  const auto g = testing::small_planted(9, 250, 5, 0.25);
+  const auto fc = mixed_partition(g.num_vertices(), 31);
+  ExecutionContext ctx;
+  const graph::Graph pooled = blas::contract_csr(g, fc, 31, &ctx.workspace());
+  const graph::Graph heap = blas::contract_csr(g, fc, 31, nullptr);
+  expect_same_graph(pooled, heap);
+  EXPECT_EQ(ctx.workspace().stats().outstanding_bytes, 0u);
+}
+
+TEST(BlasSpgemm, ModularityInvariantUnderContraction) {
+  const auto g = testing::small_planted(7, 280, 7, 0.2);
+  core::BspConfig cfg;
+  cfg.parallel = false;
+  const auto phase1 = core::bsp_phase1(g, cfg);
+  const auto agg = core::aggregate(g, phase1.community);
+  // Q of the contracted graph under singleton assignment equals Q of the
+  // fine graph under the phase-1 partition (the §2.2 invariant the
+  // historical builder was pinned by).
+  std::vector<cid_t> singletons(agg.coarse.num_vertices());
+  for (vid_t v = 0; v < agg.coarse.num_vertices(); ++v) singletons[v] = v;
+  EXPECT_NEAR(core::modularity(agg.coarse, singletons),
+              core::modularity(g, phase1.community), 1e-12);
+}
+
+TEST(BlasSpgemm, GovernorRungTwoForcesSortedWithIdenticalOutput) {
+  const auto g = testing::small_planted(13, 260, 6, 0.25);
+  const auto fc = mixed_partition(g.num_vertices(), 29);
+  const graph::Graph reference = blas::contract_csr(g, fc, 29, nullptr);
+
+  memtrace::MemRegistry::global().reset();
+  {
+    governor::BudgetConfig cfg;
+    cfg.total_bytes = 1000;
+    governor::ScopedBudget scoped(cfg);
+    governor::Governor::global().admit("test.pressure", 870, /*may_throw=*/false);
+    ASSERT_TRUE(governor::Governor::global().force_sorted_accumulator());
+
+    blas::SpgemmStats stats;
+    const graph::Graph coarse =
+        blas::contract_csr(g, fc, 29, nullptr, blas::Tuning{}, &stats);
+    EXPECT_EQ(stats.accumulator, blas::Accumulator::Sorted);
+    EXPECT_TRUE(stats.governor_forced);
+    expect_same_graph(reference, coarse);
+  }
+  governor::Governor::global().uninstall();
+  memtrace::MemRegistry::global().reset();
+}
+
+TEST(BlasEngine, MatchesBspTrajectoryOnPlantedGraph) {
+  const auto g = testing::small_planted(5, 400, 8, 0.15);
+  core::BspConfig cfg;
+  cfg.parallel = false;
+  const auto bsp = core::bsp_phase1(g, cfg);
+  const auto blas_result = core::blas_phase1(g, cfg);
+  ASSERT_EQ(bsp.community.size(), blas_result.community.size());
+  EXPECT_EQ(bsp.community, blas_result.community);
+  EXPECT_EQ(bsp.num_communities, blas_result.num_communities);
+  EXPECT_NEAR(bsp.modularity, blas_result.modularity, 1e-12);
+  EXPECT_EQ(bsp.iterations.size(), blas_result.iterations.size());
+}
+
+TEST(BlasEngine, PullAndPushDirectionsAgree) {
+  const auto g = testing::small_planted(8, 350, 7, 0.2);
+  core::BspConfig cfg;
+  cfg.parallel = false;
+  blas::Tuning pull;
+  pull.pull_threshold = 0.0;  // density >= 0 always: pure pull
+  blas::Tuning push;
+  push.pull_threshold = 1.1;  // density can never reach it: pure push
+  core::BlasPhase1Stats pull_stats;
+  core::BlasPhase1Stats push_stats;
+  const auto a = core::blas_phase1(g, cfg, pull, &pull_stats);
+  const auto b = core::blas_phase1(g, cfg, push, &push_stats);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.modularity, b.modularity);
+  EXPECT_EQ(pull_stats.push_iterations, 0);
+  EXPECT_EQ(push_stats.pull_iterations, 0);
+  EXPECT_EQ(pull_stats.gathered_rows, push_stats.gathered_rows);
+}
+
+TEST(BlasEngine, ParallelMatchesSequential) {
+  const auto g = testing::small_planted(6, 320, 8, 0.2);
+  core::BspConfig seq;
+  seq.parallel = false;
+  core::BspConfig par;
+  par.parallel = true;
+  const auto a = core::blas_phase1(g, seq);
+  const auto b = core::blas_phase1(g, par);
+  EXPECT_EQ(a.community, b.community);
+  EXPECT_EQ(a.modularity, b.modularity);
+}
+
+TEST(BlasEngine, SteadyStateIterationsAllocateNothing) {
+  const auto g = testing::small_planted(11, 500, 8, 0.3);
+  for (const double threshold : {0.0, 1.1}) {  // pure pull, then pure push
+    ExecutionContext ctx;
+    core::BspConfig cfg;
+    cfg.context = &ctx;
+    cfg.parallel = false;
+    cfg.pruning = core::PruningStrategy::Relaxed;
+    blas::Tuning tuning;
+    tuning.pull_threshold = threshold;
+    const auto result = core::blas_phase1(g, cfg, tuning);
+    SCOPED_TRACE(threshold);
+    ASSERT_GE(result.iterations.size(), 2u) << "graph converged too fast to test steady state";
+    EXPECT_GT(result.iterations[0].ws_allocs, 0u);
+    for (std::size_t i = 1; i < result.iterations.size(); ++i) {
+      EXPECT_EQ(result.iterations[i].ws_allocs, 0u) << "iteration " << i << " hit the heap";
+    }
+    EXPECT_GT(result.workspace.reuse_rate(), 0.5);
+  }
+}
+
+TEST(BlasEngine, FullPipelineRunsAndIsDeterministic) {
+  const auto g = testing::small_planted(4, 380, 8, 0.2);
+  core::GalaConfig cfg;
+  cfg.backend = core::Backend::Blas;
+  cfg.bsp.parallel = false;
+  const auto a = core::run_louvain(g, cfg);
+  const auto b = core::run_louvain(g, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.modularity, b.modularity);
+  EXPECT_GT(a.modularity, 0.4);
+  EXPECT_GE(a.levels.size(), 1u);
+
+  core::GalaConfig bsp_cfg = cfg;
+  bsp_cfg.backend = core::Backend::Bsp;
+  const auto c = core::run_louvain(g, bsp_cfg);
+  EXPECT_EQ(a.assignment, c.assignment);
+  EXPECT_NEAR(a.modularity, c.modularity, 1e-12);
+}
+
+}  // namespace
+}  // namespace gala

@@ -369,6 +369,29 @@ TEST_F(CliE2e, ErrorPathsReturnNonZero) {
   EXPECT_NE(run("generate bogus-type --out " + path("x.txt"), &out), 0);
 }
 
+TEST_F(CliE2e, BackendSelection) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --backend blas", &out), 0) << out;
+  EXPECT_NE(out.find("modularity"), std::string::npos);
+
+  // Fail-fast probe table: each bad selection is rejected before the solve,
+  // naming the flag and the accepted values.
+  struct Row {
+    std::string args;
+    std::string expect;
+  };
+  const Row rows[] = {
+      {"detect standin:HW:0.05 --backend bogus", "unknown backend 'bogus' (bsp|blas)"},
+      {"detect standin:HW:0.05 --backend blas --gpus 4", "--backend: blas is single-device"},
+  };
+  for (const Row& row : rows) {
+    EXPECT_NE(run(row.args, &out), 0) << row.args;
+    EXPECT_NE(out.find(row.expect), std::string::npos) << row.args << "\n" << out;
+    EXPECT_EQ(out.find("graph:"), std::string::npos)
+        << "solve started despite bad flags:\n" << out;
+  }
+}
+
 TEST_F(CliE2e, HelpExitsCleanly) {
   std::string out;
   EXPECT_EQ(run("detect --help", &out), 0);

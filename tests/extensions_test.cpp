@@ -162,6 +162,83 @@ TEST(Incremental, RemovingMissingEdgeThrows) {
   EXPECT_THROW(core::apply_edge_updates(g, updates), Error);
 }
 
+// Adversarial batches: the update map is keyed on the *undirected* edge, so
+// duplicates, both orientations, and mixed add/remove sequences within one
+// batch must fold into a single per-edge weight.
+TEST(Incremental, DuplicateUpdatesInOneBatchAccumulate) {
+  const auto g = testing::two_triangles();
+  std::vector<core::EdgeUpdate> updates = {
+      {0, 4, 1.5, false},
+      {0, 4, 2.5, false},        // same edge again: weights sum to 4
+      {2, 3, 0.5, true},
+      {2, 3, 0.5, true},         // two partial removals delete the bridge
+  };
+  const auto updated = core::apply_edge_updates(g, updates);
+  updated.validate();
+  auto nbrs = updated.neighbors(0);
+  auto it = std::find(nbrs.begin(), nbrs.end(), 4u);
+  ASSERT_NE(it, nbrs.end());
+  EXPECT_DOUBLE_EQ(updated.weights(0)[it - nbrs.begin()], 4.0);
+  auto n2 = updated.neighbors(2);
+  EXPECT_EQ(std::find(n2.begin(), n2.end(), 3u), n2.end());
+}
+
+TEST(Incremental, OverRemovalDeletesTheEdgeCleanly) {
+  const auto g = testing::two_triangles();  // bridge {2,3} has weight 1
+  std::vector<core::EdgeUpdate> updates = {{2, 3, 5.0, true}};
+  const auto updated = core::apply_edge_updates(g, updates);
+  updated.validate();
+  EXPECT_EQ(updated.num_edges(), g.num_edges() - 1);
+  auto n2 = updated.neighbors(2);
+  EXPECT_EQ(std::find(n2.begin(), n2.end(), 3u), n2.end());
+  // Total weight never goes negative through over-removal.
+  EXPECT_DOUBLE_EQ(updated.total_weight(), g.total_weight() - 1.0);
+}
+
+TEST(Incremental, BothOrientationsCollideOnOneEdge) {
+  const auto g = testing::two_triangles();
+  std::vector<core::EdgeUpdate> updates = {
+      {0, 4, 1.0, false},
+      {4, 0, 3.0, false},        // {v,u} is the same undirected edge as {u,v}
+  };
+  const auto updated = core::apply_edge_updates(g, updates);
+  updated.validate();
+  EXPECT_EQ(updated.num_edges(), g.num_edges() + 1);  // one new edge, not two
+  auto nbrs = updated.neighbors(4);
+  auto it = std::find(nbrs.begin(), nbrs.end(), 0u);
+  ASSERT_NE(it, nbrs.end());
+  EXPECT_DOUBLE_EQ(updated.weights(4)[it - nbrs.begin()], 4.0);
+  // And a removal addressed with the swapped orientation finds the edge.
+  std::vector<core::EdgeUpdate> removal = {{4, 0, 4.0, true}};
+  const auto reverted = core::apply_edge_updates(updated, removal);
+  EXPECT_EQ(reverted.num_edges(), g.num_edges());
+}
+
+TEST(Incremental, SelfLoopUpdatesRideTheSamePath) {
+  const auto g = testing::two_triangles();
+  std::vector<core::EdgeUpdate> add = {{1, 1, 2.0, false}, {1, 1, 1.0, false}};
+  const auto with_loop = core::apply_edge_updates(g, add);
+  with_loop.validate();
+  EXPECT_DOUBLE_EQ(with_loop.self_loop(1), 3.0);
+  EXPECT_DOUBLE_EQ(with_loop.total_weight(), g.total_weight() + 3.0);
+  // Partial removal keeps the loop; over-removal erases it.
+  std::vector<core::EdgeUpdate> partial = {{1, 1, 1.0, true}};
+  const auto reduced = core::apply_edge_updates(with_loop, partial);
+  EXPECT_DOUBLE_EQ(reduced.self_loop(1), 2.0);
+  std::vector<core::EdgeUpdate> all = {{1, 1, 9.0, true}};
+  const auto gone = core::apply_edge_updates(with_loop, all);
+  EXPECT_DOUBLE_EQ(gone.self_loop(1), 0.0);
+  EXPECT_DOUBLE_EQ(gone.total_weight(), g.total_weight());
+}
+
+TEST(Incremental, NonPositiveUpdateWeightThrows) {
+  const auto g = testing::two_triangles();
+  std::vector<core::EdgeUpdate> zero = {{0, 4, 0.0, false}};
+  EXPECT_THROW(core::apply_edge_updates(g, zero), Error);
+  std::vector<core::EdgeUpdate> negative = {{0, 4, -1.0, true}};
+  EXPECT_THROW(core::apply_edge_updates(g, negative), Error);
+}
+
 TEST(Incremental, RepairReachesFullRecomputeQuality) {
   const auto g = testing::small_planted(19, 1500, 15, 0.2);
   const auto initial = core::run_louvain(g);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gala/core/aggregation.hpp"
+#include "gala/core/blas_louvain.hpp"
 #include "gala/core/bsp_louvain.hpp"
 #include "gala/core/gala.hpp"
 #include "gala/core/modularity.hpp"
@@ -93,6 +95,41 @@ TEST(IsPartitionConnected, HandlesIsolatedVertices) {
   std::vector<cid_t> bad = {0, 1, 0};  // {0,2} disconnected
   EXPECT_FALSE(is_partition_connected(g, bad));
 }
+
+// Connectivity validation over *blas-backend* hierarchies: the refinement
+// guarantee must survive the linear-algebra engine's phase 1 and its SpGEMM
+// contraction, not just the BSP path it was developed against.
+class BlasHierarchyConnectivity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlasHierarchyConnectivity, FinalPartitionIsConnected) {
+  const auto g = testing::small_planted(GetParam(), 500, 10, 0.3);
+  GalaConfig cfg;
+  cfg.backend = Backend::Blas;
+  cfg.refine = true;
+  const auto r = run_louvain(g, cfg);
+  EXPECT_TRUE(is_partition_connected(g, r.assignment)) << "seed " << GetParam();
+  EXPECT_NEAR(r.modularity, modularity(g, r.assignment), 1e-9);
+}
+
+TEST_P(BlasHierarchyConnectivity, EveryLevelOfTheHierarchyIsConnected) {
+  // Walk the hierarchy by hand through the blas engine: phase 1, refine,
+  // validate, contract through the shared SpGEMM, repeat.
+  auto g = testing::small_planted(GetParam() + 100, 450, 9, 0.25);
+  BspConfig cfg;
+  cfg.parallel = false;
+  for (int level = 0; level < 4 && g.num_vertices() > 8; ++level) {
+    const auto phase1 = blas_phase1(g, cfg);
+    const auto refined = refine_partition(g, phase1.community, 1.0, GetParam());
+    EXPECT_TRUE(is_partition_connected(g, refined.refined))
+        << "seed " << GetParam() << " level " << level;
+    const auto agg = aggregate(g, refined.refined, nullptr, blas::Tuning{});
+    if (agg.coarse.num_vertices() == g.num_vertices()) break;
+    g = agg.coarse;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlasHierarchyConnectivity,
+                         ::testing::Values(21, 22, 23, 24, 25));
 
 TEST(Refinement, PipelineWithRefineReachesComparableQuality) {
   const auto g = testing::small_planted(11, 1000, 12, 0.2);

@@ -81,6 +81,12 @@ core::HashTablePolicy parse_hashtable(const std::string& name) {
   GALA_CHECK(false, "unknown hashtable policy '" << name << "' (global|unified|hierarchical)");
 }
 
+core::Backend parse_backend(const std::string& name) {
+  if (name == "bsp") return core::Backend::Bsp;
+  if (name == "blas") return core::Backend::Blas;
+  GALA_CHECK(false, "unknown backend '" << name << "' (bsp|blas)");
+}
+
 /// Probes every requested output destination up front (see
 /// gala::probe_output_path): a run that cannot write its reports should fail
 /// before the solve, not after it.
@@ -145,6 +151,8 @@ int cmd_detect(int argc, const char* const* argv) {
   args.add_positional("graph", "edge list / .bin / standin:ABBR[:scale]")
       .add_option("pruning", "none|SM|RM|PM|MG|MG+RM", "MG")
       .add_option("hashtable", "global|unified|hierarchical", "hierarchical")
+      .add_option("backend", "bsp|blas phase-1 engine (blas = linear-algebra formulation)",
+                  "bsp")
       .add_option("resolution", "gamma for generalised modularity", "1.0")
       .add_option("theta", "per-iteration convergence threshold", "1e-6")
       .add_option("gpus", "simulated devices (>1 uses the distributed engine, phase 1 only)",
@@ -184,6 +192,11 @@ int cmd_detect(int argc, const char* const* argv) {
 
   check_writable_outputs(args, {"output", "json", "trace-out", "metrics-out", "profile-out",
                                 "flight-out", "health-out", "mem-out", "governor-out"});
+
+  // Fail-fast probes: reject bad engine selections before the graph loads.
+  const core::Backend backend = parse_backend(args.get("backend"));
+  GALA_CHECK(backend == core::Backend::Bsp || args.get_int("gpus") <= 1,
+             "--backend: blas is single-device only (drop --gpus or use bsp)");
 
   // Telemetry: tracing is off (null sink) unless an export was requested.
   auto& tracer = telemetry::Tracer::global();
@@ -298,6 +311,7 @@ int cmd_detect(int argc, const char* const* argv) {
                 cfg.num_gpus, r.modularity, r.iterations, r.modeled_ms(), r.wall_seconds);
   } else {
     core::GalaConfig cfg;
+    cfg.backend = backend;
     cfg.bsp.pruning = parse_pruning(args.get("pruning"));
     cfg.bsp.hashtable = parse_hashtable(args.get("hashtable"));
     cfg.bsp.resolution = args.get_double("resolution");
