@@ -14,11 +14,15 @@
 #include "gala/core/aggregation.hpp"
 #include "gala/core/blas_louvain.hpp"
 #include "gala/core/bsp_louvain.hpp"
+#include "gala/core/gala.hpp"
+#include "gala/core/incremental.hpp"
 #include "gala/governor/governor.hpp"
 #include "gala/graph/generators.hpp"
 #include "gala/memtrace/memtrace.hpp"
 #include "gala/metrics/health.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
+#include "gala/query/executor.hpp"
+#include "gala/query/store.hpp"
 #include "gala/telemetry/flight_recorder.hpp"
 
 int main() {
@@ -352,6 +356,92 @@ int main() {
         .field("policy", "governor_floor")
         .field("min_feasible_budget_bytes", floor)
         .field("unlimited_peak_bytes", peak);
+  }
+  // Query-serving rows: a deterministic epoch stream (full run + incremental
+  // repairs) published into the snapshot store, then the point and batched
+  // read paths. Every gated field — snapshot residency, member-index size,
+  // answer checksums, diff cardinality — is a pure function of the seeds,
+  // so the rows baseline bit-identically; throughput lives in the separate
+  // query_bench sidecar as wall_* fields.
+  {
+    memtrace::MemRegistry::global().reset();
+    query::StoreOptions qopts;
+    qopts.max_retained = 4;
+    qopts.governor_client = false;
+    query::CommunityStore store(qopts);
+    const graph::Graph& g = graphs[1].g;  // planted
+    const auto initial = core::run_louvain(g);
+    store.publish(g, initial);
+    graph::Graph current = g;
+    std::vector<cid_t> assignment = initial.assignment;
+    for (int e = 1; e < 6; ++e) {
+      // Heavy cross-community inserts so successive epochs genuinely move
+      // vertices — the diff_moved_total gate below must cover real churn.
+      std::vector<core::EdgeUpdate> batch;
+      for (int i = 0; i < 8; ++i) {
+        const auto u = static_cast<vid_t>(splitmix64(300ull * e + i) % current.num_vertices());
+        const auto v = static_cast<vid_t>(splitmix64(700ull * e + i) % current.num_vertices());
+        batch.push_back({u, v, 24.0, false});
+      }
+      auto repaired = core::update_communities(current, assignment, batch);
+      store.publish(repaired);
+      current = std::move(repaired.graph);
+      assignment = std::move(repaired.assignment);
+    }
+    const query::QueryExecutor exec(store, nullptr, /*grain=*/1u << 20);
+    query::SnapshotRef snap = store.current();
+
+    // Point path: 4096 deterministic lookups against the newest epoch.
+    std::uint64_t point_checksum = 0;
+    constexpr std::uint64_t kPointOps = 4096;
+    for (std::uint64_t i = 0; i < kPointOps; ++i) {
+      point_checksum += exec.community_of(static_cast<vid_t>(
+          splitmix64(i ^ 0x9e3779b9ull) % g.num_vertices()));
+    }
+    std::printf("%-16s %-13s %llu epochs, %zu retained, %llu B resident, checksum %llu\n",
+                "planted", "query_point", static_cast<unsigned long long>(store.latest_epoch()),
+                store.retained(), static_cast<unsigned long long>(store.resident_bytes()),
+                static_cast<unsigned long long>(point_checksum));
+    rec.row()
+        .field("graph", "planted")
+        .field("policy", "query_point")
+        .field("ops", kPointOps)
+        .field("epochs_published", store.published())
+        .field("epochs_retained", static_cast<std::uint64_t>(store.retained()))
+        .field("epochs_evicted", store.evicted())
+        .field("peak_snapshot_bytes", store.resident_bytes())
+        .field("communities", static_cast<std::uint64_t>(snap->num_communities()))
+        .field("modularity", snap->modularity())
+        .field("checksum", point_checksum);
+
+    // Batched path + every retained cross-epoch diff.
+    std::vector<vid_t> queries(2048);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      queries[i] = static_cast<vid_t>(splitmix64(i * 131) % g.num_vertices());
+    }
+    std::uint64_t batch_checksum = 0;
+    for (const cid_t c : exec.community_of(*snap, queries)) batch_checksum += c;
+    for (const vid_t s : exec.community_size_of(*snap, queries)) batch_checksum += s;
+    std::uint64_t moved_total = 0, diff_pairs = 0;
+    for (std::uint64_t i = store.oldest_epoch(); i <= store.latest_epoch(); ++i) {
+      for (std::uint64_t j = i + 1; j <= store.latest_epoch(); ++j) {
+        moved_total += exec.diff(i, j).moved.size();
+        ++diff_pairs;
+      }
+    }
+    std::printf("%-16s %-13s %zu-query batch checksum %llu, %llu diff pairs, %llu moved\n",
+                "planted", "query_batch", queries.size(),
+                static_cast<unsigned long long>(batch_checksum),
+                static_cast<unsigned long long>(diff_pairs),
+                static_cast<unsigned long long>(moved_total));
+    rec.row()
+        .field("graph", "planted")
+        .field("policy", "query_batch")
+        .field("ops", static_cast<std::uint64_t>(queries.size()))
+        .field("peak_snapshot_bytes", store.resident_bytes())
+        .field("checksum", batch_checksum)
+        .field("diff_pairs", diff_pairs)
+        .field("diff_moved_total", moved_total);
   }
   rec.save();
   return 0;

@@ -1,0 +1,76 @@
+// gala::query — batched query execution over pinned snapshots.
+//
+// The executor is the serving layer's compute half: point lookups read a
+// pinned Snapshot directly; batched forms shard the batch across
+// common/thread_pool workers (contiguous chunks, deterministic output
+// order — answers land at the index of their query regardless of worker
+// scheduling). Cross-epoch diff uses label-pair counting, so it is
+// invariant under community relabelling: a vertex is "moved" iff the set
+// of vertices sharing its community changed between the two epochs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gala/query/store.hpp"
+
+namespace gala {
+class ThreadPool;
+}
+
+namespace gala::query {
+
+/// One top-k entry: a community and its published aggregates.
+struct TopCommunity {
+  cid_t community = 0;
+  vid_t size = 0;
+  wt_t weight = 0;
+  wt_t modularity = 0;
+};
+
+/// Vertices whose community membership-set changed between two epochs.
+struct EpochDiff {
+  std::uint64_t from_epoch = 0;
+  std::uint64_t to_epoch = 0;
+  std::vector<vid_t> moved;  ///< ascending vertex ids
+};
+
+class QueryExecutor {
+ public:
+  /// `pool` defaults to the process-wide pool; `grain` is the minimum batch
+  /// shard per worker (small batches run inline).
+  explicit QueryExecutor(const CommunityStore& store,
+                         ThreadPool* pool = nullptr, std::size_t grain = 2048);
+
+  const CommunityStore& store() const { return *store_; }
+
+  /// Point lookup against the newest epoch. Throws gala::Error on an empty
+  /// store or out-of-range vertex.
+  cid_t community_of(vid_t v) const;
+
+  /// Batched lookups over an explicitly pinned snapshot; out[i] answers
+  /// vertices[i].
+  std::vector<cid_t> community_of(const Snapshot& snap, std::span<const vid_t> vertices) const;
+  /// out[i] = size of the community of vertices[i].
+  std::vector<vid_t> community_size_of(const Snapshot& snap,
+                                       std::span<const vid_t> vertices) const;
+  /// Members of community c (copy of the snapshot's CSR row).
+  std::vector<vid_t> members(const Snapshot& snap, cid_t c) const;
+  /// The k largest communities (size desc, id asc); k clamps to the count.
+  std::vector<TopCommunity> top_k(const Snapshot& snap, std::size_t k) const;
+
+  /// Which vertices moved between two epochs of the same vertex set.
+  /// Label-invariant: relabelling that preserves the partition yields an
+  /// empty diff. Throws gala::Error when vertex counts differ.
+  EpochDiff diff(const Snapshot& from, const Snapshot& to) const;
+  /// Convenience: pins both epochs in the store; throws if either is gone.
+  EpochDiff diff(std::uint64_t from_epoch, std::uint64_t to_epoch) const;
+
+ private:
+  const CommunityStore* store_;
+  ThreadPool* pool_;
+  std::size_t grain_;
+};
+
+}  // namespace gala::query

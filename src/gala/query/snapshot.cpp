@@ -1,0 +1,145 @@
+#include "gala/query/snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "gala/common/error.hpp"
+#include "gala/core/modularity.hpp"
+
+namespace gala::query {
+
+const char* to_string(SnapshotSource source) {
+  switch (source) {
+    case SnapshotSource::Direct: return "direct";
+    case SnapshotSource::FullRun: return "full_run";
+    case SnapshotSource::IncrementalUpdate: return "incremental_update";
+  }
+  return "?";
+}
+
+void Snapshot::build(const graph::Graph& g, std::span<const cid_t> raw, SnapshotSource source,
+                     wt_t resolution) {
+  const vid_t n = g.num_vertices();
+  GALA_CHECK(raw.size() == n, "snapshot assignment size mismatch: " << raw.size() << " vs " << n
+                                                                    << " vertices");
+  source_ = source;
+  resolution_ = resolution;
+
+  assignment_.assign(raw.begin(), raw.end());
+  const vid_t k = core::renumber_communities(assignment_);
+  num_communities_ = k;
+
+  comm_size_.assign(k, 0);
+  comm_weight_.assign(k, 0);
+  std::vector<wt_t> internal(k, 0);  // intra edges twice + self loops twice
+  for (vid_t v = 0; v < n; ++v) {
+    const cid_t c = assignment_[v];
+    ++comm_size_[c];
+    comm_weight_[c] += g.degree(v);
+    internal[c] += 2 * g.self_loop(v);
+    auto nbrs = g.neighbors(v);
+    auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] != v && assignment_[nbrs[i]] == c) internal[c] += ws[i];
+    }
+  }
+
+  comm_modularity_.assign(k, 0);
+  modularity_ = 0;
+  if (g.total_weight() > 0) {
+    const wt_t two_m = g.two_m();
+    for (cid_t c = 0; c < k; ++c) {
+      comm_modularity_[c] =
+          internal[c] / two_m - resolution * (comm_weight_[c] / two_m) * (comm_weight_[c] / two_m);
+      modularity_ += comm_modularity_[c];
+    }
+  }
+
+  // Member CSR by counting sort: vertices ascend within each community.
+  member_offsets_.assign(k + 1, 0);
+  for (vid_t v = 0; v < n; ++v) ++member_offsets_[assignment_[v] + 1];
+  for (cid_t c = 0; c < k; ++c) member_offsets_[c + 1] += member_offsets_[c];
+  members_.resize(n);
+  {
+    std::vector<eid_t> cursor(member_offsets_.begin(), member_offsets_.end() - 1);
+    for (vid_t v = 0; v < n; ++v) members_[cursor[assignment_[v]]++] = v;
+  }
+
+  by_size_.resize(k);
+  std::iota(by_size_.begin(), by_size_.end(), 0);
+  std::sort(by_size_.begin(), by_size_.end(), [this](cid_t a, cid_t b) {
+    if (comm_size_[a] != comm_size_[b]) return comm_size_[a] > comm_size_[b];
+    return a < b;
+  });
+
+  bytes_ = static_cast<std::uint64_t>(assignment_.size()) * sizeof(cid_t) +
+           static_cast<std::uint64_t>(comm_size_.size()) * sizeof(vid_t) +
+           static_cast<std::uint64_t>(comm_weight_.size()) * sizeof(wt_t) +
+           static_cast<std::uint64_t>(comm_modularity_.size()) * sizeof(wt_t) +
+           static_cast<std::uint64_t>(member_offsets_.size()) * sizeof(eid_t) +
+           static_cast<std::uint64_t>(members_.size()) * sizeof(vid_t) +
+           static_cast<std::uint64_t>(by_size_.size()) * sizeof(cid_t);
+}
+
+std::string Snapshot::validate() const {
+  const auto fail = [](auto&&... parts) {
+    std::ostringstream out;
+    (out << ... << parts);
+    return out.str();
+  };
+  if (epoch_footer_ != epoch_) {
+    return fail("epoch footer ", epoch_footer_, " != epoch ", epoch_);
+  }
+  const vid_t n = num_vertices();
+  const cid_t k = num_communities_;
+  if (comm_size_.size() != k || comm_weight_.size() != k || comm_modularity_.size() != k ||
+      by_size_.size() != k || member_offsets_.size() != static_cast<std::size_t>(k) + 1 ||
+      members_.size() != n) {
+    return fail("epoch ", epoch_, ": derived array sizes disagree with k=", k, " n=", n);
+  }
+  if (member_offsets_[0] != 0 || member_offsets_[k] != n) {
+    return fail("epoch ", epoch_, ": member offsets do not span [0, ", n, ")");
+  }
+  std::uint64_t total = 0;
+  for (cid_t c = 0; c < k; ++c) {
+    const eid_t lo = member_offsets_[c];
+    const eid_t hi = member_offsets_[c + 1];
+    if (hi < lo) return fail("epoch ", epoch_, ": member offsets not monotone at c=", c);
+    if (hi - lo != comm_size_[c]) {
+      return fail("epoch ", epoch_, ": community ", c, " CSR extent ", hi - lo, " != size ",
+                  comm_size_[c]);
+    }
+    total += comm_size_[c];
+    for (eid_t i = lo; i < hi; ++i) {
+      const vid_t v = members_[i];
+      if (v >= n || assignment_[v] != c) {
+        return fail("epoch ", epoch_, ": member table lists v=", v, " under c=", c);
+      }
+      if (i > lo && members_[i - 1] >= v) {
+        return fail("epoch ", epoch_, ": members of c=", c, " not ascending");
+      }
+    }
+  }
+  if (total != n) return fail("epoch ", epoch_, ": community sizes sum ", total, " != ", n);
+  for (vid_t v = 0; v < n; ++v) {
+    if (assignment_[v] >= k) return fail("epoch ", epoch_, ": assignment[", v, "] out of range");
+  }
+  wt_t q = 0;
+  for (cid_t c = 0; c < k; ++c) q += comm_modularity_[c];
+  // Same summation order as build(), so bit-equality is the contract.
+  if (q != modularity_) {
+    return fail("epoch ", epoch_, ": per-community Q sums to ", q, " != published ", modularity_);
+  }
+  for (cid_t i = 1; i < k; ++i) {
+    const cid_t a = by_size_[i - 1];
+    const cid_t b = by_size_[i];
+    if (comm_size_[a] < comm_size_[b] || (comm_size_[a] == comm_size_[b] && a >= b)) {
+      return fail("epoch ", epoch_, ": by_size order violated at position ", i);
+    }
+  }
+  return {};
+}
+
+}  // namespace gala::query

@@ -1,0 +1,122 @@
+// gala::query — immutable, epoch-stamped community snapshots.
+//
+// A Snapshot freezes one completed partition (a `run_louvain` result, an
+// `update_communities` repair, or a raw assignment) into a read-optimised,
+// fully immutable document: the canonical dense assignment, per-community
+// size / weighted-degree / modularity-contribution arrays, a CSR member
+// index built once at publish, and a size-descending community order for
+// O(k) top-k answers. Readers hold Snapshots through CommunityStore's
+// lock-free epoch ring (store.hpp); nothing in this class mutates after
+// `CommunityStore::publish` links it, so concurrent reads need no
+// synchronisation at all.
+//
+// Torn-epoch detection: every snapshot carries redundant derived state
+// (member CSR vs sizes vs assignment, per-community Q terms vs the global
+// Q it was published with, and an epoch footer written last). validate()
+// cross-checks all of it; the TSan stress battery calls it from reader
+// threads to prove that no reader can ever observe a half-published epoch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gala/common/types.hpp"
+#include "gala/graph/csr.hpp"
+
+namespace gala::query {
+
+/// Which writer produced the partition this snapshot froze.
+enum class SnapshotSource : std::uint8_t {
+  Direct = 0,             ///< raw assignment handed straight to publish()
+  FullRun = 1,            ///< a completed core::run_louvain
+  IncrementalUpdate = 2,  ///< a core::update_communities repair batch
+};
+
+const char* to_string(SnapshotSource source);
+
+class CommunityStore;
+
+/// One immutable published partition. Construct via CommunityStore::publish.
+class Snapshot {
+ public:
+  std::uint64_t epoch() const { return epoch_; }
+  SnapshotSource source() const { return source_; }
+  vid_t num_vertices() const { return static_cast<vid_t>(assignment_.size()); }
+  cid_t num_communities() const { return num_communities_; }
+  /// Global modularity of the partition (gamma as passed to publish), equal
+  /// to the sum of modularity_of() over all communities by construction.
+  wt_t modularity() const { return modularity_; }
+  wt_t resolution() const { return resolution_; }
+
+  /// Canonical dense assignment: first-appearance renumbering of whatever id
+  /// space the writer produced, so bit-identical partitions publish
+  /// bit-identical assignments regardless of label permutations.
+  std::span<const cid_t> assignment() const { return assignment_; }
+  cid_t community_of(vid_t v) const { return assignment_[v]; }
+
+  vid_t size(cid_t c) const { return comm_size_[c]; }
+  /// D_V(C): sum of member weighted degrees (the modularity denominator term).
+  wt_t weight(cid_t c) const { return comm_weight_[c]; }
+  /// This community's contribution to modularity():
+  /// internal/2m − gamma·(total/2m)².
+  wt_t modularity_of(cid_t c) const { return comm_modularity_[c]; }
+
+  /// Members of community c, ascending vertex ids (CSR index, zero copies).
+  std::span<const vid_t> members(cid_t c) const {
+    return std::span<const vid_t>(members_.data() + member_offsets_[c],
+                                  member_offsets_[c + 1] - member_offsets_[c]);
+  }
+
+  /// All community ids ordered by (size descending, id ascending) — the
+  /// top-k order, precomputed at publish.
+  std::span<const cid_t> by_size() const { return by_size_; }
+
+  /// Modeled resident bytes (element counts, never vector capacities) — the
+  /// memtrace "query.snapshots" gauge charge for this snapshot.
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// True when the same partition of the same vertex set: canonical
+  /// assignments compare equal (epoch/source are publication metadata and
+  /// deliberately excluded).
+  bool same_partition(const Snapshot& other) const {
+    return assignment_ == other.assignment_;
+  }
+
+  /// Cross-checks every piece of redundant derived state; returns the empty
+  /// string when internally consistent, else a description of the first
+  /// violation. Reader threads in the stress battery call this to detect
+  /// torn epochs.
+  std::string validate() const;
+
+ private:
+  friend class CommunityStore;
+
+  Snapshot() = default;
+
+  /// Builds every derived index from a raw assignment. `epoch_` is assigned
+  /// later, under the store's writer lock, before the snapshot is linked.
+  void build(const graph::Graph& g, std::span<const cid_t> raw, SnapshotSource source,
+             wt_t resolution);
+
+  std::uint64_t epoch_ = 0;
+  SnapshotSource source_ = SnapshotSource::Direct;
+  cid_t num_communities_ = 0;
+  wt_t modularity_ = 0;
+  wt_t resolution_ = 1.0;
+  std::vector<cid_t> assignment_;
+  std::vector<vid_t> comm_size_;
+  std::vector<wt_t> comm_weight_;
+  std::vector<wt_t> comm_modularity_;
+  std::vector<eid_t> member_offsets_;  ///< size k+1
+  std::vector<vid_t> members_;         ///< size n, grouped by community
+  std::vector<cid_t> by_size_;
+  std::uint64_t bytes_ = 0;
+  /// Written last by build(); validate() checks it against epoch_ after the
+  /// store stamps both. A reader that could see a partially-built snapshot
+  /// would trip here first.
+  std::uint64_t epoch_footer_ = 0;
+};
+
+}  // namespace gala::query

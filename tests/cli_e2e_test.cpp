@@ -392,6 +392,33 @@ TEST_F(CliE2e, BackendSelection) {
   }
 }
 
+TEST_F(CliE2e, ServeQueryFlags) {
+  std::string out;
+  ASSERT_EQ(run("detect standin:HW:0.05 --serve --query-epochs 2", &out), 0) << out;
+  EXPECT_NE(out.find("query: epoch 1 serving"), std::string::npos) << out;
+  EXPECT_NE(out.find("query: v0 -> community"), std::string::npos) << out;
+
+  // Fail-fast probe table: bad query-store selections are rejected before
+  // the graph loads, naming the flag and the reason (same contract as the
+  // --backend probes above).
+  struct Row {
+    std::string args;
+    std::string expect;
+  };
+  const Row rows[] = {
+      {"detect standin:HW:0.05 --query-epochs 2", "--query-epochs: only meaningful with --serve"},
+      {"detect standin:HW:0.05 --serve --query-epochs 0", "--query-epochs: must be positive"},
+      {"detect standin:HW:0.05 --serve --query-epochs -3", "--query-epochs: must be positive"},
+      {"detect standin:HW:0.05 --serve --query-epochs abc", "'abc' is not an integer"},
+  };
+  for (const Row& row : rows) {
+    EXPECT_NE(run(row.args, &out), 0) << row.args;
+    EXPECT_NE(out.find(row.expect), std::string::npos) << row.args << "\n" << out;
+    EXPECT_EQ(out.find("graph:"), std::string::npos)
+        << "solve started despite bad flags:\n" << out;
+  }
+}
+
 TEST_F(CliE2e, HelpExitsCleanly) {
   std::string out;
   EXPECT_EQ(run("detect --help", &out), 0);

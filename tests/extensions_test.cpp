@@ -4,6 +4,7 @@
 
 #include "gala/baselines/label_propagation.hpp"
 #include "gala/common/cli.hpp"
+#include "gala/core/bsp_louvain.hpp"
 #include "gala/core/gala.hpp"
 #include "gala/core/incremental.hpp"
 #include "gala/core/refinement.hpp"
@@ -288,6 +289,65 @@ TEST(Incremental, DeletionHeavyBatchSplitsCommunities) {
   EXPECT_EQ(repaired.num_communities, 6u);
   // Disconnected cliques: every community fully internal -> coverage 1.
   EXPECT_TRUE(core::is_partition_connected(repaired.graph, repaired.assignment));
+}
+
+TEST(Incremental, EmptyBatchIsAFixedPointOfRepair) {
+  // An empty update batch must reproduce the previous partition exactly:
+  // same graph, same communities (canonically renumbered), same modularity.
+  // The query layer publishes such batches as new epochs that compare equal.
+  const auto g = testing::small_planted(27, 800, 10, 0.2);
+  const auto initial = core::run_louvain(g);
+  const auto repaired = core::update_communities(g, initial.assignment, {});
+
+  repaired.graph.validate();
+  EXPECT_EQ(repaired.graph.num_edges(), g.num_edges());
+  EXPECT_DOUBLE_EQ(repaired.graph.total_weight(), g.total_weight());
+
+  std::vector<cid_t> canonical(initial.assignment);
+  core::renumber_communities(canonical);
+  EXPECT_EQ(repaired.assignment, canonical);
+  EXPECT_EQ(repaired.num_communities, initial.num_communities);
+  EXPECT_DOUBLE_EQ(repaired.modularity, initial.modularity);
+}
+
+TEST(Incremental, BatchTouchingEveryVertexStillBeatsFullRerun) {
+  // Worst-case batch width: every vertex is an update endpoint (a ring of
+  // new cross-community edges). Modularity-gain pruning still screens out
+  // vertices with no profitable move, so the warm repair must pay far fewer
+  // vertex evaluations than a from-scratch phase 1 on the updated graph,
+  // which grinds down from singletons.
+  const auto g = testing::small_planted(29, 1200, 12, 0.2);
+  const auto initial = core::run_louvain(g);
+  std::vector<core::EdgeUpdate> updates;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    updates.push_back({v, static_cast<vid_t>((v + 1) % g.num_vertices()), 2.0, false});
+  }
+  const auto repaired = core::update_communities(g, initial.assignment, updates);
+  EXPECT_GT(repaired.modularity, 0.0);
+
+  const auto updated = core::apply_edge_updates(g, updates);
+  core::BspConfig cfg;
+  const auto scratch = core::bsp_phase1(updated, cfg);
+  std::uint64_t scratch_evaluated = 0;
+  for (const auto& it : scratch.iterations) scratch_evaluated += it.active;
+  // From scratch, the first sweep alone evaluates all n vertices; the warm
+  // repair must come in strictly under that.
+  EXPECT_GE(scratch_evaluated, g.num_vertices());
+  EXPECT_LT(repaired.evaluated_vertices, scratch_evaluated);
+}
+
+TEST(Incremental, RepeatedRepairOfAnIdenticalPartitionIsIdempotent) {
+  // Repairing the repair (with no further updates) must be bit-stable:
+  // identical assignment vector, identical modularity — the property that
+  // lets the query layer assert equal snapshots for repeated publishes.
+  const auto g = testing::small_planted(31, 600, 8, 0.25);
+  const auto initial = core::run_louvain(g);
+  const auto first = core::update_communities(g, initial.assignment, {});
+  const auto second = core::update_communities(g, first.assignment, {});
+  EXPECT_EQ(second.assignment, first.assignment);
+  EXPECT_EQ(second.num_communities, first.num_communities);
+  EXPECT_DOUBLE_EQ(second.modularity, first.modularity);
+  EXPECT_EQ(second.repair_iterations, first.repair_iterations);
 }
 
 TEST(Extensions, AllFlagsComposeInOnePipelineRun) {

@@ -37,6 +37,8 @@
 #include "gala/metrics/nmi.hpp"
 #include "gala/metrics/report.hpp"
 #include "gala/multigpu/dist_louvain.hpp"
+#include "gala/query/executor.hpp"
+#include "gala/query/store.hpp"
 #include "gala/resilience/supervisor.hpp"
 #include "gala/profiler/profiler.hpp"
 
@@ -179,6 +181,8 @@ int cmd_detect(int argc, const char* const* argv) {
                   "here", "")
       .add_option("faults", "arm a fault-injection plan (JSON, see docs/resilience.md)", "")
       .add_option("max-retries", "supervised: transient-fault retries per level", "2")
+      .add_option("query-epochs", "epochs retained by the --serve snapshot store (positive "
+                  "integer)", "4")
       .add_flag("overlap", "multi-GPU: double-buffered async sync (post/complete with flow arrows)")
       .add_flag("compress", "multi-GPU: ship sparse syncs as compressed delta frames")
       .add_flag("refine", "Leiden-style refinement before each aggregation")
@@ -187,6 +191,8 @@ int cmd_detect(int argc, const char* const* argv) {
       .add_flag("strict", "supervised: fail closed on the first fault (no recovery)")
       .add_flag("probe-min-budget", "after the run, binary-search the smallest feasible budget "
                 "(completes unsupervised, bit-identical partition, peak within budget)")
+      .add_flag("serve", "publish the final partition into the epoch-versioned query store "
+                "and answer a deterministic sample query batch")
       .add_flag("connected", "report whether every community is connected");
   if (!args.parse(argc, argv)) return args.error().empty() ? 0 : 2;
 
@@ -197,6 +203,13 @@ int cmd_detect(int argc, const char* const* argv) {
   const core::Backend backend = parse_backend(args.get("backend"));
   GALA_CHECK(backend == core::Backend::Bsp || args.get_int("gpus") <= 1,
              "--backend: blas is single-device only (drop --gpus or use bsp)");
+  GALA_CHECK(args.has("serve") || !args.has("query-epochs"),
+             "--query-epochs: only meaningful with --serve (no query store to size)");
+  long query_epochs = 0;
+  if (args.has("serve")) {
+    query_epochs = args.get_int("query-epochs");
+    GALA_CHECK(query_epochs > 0, "--query-epochs: must be positive, got " << query_epochs);
+  }
 
   // Telemetry: tracing is off (null sink) unless an export was requested.
   auto& tracer = telemetry::Tracer::global();
@@ -369,6 +382,36 @@ int cmd_detect(int argc, const char* const* argv) {
   if (args.has("connected")) {
     std::printf("all communities connected: %s\n",
                 core::is_partition_connected(g, assignment) ? "yes" : "no");
+  }
+  if (args.has("serve")) {
+    // Scoped so the store (and its governor reclaimer, when a budget is
+    // installed) unwinds before the governor epilogue below.
+    query::StoreOptions qopts;
+    qopts.max_retained = static_cast<std::size_t>(query_epochs);
+    qopts.governor_client = governed;
+    query::CommunityStore store(qopts);
+    const std::uint64_t epoch = store.publish(g, assignment, query::SnapshotSource::Direct,
+                                              args.get_double("resolution"));
+    query::SnapshotRef snap = store.current();
+    GALA_CHECK(snap && snap->validate().empty(), "--serve: published snapshot failed validation");
+    query::QueryExecutor exec(store);
+    const auto top = exec.top_k(*snap, 3);
+    std::ostringstream tops;
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      tops << (i ? " " : "") << top[i].community << "=" << top[i].size;
+    }
+    std::printf("query: epoch %llu serving %u communities (retain %ld), top sizes [%s], "
+                "%llu B resident\n",
+                static_cast<unsigned long long>(epoch), snap->num_communities(), query_epochs,
+                tops.str().c_str(), static_cast<unsigned long long>(store.resident_bytes()));
+    if (g.num_vertices() > 0) {
+      const std::vector<vid_t> probes = {0, g.num_vertices() / 2, g.num_vertices() - 1};
+      const auto owners = exec.community_of(*snap, probes);
+      const auto sizes = exec.community_size_of(*snap, probes);
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        std::printf("query: v%u -> community %u (%u members)\n", probes[i], owners[i], sizes[i]);
+      }
+    }
   }
   if (const std::string out = args.get("output"); !out.empty()) {
     std::ofstream f(out);
